@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Render a summary of all recorded benchmark results.
+
+Reads every ``benchmarks/results/*.json`` written by the benchmark suite
+and prints a compact digest — the raw material behind EXPERIMENTS.md.
+
+Usage::
+
+    python benchmarks/collect_experiments.py [--id fig06]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def flatten(prefix: str, value, out: list[tuple[str, float]]) -> None:
+    if isinstance(value, dict):
+        for k, v in value.items():
+            flatten(f"{prefix}.{k}" if prefix else str(k), v, out)
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        out.append((prefix, float(value)))
+    elif isinstance(value, list) and value and \
+            all(isinstance(v, (int, float)) for v in value):
+        out.append((f"{prefix}[0]", float(value[0])))
+        out.append((f"{prefix}[-1]", float(value[-1])))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--id", default=None,
+                        help="only show one experiment id")
+    args = parser.parse_args()
+
+    if not RESULTS_DIR.exists():
+        raise SystemExit("no results yet: run "
+                         "`pytest benchmarks/ --benchmark-only` first")
+    paths = sorted(RESULTS_DIR.glob("*.json"))
+    if args.id:
+        paths = [p for p in paths if p.stem == args.id]
+    for path in paths:
+        data = json.loads(path.read_text())
+        rows: list[tuple[str, float]] = []
+        flatten("", data, rows)
+        print(f"\n## {path.stem}")
+        for key, value in rows[:40]:
+            print(f"  {key:45s} {value:10.4f}")
+        if len(rows) > 40:
+            print(f"  ... ({len(rows) - 40} more values)")
+
+
+if __name__ == "__main__":
+    main()

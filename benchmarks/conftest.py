@@ -1,0 +1,39 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+paper's workload (in time-shrunk "quick" mode by default — set
+``REPRO_BENCH_FULL=1`` for the full durations), prints the rows/series the
+paper reports, saves the measured values under ``benchmarks/results/`` for
+EXPERIMENTS.md, and asserts the *shape* of the result (who wins, by
+roughly what factor) rather than absolute numbers.
+
+Benchmarks use ``benchmark.pedantic(fn, rounds=1, iterations=1)``: each
+experiment is a full simulation campaign, not a microbenchmark, so one
+round is what gets timed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+QUICK = os.environ.get("REPRO_BENCH_FULL", "") != "1"
+TRIALS = 2 if QUICK else 10
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    """Whether benches run in time-shrunk mode."""
+    return QUICK
+
+
+@pytest.fixture(scope="session")
+def trials() -> int:
+    """Trial repetitions per scenario."""
+    return TRIALS
+
+
+def run_once(benchmark, fn):
+    """Time one full campaign run and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

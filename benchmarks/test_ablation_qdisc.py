@@ -1,0 +1,116 @@
+"""Extension — Astraea under active queue management.
+
+Not a paper figure: the paper's environment supports "user-defined
+queuing policies" (§3.2) but evaluates on drop-tail only.  This extension
+bench runs the canonical three-flow scenario under drop-tail, RED and
+CoDel, checking that (a) Astraea remains fair and efficient under AQM,
+and (b) the AQMs do their job against a buffer-filling scheme (CUBIC's
+standing queue shrinks, at some loss cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import print_table, save_results
+from repro.config import LinkConfig, ScenarioConfig, replace
+from repro.env import run_scenario
+from repro.netsim import staggered_flows
+from benchmarks.conftest import QUICK, TRIALS, run_once
+
+QDISCS = {
+    "droptail": {},
+    "red": {"min_th_pkts": 40.0, "max_th_pkts": 180.0, "max_p": 0.15},
+    "codel": {"target_s": 0.005, "interval_s": 0.1},
+}
+
+ECN_QDISC = {"target_s": 0.005, "interval_s": 0.1, "ecn": True}
+
+
+def _scenario(cc: str, qdisc: str, seed: int) -> ScenarioConfig:
+    interval = 15.0 if QUICK else 40.0
+    flow_len = 45.0 if QUICK else 120.0
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0,
+                      qdisc=qdisc, qdisc_kwargs=QDISCS[qdisc])
+    flows = staggered_flows(3, cc=cc, interval_s=interval,
+                            duration_s=flow_len)
+    return ScenarioConfig(link=link, flows=flows,
+                          duration_s=interval * 2 + flow_len, seed=seed)
+
+
+def test_ablation_astraea_under_aqm(benchmark):
+    def campaign():
+        out = {}
+        for cc in ("astraea", "cubic"):
+            for qdisc in QDISCS:
+                rows = []
+                for seed in range(max(TRIALS // 2, 1)):
+                    r = run_scenario(_scenario(cc, qdisc, seed))
+                    rows.append({
+                        "jain": r.mean_jain(),
+                        "utilization": r.utilization(5.0),
+                        "rtt_ms": r.mean_rtt_s() * 1e3,
+                        "loss": r.mean_loss_rate(),
+                    })
+                out[(cc, qdisc)] = {k: float(np.mean([x[k] for x in rows]))
+                                    for k in rows[0]}
+        return out
+
+    data = run_once(benchmark, campaign)
+    print_table(
+        "Extension — schemes under drop-tail / RED / CoDel",
+        ["scheme", "qdisc", "Jain", "util", "RTT (ms)", "loss"],
+        [[cc, q, v["jain"], v["utilization"], v["rtt_ms"], v["loss"]]
+         for (cc, q), v in data.items()],
+    )
+    save_results("ablation_qdisc", {f"{cc}:{q}": v
+                                    for (cc, q), v in data.items()})
+
+    # Astraea keeps its fairness and efficiency under every discipline.
+    for qdisc in QDISCS:
+        v = data[("astraea", qdisc)]
+        assert v["jain"] > 0.85, qdisc
+        assert v["utilization"] > 0.8, qdisc
+    # The AQMs curb CUBIC's standing queue relative to drop-tail.
+    assert data[("cubic", "codel")]["rtt_ms"] < \
+        data[("cubic", "droptail")]["rtt_ms"]
+    assert data[("cubic", "red")]["rtt_ms"] <= \
+        data[("cubic", "droptail")]["rtt_ms"] + 1.0
+
+
+def test_ablation_ecn_vs_drop(benchmark):
+    """ECN-marking CoDel controls an ECN-capable CUBIC flow with (near)
+    zero loss, achieving the same delay control as dropping CoDel."""
+
+    def campaign():
+        out = {}
+        for label, qdisc_kwargs, cc_kwargs in (
+                ("drop", {"target_s": 0.005, "interval_s": 0.1}, {}),
+                ("ecn", ECN_QDISC, {"ecn": True})):
+            link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0,
+                              buffer_bdp=4.0, qdisc="codel",
+                              qdisc_kwargs=qdisc_kwargs)
+            flows = staggered_flows(2, cc="cubic", interval_s=0.0,
+                                    duration_s=None, **cc_kwargs)
+            r = run_scenario(ScenarioConfig(link=link, flows=flows,
+                                            duration_s=20.0))
+            out[label] = {
+                "utilization": r.utilization(5.0),
+                "rtt_ms": r.mean_rtt_s(5.0) * 1e3,
+                "loss": r.mean_loss_rate(5.0),
+            }
+        return out
+
+    data = run_once(benchmark, campaign)
+    print_table(
+        "Extension — CoDel dropping vs ECN marking (2 ECN CUBIC flows)",
+        ["mode", "util", "RTT (ms)", "loss"],
+        [[k, v["utilization"], v["rtt_ms"], v["loss"]]
+         for k, v in data.items()],
+    )
+    save_results("ablation_ecn", data)
+    # Same congestion control, no data loss.
+    assert data["ecn"]["loss"] < data["drop"]["loss"] + 1e-9
+    assert data["ecn"]["loss"] < 0.001
+    assert data["ecn"]["rtt_ms"] < data["drop"]["rtt_ms"] * 1.5
+    assert data["ecn"]["utilization"] > 0.85

@@ -1,0 +1,72 @@
+"""Fig. 16 — CPU overhead and inference-service scalability (§5.4).
+
+Paper: (a) Astraea's shared C++ batch inference service costs ~30% less
+CPU than Orca's per-flow servers at one flow per link; (b) Orca's overhead
+scales linearly with flow count (an 80-core box cannot hold 1000 flows)
+while Astraea's batched service grows sub-linearly.  We reproduce the
+architectural comparison over the NumPy actor: same request timeline,
+batched-shared vs per-flow-instance serving, measured in process-CPU
+seconds and forward passes.
+"""
+
+from __future__ import annotations
+
+from repro.bench import print_table, save_results
+from repro.core.policy import PolicyBundle, load_default_policy, new_actor
+from repro.service import (
+    BatchedInferenceService,
+    PerFlowServers,
+    synthetic_request_trace,
+)
+from benchmarks.conftest import run_once
+
+FLOW_COUNTS = (1, 10, 100, 1000)
+DURATION_S = 2.0
+
+
+def _bundle() -> PolicyBundle:
+    return load_default_policy("astraea") or PolicyBundle(actor=new_actor())
+
+
+def test_fig16_overhead_and_scalability(benchmark):
+    def campaign():
+        bundle = _bundle()
+        out = {}
+        for n in FLOW_COUNTS:
+            trace = synthetic_request_trace(
+                n_flows=n, duration_s=DURATION_S, mtp_s=0.020,
+                state_dim=bundle.actor.in_dim, seed=n)
+            batched = BatchedInferenceService(bundle, batch_window_s=0.005)
+            batched.serve_trace(trace)
+            per_flow = PerFlowServers(bundle, n_flows=n)
+            per_flow.serve_trace(trace)
+            out[n] = {
+                "batched_cpu_s": batched.accounting.cpu_time_s,
+                "perflow_cpu_s": per_flow.accounting.cpu_time_s,
+                "batched_passes": batched.accounting.forward_passes,
+                "perflow_passes": per_flow.accounting.forward_passes,
+                "mean_batch": batched.accounting.mean_batch_size,
+            }
+        return out
+
+    data = run_once(benchmark, campaign)
+    print_table(
+        "Fig. 16 — batched service vs per-flow servers "
+        f"({DURATION_S:.0f} s of 20 ms-MTP requests)",
+        ["flows", "batched CPU (s)", "per-flow CPU (s)", "batched passes",
+         "per-flow passes", "mean batch"],
+        [[n, v["batched_cpu_s"], v["perflow_cpu_s"], v["batched_passes"],
+          v["perflow_passes"], v["mean_batch"]] for n, v in data.items()],
+    )
+    save_results("fig16", {str(n): v for n, v in data.items()})
+
+    # (a) At high flow counts the shared batched service is much cheaper.
+    assert data[1000]["batched_cpu_s"] < 0.5 * data[1000]["perflow_cpu_s"]
+    # (b) Per-flow cost scales linearly with flows; batched sub-linearly.
+    perflow_growth = data[1000]["perflow_cpu_s"] / \
+        max(data[10]["perflow_cpu_s"], 1e-9)
+    batched_growth = data[1000]["batched_cpu_s"] / \
+        max(data[10]["batched_cpu_s"], 1e-9)
+    assert batched_growth < perflow_growth
+    # Forward-pass accounting: batching collapses the pass count.
+    assert data[1000]["batched_passes"] < data[1000]["perflow_passes"] / 5

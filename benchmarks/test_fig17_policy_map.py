@@ -1,0 +1,106 @@
+"""Fig. 17 — interpreting the learned policy (§5.5).
+
+Paper: fixing the max-observed throughput (200 Mbps) and base RTT (40 ms)
+and sweeping observed delay for flows at different current throughputs,
+the model's action decreases monotonically with delay and each throughput
+level has its own zero-crossing (equilibrium) delay — the structure that
+makes competing flows trade bandwidth until they meet at the fair point.
+
+We plot the same map for the shipped policy and assert the two structural
+properties.  EXPERIMENTS.md discusses the zero-crossing orientation: for
+the bandwidth-transfer argument to be stable, the equilibrium delay must
+*decrease* with the flow's own throughput (high-throughput flows back off
+first), which is what both the analytic reference and the trained model
+exhibit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import print_table, save_results
+from repro.core.policy import PolicyBundle, load_default_policy, new_actor
+from repro.core.state import LocalStateBlock
+from repro.netsim.stats import MtpStats
+from repro.units import mbps_to_pps
+from benchmarks.conftest import run_once
+
+THR_MAX_MBPS = 200.0
+BASE_RTT_S = 0.040
+THROUGHPUTS_MBPS = (40.0, 80.0, 120.0, 160.0)
+DELAY_RATIOS = np.linspace(1.0, 2.0, 21)
+
+
+def _stats(thr_mbps: float, delay_ratio: float) -> MtpStats:
+    thr = mbps_to_pps(thr_mbps)
+    rtt = BASE_RTT_S * delay_ratio
+    cwnd = thr * rtt
+    return MtpStats(
+        time_s=1.0, duration_s=0.03, throughput_pps=thr, avg_rtt_s=rtt,
+        min_rtt_s=rtt, sent_pkts=thr * 0.03, delivered_pkts=thr * 0.03,
+        lost_pkts=0.0, pkts_in_flight=cwnd, cwnd_pkts=cwnd,
+        pacing_pps=thr, srtt_s=rtt)
+
+
+def _action_map(bundle: PolicyBundle) -> dict[float, list[float]]:
+    """action(delay) per throughput level, with a warmed-up state block."""
+    out = {}
+    for thr in THROUGHPUTS_MBPS:
+        actions = []
+        for ratio in DELAY_RATIOS:
+            block = LocalStateBlock(history=bundle.history)
+            # Anchor the flow's history: it has seen thr_max and base RTT.
+            block.thr_max_pps = mbps_to_pps(THR_MAX_MBPS)
+            block.lat_min_s = BASE_RTT_S
+            for _ in range(bundle.history):
+                state = block.update(_stats(thr, ratio))
+            actions.append(bundle.act(state))
+        out[thr] = actions
+    return out
+
+
+def _zero_crossing(actions: list[float]) -> float:
+    for ratio, action in zip(DELAY_RATIOS, actions):
+        if action <= 0:
+            return float(ratio)
+    return float(DELAY_RATIOS[-1])
+
+
+def test_fig17_state_action_map(benchmark):
+    def campaign():
+        bundle = load_default_policy("astraea") or \
+            PolicyBundle(actor=new_actor())
+        return _action_map(bundle)
+
+    amap = run_once(benchmark, campaign)
+    sample_cols = [1.0, 1.2, 1.5, 2.0]
+    idx = [int(np.argmin(np.abs(DELAY_RATIOS - c))) for c in sample_cols]
+    print_table(
+        "Fig. 17 — model action vs observed delay ratio "
+        "(thr_max 200 Mbps, base RTT 40 ms)",
+        ["flow thr (Mbps)", *[f"x{c}" for c in sample_cols],
+         "equilibrium ratio"],
+        [[thr, *[round(actions[i], 3) for i in idx],
+          _zero_crossing(actions)] for thr, actions in amap.items()],
+    )
+    save_results("fig17", {
+        "delay_ratios": DELAY_RATIOS.tolist(),
+        "actions": {str(k): v for k, v in amap.items()},
+        "equilibria": {str(k): _zero_crossing(v) for k, v in amap.items()},
+    })
+
+    for thr, actions in amap.items():
+        arr = np.asarray(actions)
+        # Broadly decreasing in delay (a trained policy may saturate at
+        # +-1 on both ends, hence >=).
+        assert arr[0] >= arr[-1], thr
+        smoothed = np.convolve(arr, np.ones(5) / 5, mode="valid")
+        assert np.sum(np.diff(smoothed) <= 1e-3) >= \
+            0.7 * (len(smoothed) - 1), thr
+    # The family is not degenerate: at least one level transitions from
+    # increase to decrease inside the sweep.
+    assert any(max(a) > 0 > min(a) for a in amap.values())
+    # Each throughput level has its own equilibrium, and the highest
+    # throughput backs off no later than the lowest (stable orientation).
+    eq = {thr: _zero_crossing(a) for thr, a in amap.items()}
+    assert eq[THROUGHPUTS_MBPS[-1]] <= eq[THROUGHPUTS_MBPS[0]] + 0.05

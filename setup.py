@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs (which must build a wheel) fail.  Keeping a ``setup.py`` lets
+``pip install -e . --no-use-pep517`` / ``python setup.py develop`` work.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

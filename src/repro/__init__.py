@@ -1,0 +1,68 @@
+"""Astraea reproduction: fair and efficient learning-based congestion control.
+
+A full Python reproduction of "Towards Fair and Efficient Learning-based
+Congestion Control" (EuroSys 2024): the multi-flow training environment,
+the multi-agent actor-critic training algorithm, the Astraea controller,
+the baseline congestion-control schemes it is evaluated against, and the
+benchmark harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import run_scenario, ScenarioConfig, LinkConfig
+    from repro.netsim import staggered_flows
+
+    scenario = ScenarioConfig(
+        link=LinkConfig(bandwidth_mbps=100, rtt_ms=30, buffer_bdp=1.0),
+        flows=staggered_flows(3, cc="astraea", interval_s=40, duration_s=120),
+        duration_s=200,
+    )
+    result = run_scenario(scenario)
+    print(result.jain_index())
+"""
+
+from .config import (
+    FlowConfig,
+    LinkConfig,
+    RewardConfig,
+    ScenarioConfig,
+    TrainingConfig,
+)
+from .errors import (
+    ConfigError,
+    ModelError,
+    ReproError,
+    ServiceError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LinkConfig",
+    "FlowConfig",
+    "ScenarioConfig",
+    "RewardConfig",
+    "TrainingConfig",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "ModelError",
+    "ServiceError",
+    "run_scenario",
+    "run_topology",
+    "__version__",
+]
+
+
+def run_scenario(scenario, **kwargs):
+    """Run a single-bottleneck scenario; see :func:`repro.env.run_scenario`."""
+    from .env import run_scenario as _run
+
+    return _run(scenario, **kwargs)
+
+
+def run_topology(topology, **kwargs):
+    """Run a multi-bottleneck scenario; see :func:`repro.env.run_topology`."""
+    from .env import run_topology as _run
+
+    return _run(topology, **kwargs)

@@ -1,0 +1,73 @@
+"""Terminal-friendly analysis rendering for scenario results.
+
+The emulator runs headless; these helpers turn a
+:class:`~repro.env.multiflow.ScenarioResult` into compact text artefacts —
+sparklines, per-flow timelines, a one-screen report — used by the CLI's
+``run --plot`` and the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .env.multiflow import ScenarioResult
+from .errors import ConfigError
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_ASCII_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values, lo: float | None = None, hi: float | None = None,
+              width: int = 60, ascii_only: bool = False) -> str:
+    """Render a numeric series as a fixed-width sparkline string."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigError("cannot sparkline an empty series")
+    if width <= 0:
+        raise ConfigError("width must be positive")
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    blocks = _ASCII_BLOCKS if ascii_only else _BLOCKS
+    idx = np.linspace(0, arr.size - 1, width).astype(int)
+    span = max(hi - lo, 1e-12)
+    scaled = np.clip((arr[idx] - lo) / span, 0.0, 0.999)
+    return "".join(blocks[int(s * len(blocks))] for s in scaled)
+
+
+def flow_timelines(result: ScenarioResult, grid_s: float = 0.5,
+                   width: int = 60, ascii_only: bool = False) -> str:
+    """One sparkline per flow (throughput), on a shared scale."""
+    times, matrix, active = result.throughput_matrix(grid_s)
+    hi = float(matrix.max()) if matrix.size else 1.0
+    lines = []
+    for i, flow in enumerate(result.flows):
+        series = np.where(active[i], matrix[i], 0.0)
+        line = sparkline(series, lo=0.0, hi=hi, width=width,
+                         ascii_only=ascii_only)
+        lines.append(f"flow {i} ({flow.cc_name:>11s}) |{line}| "
+                     f"max {matrix[i].max():6.1f} Mbps")
+    lines.append(f"{'time axis':>20s} 0s{'-' * (width - 10)}"
+                 f"{result.duration_s:.0f}s")
+    return "\n".join(lines)
+
+
+def text_report(result: ScenarioResult, grid_s: float = 0.5,
+                ascii_only: bool = False) -> str:
+    """A one-screen summary: headline metrics plus per-flow timelines."""
+    from .metrics import convergence_report, mean_convergence_time
+
+    reports = convergence_report(result)
+    conv = mean_convergence_time(reports, penalty_s=result.duration_s)
+    lines = [
+        f"bottleneck {result.bottleneck_mbps:g} Mbps, "
+        f"base RTT {result.base_rtt_s * 1e3:g} ms, "
+        f"{len(result.flows)} flows, {result.duration_s:g} s",
+        f"utilization {result.utilization():.3f}   "
+        f"jain {result.mean_jain():.3f}   "
+        f"rtt {result.mean_rtt_s() * 1e3:.1f} ms   "
+        f"loss {result.mean_loss_rate():.4f}   "
+        f"conv {conv:.2f} s",
+        "",
+        flow_timelines(result, grid_s=grid_s, ascii_only=ascii_only),
+    ]
+    return "\n".join(lines)

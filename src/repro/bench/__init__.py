@@ -1,0 +1,21 @@
+"""Benchmark harness: canonical scenarios, trial runners, reporting."""
+
+from .runners import run_scheme_trials, run_trials, summarize_trials
+from .reporting import (
+    format_table,
+    load_results,
+    print_table,
+    save_results,
+)
+from . import scenarios
+
+__all__ = [
+    "scenarios",
+    "run_trials",
+    "run_scheme_trials",
+    "summarize_trials",
+    "format_table",
+    "print_table",
+    "save_results",
+    "load_results",
+]

@@ -1,0 +1,72 @@
+"""Benchmark reporting: paper-vs-measured tables and result persistence.
+
+Every benchmark prints an aligned table (the "rows/series the paper
+reports") and writes its measured values to ``benchmarks/results/<id>.json``
+so that EXPERIMENTS.md can be assembled from the actual numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Monospace table with a title rule."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        "",
+        f"=== {title} ===",
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    lines += [" | ".join(c.ljust(w) for c, w in zip(row, widths))
+              for row in cells]
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    print(format_table(title, headers, rows))
+
+
+def save_results(experiment_id: str, payload: dict) -> Path:
+    """Persist a benchmark's measured values for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.json"
+    path.write_text(json.dumps(payload, indent=2, default=_jsonify))
+    return path
+
+
+def _jsonify(obj):
+    import numpy as np
+
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(obj)}")
+
+
+def load_results(experiment_id: str) -> dict | None:
+    """Read back a previously saved benchmark record, if any."""
+    path = RESULTS_DIR / f"{experiment_id}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

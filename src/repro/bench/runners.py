@@ -1,0 +1,45 @@
+"""Multi-trial experiment execution shared by all benchmarks."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..config import ScenarioConfig, replace
+from ..env import ScenarioResult, run_scenario
+from ..metrics.summary import RunSummary, summarize
+
+
+def run_trials(factory: Callable[[int], ScenarioConfig], trials: int,
+               ) -> list[ScenarioResult]:
+    """Run ``trials`` repetitions; ``factory(seed)`` builds each scenario."""
+    return [run_scenario(factory(seed)) for seed in range(trials)]
+
+
+def run_scheme_trials(scenario: ScenarioConfig, trials: int,
+                      ) -> list[ScenarioResult]:
+    """Repeat one scenario with different seeds."""
+    return [run_scenario(replace(scenario, seed=seed))
+            for seed in range(trials)]
+
+
+def summarize_trials(results: list[ScenarioResult], scheme: str,
+                     penalty_s: float | None = None) -> RunSummary:
+    """Average the per-trial summaries into one record."""
+    rows = [summarize(r, scheme, penalty_s=penalty_s) for r in results]
+
+    def agg(field: str) -> float:
+        vals = [getattr(r, field) for r in rows]
+        vals = [v for v in vals if np.isfinite(v)]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    return RunSummary(
+        scheme=scheme,
+        utilization=agg("utilization"),
+        mean_jain=agg("mean_jain"),
+        mean_rtt_ms=agg("mean_rtt_ms"),
+        mean_loss_rate=agg("mean_loss_rate"),
+        convergence_time_s=agg("convergence_time_s"),
+        stability_mbps=agg("stability_mbps"),
+    )

@@ -1,0 +1,172 @@
+"""Canonical experiment scenarios for every figure in the paper.
+
+Each builder returns a ready-to-run config mirroring the parameters the
+evaluation section quotes.  ``quick=True`` shrinks time axes (not the
+network parameters) so that full benchmark sweeps complete on one CPU; the
+benchmark harness uses quick mode by default and reports which mode ran.
+"""
+
+from __future__ import annotations
+
+from ..config import FlowConfig, LinkConfig, ScenarioConfig
+from ..netsim.flowgen import heterogeneous_rtt_flows, staggered_flows
+from ..netsim.topology import TopologyConfig, parking_lot
+
+DEFAULT_SCHEMES = ("astraea", "cubic", "bbr", "vegas", "copa", "vivace",
+                   "orca", "reno")
+
+
+def fig6_scenario(cc: str, quick: bool = False, seed: int = 0,
+                  **cc_kwargs) -> ScenarioConfig:
+    """§5.1.1: 100 Mbps, 30 ms, 1 BDP; 3 flows at 40 s intervals, 120 s each."""
+    interval = 20.0 if quick else 40.0
+    flow_len = 60.0 if quick else 120.0
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+    flows = staggered_flows(3, cc=cc, interval_s=interval,
+                            duration_s=flow_len, **cc_kwargs)
+    return ScenarioConfig(link=link, flows=flows,
+                          duration_s=interval * 2 + flow_len, seed=seed)
+
+
+def fig1a_scenario(quick: bool = False, seed: int = 0) -> ScenarioConfig:
+    """§2: Aurora on 80 Mbps / 60 ms / 4.8 MB buffer; second flow at 40 s."""
+    start2 = 15.0 if quick else 40.0
+    total = 60.0 if quick else 120.0
+    link = LinkConfig(bandwidth_mbps=80.0, rtt_ms=60.0,
+                      buffer_packets=4_800_000 / 1500.0)
+    flows = (FlowConfig(cc="aurora", start_s=0.0),
+             FlowConfig(cc="aurora", start_s=start2))
+    return ScenarioConfig(link=link, flows=flows, duration_s=total, seed=seed)
+
+
+def fig1b_scenario(rtt_ms: float = 120.0, theta0: float = 1.0,
+                   quick: bool = False, seed: int = 0) -> ScenarioConfig:
+    """§2: Vivace on 100 Mbps, 1 BDP; 3 flows at 40 s intervals."""
+    interval = 20.0 if quick else 40.0
+    flow_len = 60.0 if quick else 120.0
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=rtt_ms, buffer_bdp=1.0)
+    flows = staggered_flows(3, cc="vivace", interval_s=interval,
+                            duration_s=flow_len, theta0=theta0)
+    return ScenarioConfig(link=link, flows=flows,
+                          duration_s=interval * 2 + flow_len, seed=seed)
+
+
+def fig8_scenario(cc: str, quick: bool = False, seed: int = 0,
+                  ) -> ScenarioConfig:
+    """§5.1.2: five long flows, base RTTs evenly spaced 40-200 ms."""
+    from ..units import bdp_packets
+
+    duration = 40.0 if quick else 120.0
+    # The paper sizes the 1 BDP buffer with the 200 ms RTT.
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=40.0,
+                      buffer_packets=bdp_packets(100.0, 0.200))
+    flows = heterogeneous_rtt_flows(5, cc, (40.0, 200.0), link_rtt_ms=40.0)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
+def fig9_scenario(cc: str, bandwidth_mbps: float, rtt_ms: float, n_flows: int,
+                  quick: bool = False, seed: int = 0) -> ScenarioConfig:
+    """§5.1.3: fairness grid over bandwidth x RTT with 2-8 staggered flows."""
+    interval = 8.0 if quick else 20.0
+    flow_len = interval * (n_flows + 1)
+    link = LinkConfig(bandwidth_mbps=bandwidth_mbps, rtt_ms=rtt_ms,
+                      buffer_bdp=1.0)
+    flows = staggered_flows(n_flows, cc=cc, interval_s=interval,
+                            duration_s=flow_len)
+    return ScenarioConfig(link=link, flows=flows,
+                          duration_s=interval * (n_flows - 1) + flow_len,
+                          seed=seed)
+
+
+def fig10_scenario(cc: str, n_flows: int, quick: bool = False,
+                   seed: int = 0) -> ScenarioConfig:
+    """§5.1.3: many competing flows on 600 Mbps / 20 ms."""
+    duration = 20.0 if quick else 60.0
+    link = LinkConfig(bandwidth_mbps=600.0, rtt_ms=20.0, buffer_bdp=1.0)
+    flows = staggered_flows(n_flows, cc=cc, interval_s=0.0, duration_s=None)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
+def fig11_topology(cc: str, n_fs1: int, quick: bool = False,
+                   seed: int = 0) -> TopologyConfig:
+    """§5.1.4: the two-bottleneck parking lot (Link1 100, Link2 20 Mbps)."""
+    return parking_lot(n_fs1=n_fs1, n_fs2=2, cc=cc,
+                       duration_s=20.0 if quick else 40.0, seed=seed)
+
+
+def fig13_scenario(cc: str, quick: bool = False, seed: int = 0,
+                   ) -> ScenarioConfig:
+    """§5.2: LTE-like cellular link, 40 ms RTT, deep buffer."""
+    duration = 30.0 if quick else 60.0
+    link = LinkConfig(bandwidth_mbps=12.0, rtt_ms=40.0, buffer_packets=2000)
+    flows = (FlowConfig(cc=cc, start_s=0.0),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          trace="lte", trace_kwargs={"seed": seed},
+                          seed=seed)
+
+
+def fig14_scenario(cc: str, n_cubic: int, quick: bool = False,
+                   seed: int = 0, **cc_kwargs) -> ScenarioConfig:
+    """§5.3.1: one evaluated flow against ``n_cubic`` CUBIC flows."""
+    duration = 30.0 if quick else 60.0
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+    flows = (FlowConfig(cc=cc, start_s=0.0, cc_kwargs=dict(cc_kwargs)),) + \
+        staggered_flows(n_cubic, cc="cubic", interval_s=0.0, duration_s=None)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
+def fig15_scenario(cc: str, kind: str = "intra", quick: bool = False,
+                   seed: int = 0) -> ScenarioConfig:
+    """§5.3.2: synthetic WAN path standing in for the Internet deployment.
+
+    Intra-continental paths are short (35 ms) with mild cross traffic;
+    inter-continental paths long (150 ms) with heavy bursty cross traffic
+    and a little stochastic loss, as on real transoceanic routes.
+    """
+    duration = 30.0 if quick else 60.0
+    if kind == "intra":
+        link = LinkConfig(bandwidth_mbps=900.0, rtt_ms=35.0, buffer_bdp=1.5,
+                          random_loss=0.0001)
+    else:
+        link = LinkConfig(bandwidth_mbps=800.0, rtt_ms=150.0, buffer_bdp=1.5,
+                          random_loss=0.0005)
+    flows = (FlowConfig(cc=cc, start_s=0.0),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          trace="wan",
+                          trace_kwargs={"kind": kind, "seed": seed},
+                          seed=seed, tick_s=0.001)
+
+
+def fig19_scenario(cc: str, buffer_bdp: float, quick: bool = False,
+                   seed: int = 0) -> ScenarioConfig:
+    """App. B.1: 100 Mbps / 30 ms with buffer from 0.1 to 16 BDP."""
+    duration = 20.0 if quick else 60.0
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0,
+                      buffer_bdp=buffer_bdp)
+    flows = (FlowConfig(cc=cc, start_s=0.0),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
+def fig20_scenario(cc: str, quick: bool = False, seed: int = 0,
+                   ) -> ScenarioConfig:
+    """App. B.2: satellite link — 42 Mbps, 800 ms, 1 BDP, 0.74% loss."""
+    duration = 60.0 if quick else 100.0
+    link = LinkConfig(bandwidth_mbps=42.0, rtt_ms=800.0, buffer_bdp=1.0,
+                      random_loss=0.0074)
+    flows = (FlowConfig(cc=cc, start_s=0.0),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed, tick_s=0.005)
+
+
+def fig22_scenario(cc: str, quick: bool = False, seed: int = 0,
+                   ) -> ScenarioConfig:
+    """App. B.4: high-speed WAN — 10 Gbps, 10 ms base RTT."""
+    duration = 10.0 if quick else 30.0
+    link = LinkConfig(bandwidth_mbps=10_000.0, rtt_ms=10.0, buffer_bdp=1.0)
+    flows = (FlowConfig(cc=cc, start_s=0.0),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed, tick_s=0.001)

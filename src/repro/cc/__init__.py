@@ -1,0 +1,44 @@
+"""Congestion-control schemes.
+
+Importing this package registers every scheme with the registry in
+:mod:`repro.cc.base`; scenarios then refer to schemes by name.
+"""
+
+from .base import CongestionController, Decision, available, create, register
+from .aurora import Aurora
+from .bbr import Bbr
+from .copa import Copa
+from .compound import Compound
+from .crosstraffic import ConstantRate
+from .cubic import Cubic
+from .newreno import NewReno
+from .orca import Orca
+from .remy import Remy, Whisker
+from .reno import Reno
+from .vegas import Vegas
+from .vivace import Vivace
+
+# The Astraea controllers live in repro.core and are registered lazily by
+# repro.cc.base.create()/available() on first use, which avoids a circular
+# import between the two packages.
+
+__all__ = [
+    "Aurora",
+    "Orca",
+    "ConstantRate",
+    "NewReno",
+    "Compound",
+    "CongestionController",
+    "Decision",
+    "available",
+    "create",
+    "register",
+    "Reno",
+    "Cubic",
+    "Vegas",
+    "Bbr",
+    "Copa",
+    "Vivace",
+    "Remy",
+    "Whisker",
+]

@@ -1,0 +1,112 @@
+"""Congestion-controller interface and scheme registry.
+
+Every scheme — classical TCP, online-learning, and the RL-based Astraea —
+implements the same minimal contract: once per *monitoring interval* it
+receives the :class:`~repro.netsim.stats.MtpStats` observed over the last
+interval and returns a :class:`Decision` with the new congestion window and
+(optionally) a pacing rate.  The environment applies the decision to the
+simulator and schedules the next interval.
+
+Schemes register themselves by name so that scenarios can refer to them as
+plain strings (``FlowConfig(cc="cubic")``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..config import MTP_S
+from ..errors import ConfigError
+from ..netsim.stats import MtpStats
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A controller's output for the next interval.
+
+    ``cwnd_pkts`` is the congestion window in packets.  ``pacing_pps`` caps
+    the sending rate; ``None`` leaves the flow purely window-limited.
+    """
+
+    cwnd_pkts: float
+    pacing_pps: float | None = None
+
+
+class CongestionController(ABC):
+    """Base class for all congestion-control schemes.
+
+    Subclasses implement :meth:`on_interval`.  ``interval_s`` controls how
+    often the environment calls the controller; schemes that operate
+    per-RTT (Vegas, Vivace monitor intervals) override it to track the
+    smoothed RTT.
+    """
+
+    #: Registry name, set by the :func:`register` decorator.
+    name: str = "base"
+
+    def __init__(self, mtp_s: float = MTP_S):
+        if mtp_s <= 0:
+            raise ConfigError("monitoring period must be positive")
+        self.mtp_s = mtp_s
+
+    def reset(self) -> None:
+        """Return the controller to its initial state (new connection)."""
+
+    def interval_s(self, srtt_s: float) -> float:
+        """Time until the next :meth:`on_interval` call."""
+        return self.mtp_s
+
+    @abstractmethod
+    def on_interval(self, stats: MtpStats) -> Decision:
+        """Consume one interval's statistics, emit the next window."""
+
+    @property
+    def initial_cwnd(self) -> float:
+        """Window used before the first interval completes (IW10)."""
+        return 10.0
+
+
+_REGISTRY: dict[str, type[CongestionController]] = {}
+
+
+def register(name: str):
+    """Class decorator adding a controller to the global registry."""
+
+    def deco(cls: type[CongestionController]) -> type[CongestionController]:
+        if name in _REGISTRY:
+            raise ConfigError(f"controller {name!r} registered twice")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def _ensure_core_registered() -> None:
+    """Import the repro.core controllers (registers astraea/astraea-ref).
+
+    Done lazily to avoid a circular import between repro.cc and repro.core.
+    """
+    if "astraea" not in _REGISTRY:
+        from ..core import astraea as _astraea  # noqa: F401
+        from ..core import reference as _reference  # noqa: F401
+
+
+def create(name: str, **kwargs) -> CongestionController:
+    """Instantiate a registered controller by name."""
+    _ensure_core_registered()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown congestion controller {name!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available() -> list[str]:
+    """Names of all registered controllers."""
+    _ensure_core_registered()
+    return sorted(_REGISTRY)

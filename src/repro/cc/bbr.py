@@ -1,0 +1,131 @@
+"""BBR v1: model-based congestion control (simplified state machine).
+
+Implements the published BBR v1 behaviour at monitoring-interval
+granularity: windowed max-filter bottleneck-bandwidth estimation, windowed
+min-filter RTprop estimation, the STARTUP / DRAIN / PROBE_BW / PROBE_RTT
+state machine with the standard pacing-gain cycle, and a cwnd of
+``cwnd_gain * BDP``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..netsim.stats import MtpStats
+from .base import CongestionController, Decision, register
+
+_STARTUP = "startup"
+_DRAIN = "drain"
+_PROBE_BW = "probe_bw"
+_PROBE_RTT = "probe_rtt"
+
+
+@register("bbr")
+class Bbr(CongestionController):
+    """Simplified BBR v1."""
+
+    HIGH_GAIN = 2.885
+    DRAIN_GAIN = 1.0 / 2.885
+    CWND_GAIN = 2.0
+    PACING_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    BW_WINDOW = 10            # intervals for the max filter
+    RTPROP_WINDOW_S = 10.0    # seconds for the min filter
+    PROBE_RTT_DURATION_S = 0.2
+    PROBE_RTT_CWND = 4.0
+    STARTUP_GROWTH = 1.25     # plateau detector threshold
+    MIN_CWND = 4.0
+
+    def __init__(self, mtp_s: float = 0.030):
+        super().__init__(mtp_s)
+        self.reset()
+
+    def reset(self) -> None:
+        self._state = _STARTUP
+        self._bw_samples: deque[float] = deque(maxlen=self.BW_WINDOW)
+        self._rtprop = float("inf")
+        self._rtprop_stamp = 0.0
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self._cycle_index = 0
+        self._cycle_stamp = 0.0
+        self._probe_rtt_done = 0.0
+        self.cwnd = self.initial_cwnd
+
+    # ------------------------------------------------------------------
+
+    def _btlbw(self) -> float:
+        return max(self._bw_samples) if self._bw_samples else 0.0
+
+    def _bdp_pkts(self) -> float:
+        bw = self._btlbw()
+        if bw <= 0 or self._rtprop == float("inf"):
+            return self.initial_cwnd
+        return bw * self._rtprop
+
+    def _update_model(self, stats: MtpStats) -> None:
+        if stats.throughput_pps > 0:
+            self._bw_samples.append(stats.throughput_pps)
+        # The stamp only refreshes on strictly lower samples; expiry is
+        # what sends PROBE_BW into PROBE_RTT (which then re-samples).
+        if stats.min_rtt_s < self._rtprop:
+            self._rtprop = stats.min_rtt_s
+            self._rtprop_stamp = stats.time_s
+
+    def _check_full_pipe(self) -> None:
+        bw = self._btlbw()
+        if bw >= self._full_bw * self.STARTUP_GROWTH:
+            self._full_bw = bw
+            self._full_bw_rounds = 0
+        else:
+            self._full_bw_rounds += 1
+
+    # ------------------------------------------------------------------
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        now = stats.time_s
+        self._update_model(stats)
+        bw = self._btlbw()
+        bdp = self._bdp_pkts()
+
+        if self._state == _STARTUP:
+            self._check_full_pipe()
+            pacing_gain = self.HIGH_GAIN
+            if self._full_bw_rounds >= 3:
+                self._state = _DRAIN
+        if self._state == _DRAIN:
+            pacing_gain = self.DRAIN_GAIN
+            inflight = stats.pkts_in_flight
+            if inflight <= bdp:
+                self._state = _PROBE_BW
+                self._cycle_index = 0
+                self._cycle_stamp = now
+        if self._state == _PROBE_BW:
+            cycle_len = max(self._rtprop, self.mtp_s) \
+                if self._rtprop != float("inf") else self.mtp_s
+            if now - self._cycle_stamp > cycle_len:
+                self._cycle_index = (self._cycle_index + 1) % len(self.PACING_GAINS)
+                self._cycle_stamp = now
+            pacing_gain = self.PACING_GAINS[self._cycle_index]
+            # Periodically re-probe RTprop by draining the queue.
+            if now - self._rtprop_stamp > self.RTPROP_WINDOW_S:
+                self._state = _PROBE_RTT
+                self._probe_rtt_done = now + self.PROBE_RTT_DURATION_S
+        if self._state == _PROBE_RTT:
+            pacing_gain = 1.0
+            if now >= self._probe_rtt_done:
+                # Queue is drained: adopt the fresh RTT sample.
+                self._rtprop = stats.min_rtt_s
+                self._rtprop_stamp = now
+                self._state = _PROBE_BW
+                self._cycle_stamp = now
+            else:
+                self.cwnd = self.PROBE_RTT_CWND
+                return Decision(cwnd_pkts=self.cwnd, pacing_pps=bw if bw > 0 else None)
+
+        if self._state == _STARTUP:
+            self.cwnd = max(self.cwnd * 1.8, self.HIGH_GAIN * bdp, self.MIN_CWND)
+            pacing = self.HIGH_GAIN * bw if bw > 0 else None
+        else:
+            self.cwnd = max(self.CWND_GAIN * bdp, self.MIN_CWND)
+            pacing = pacing_gain * bw if bw > 0 else None
+        return Decision(cwnd_pkts=self.cwnd, pacing_pps=pacing)

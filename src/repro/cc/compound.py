@@ -1,0 +1,68 @@
+"""Compound TCP (Tan et al., INFOCOM'06): hybrid loss + delay control.
+
+Compound maintains two windows: the standard loss-based AIMD window
+``cwnd`` and a delay-based window ``dwnd`` grown by a binomial rule while
+the estimated queue backlog stays below a threshold ``GAMMA`` and shrunk
+rapidly once the path shows queueing.  The send window is their sum, which
+gives Compound fast ramping on underutilised long-fat pipes while
+degrading gracefully to Reno behaviour under congestion.
+"""
+
+from __future__ import annotations
+
+from ..netsim.stats import MtpStats
+from .base import CongestionController, Decision, register
+
+
+@register("compound")
+class Compound(CongestionController):
+    """Compound TCP: send window = AIMD cwnd + delay window dwnd."""
+
+    ALPHA = 0.125    # dwnd growth aggressiveness
+    BETA = 0.5       # dwnd multiplicative decrease
+    K = 0.75         # binomial exponent
+    GAMMA = 30.0     # backlog threshold in packets
+    MIN_CWND = 2.0
+
+    def __init__(self, mtp_s: float = 0.030):
+        super().__init__(mtp_s)
+        self.reset()
+
+    def reset(self) -> None:
+        self.cwnd = self.initial_cwnd
+        self.dwnd = 0.0
+        self.ssthresh = float("inf")
+        self._base_rtt = float("inf")
+        self._recovery_until = -1.0
+
+    @property
+    def send_window(self) -> float:
+        return max(self.cwnd + self.dwnd, self.MIN_CWND)
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        now = stats.time_s
+        self._base_rtt = min(self._base_rtt, stats.min_rtt_s)
+        rtt = max(stats.avg_rtt_s, 1e-6)
+        window = self.send_window
+        backlog = window * (1.0 - self._base_rtt / rtt)
+
+        if stats.lost_pkts > 0 and now >= self._recovery_until:
+            self.ssthresh = max(window / 2.0, self.MIN_CWND)
+            self.cwnd = max(self.cwnd / 2.0, self.MIN_CWND)
+            self.dwnd *= 1.0 - self.BETA
+            self._recovery_until = now + stats.srtt_s
+        else:
+            acked = stats.delivered_pkts
+            if self.cwnd < self.ssthresh:
+                self.cwnd = min(self.cwnd + acked, self.ssthresh)
+            else:
+                self.cwnd += acked / max(window, 1.0)
+            if backlog < self.GAMMA:
+                # Binomial growth while the path looks uncongested.
+                self.dwnd += max(self.ALPHA * window ** self.K - 1.0, 0.0) \
+                    * min(acked / max(window, 1.0), 1.0)
+            else:
+                # Queue detected: release the delay window's contribution.
+                self.dwnd = max(self.dwnd - (backlog - self.GAMMA), 0.0)
+        self.dwnd = max(self.dwnd, 0.0)
+        return Decision(cwnd_pkts=self.send_window)

@@ -1,0 +1,31 @@
+"""Unresponsive constant-rate cross traffic (training/eval utility).
+
+A flow that paces at a fixed rate regardless of congestion — the fluid
+equivalent of a UDP blaster.  Training episodes mix these (and CUBIC
+flows) in so the Astraea policy experiences standing queues it cannot
+drain, which is what teaches it to keep competing for throughput instead
+of yielding like a pure delay-based scheme (TCP friendliness, §5.3.1).
+"""
+
+from __future__ import annotations
+
+from ..netsim.stats import MtpStats
+from ..units import mbps_to_pps
+from .base import CongestionController, Decision, register
+
+
+@register("constant-rate")
+class ConstantRate(CongestionController):
+    """Paces at ``rate_mbps`` forever; never reacts to congestion."""
+
+    def __init__(self, mtp_s: float = 0.030, rate_mbps: float = 20.0):
+        super().__init__(mtp_s)
+        if rate_mbps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_mbps = rate_mbps
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        pps = mbps_to_pps(self.rate_mbps)
+        # Window large enough to never be the limiter.
+        return Decision(cwnd_pkts=max(4.0 * pps * stats.srtt_s, 10.0),
+                        pacing_pps=pps)

@@ -1,0 +1,75 @@
+"""TCP CUBIC (RFC 8312-style window growth)."""
+
+from __future__ import annotations
+
+from ..netsim.stats import MtpStats
+from .base import CongestionController, Decision, register
+
+
+@register("cubic")
+class Cubic(CongestionController):
+    """CUBIC: time-based cubic window growth around the last-loss window.
+
+    On a loss event the window is reduced by the multiplicative factor
+    ``BETA`` and a new cubic epoch starts; between losses the window follows
+    ``W(t) = C (t - K)^3 + W_max`` with the standard TCP-friendly floor.
+    """
+
+    C = 0.4              # cubic scaling constant (packets/s^3)
+    BETA = 0.7           # multiplicative decrease factor
+    MIN_CWND = 2.0
+    ECN_MARK_THRESHOLD = 0.01
+
+    def __init__(self, mtp_s: float = 0.030, ecn: bool = False):
+        super().__init__(mtp_s)
+        self.ecn = ecn
+        self.reset()
+
+    def reset(self) -> None:
+        self.cwnd = self.initial_cwnd
+        self.ssthresh = float("inf")
+        self._w_max = 0.0
+        self._k = 0.0
+        self._epoch_start = -1.0
+        self._recovery_until = -1.0
+
+    def _enter_loss(self, now: float, srtt: float) -> None:
+        self._w_max = self.cwnd
+        self.cwnd = max(self.cwnd * self.BETA, self.MIN_CWND)
+        self.ssthresh = self.cwnd
+        self._k = ((self._w_max * (1.0 - self.BETA)) / self.C) ** (1.0 / 3.0)
+        self._epoch_start = now
+        self._recovery_until = now + srtt
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        now = stats.time_s
+        srtt = stats.srtt_s
+        # ECN-capable CUBIC (RFC 3168 semantics): a marked window triggers
+        # the same multiplicative decrease as a loss, without losing data.
+        congested = stats.lost_pkts > 0 or \
+            (self.ecn and stats.mark_rate > self.ECN_MARK_THRESHOLD)
+        if congested and now >= self._recovery_until:
+            self._enter_loss(now, srtt)
+            return Decision(cwnd_pkts=self.cwnd)
+
+        if self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + stats.delivered_pkts, self.ssthresh)
+            return Decision(cwnd_pkts=self.cwnd)
+
+        if self._epoch_start < 0:
+            # No loss yet: keep a fresh epoch anchored at the current window.
+            self._epoch_start = now
+            self._w_max = self.cwnd
+            self._k = 0.0
+        t = now - self._epoch_start
+        target = self.C * (t + srtt - self._k) ** 3 + self._w_max
+        # TCP-friendly region: never slower than an equivalent AIMD flow.
+        w_tcp = (self._w_max * self.BETA
+                 + 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA) * t / max(srtt, 1e-6))
+        target = max(target, w_tcp)
+        if target > self.cwnd:
+            # Approach the cubic target, at most doubling per RTT.
+            growth = (target - self.cwnd) * min(1.0, stats.duration_s / max(srtt, 1e-6))
+            self.cwnd = min(self.cwnd + max(growth, 0.0), self.cwnd * 1.5 + 1.0)
+        self.cwnd = max(self.cwnd, self.MIN_CWND)
+        return Decision(cwnd_pkts=self.cwnd)

@@ -1,0 +1,54 @@
+"""TCP NewReno (RFC 6582): Reno with NewReno-style fast recovery.
+
+Compared to the plain Reno implementation, NewReno stays in a recovery
+*episode* until the window that was outstanding at the loss has been fully
+acknowledged (tracked here by delivered-packet accounting rather than
+sequence numbers, which the fluid substrate does not model), avoiding the
+multiple back-to-back halvings Reno suffers when a burst of losses spans
+several monitoring intervals.
+"""
+
+from __future__ import annotations
+
+from ..netsim.stats import MtpStats
+from .base import CongestionController, Decision, register
+
+
+@register("newreno")
+class NewReno(CongestionController):
+    """Loss-based AIMD with single-halving recovery episodes."""
+
+    MIN_CWND = 2.0
+
+    def __init__(self, mtp_s: float = 0.030):
+        super().__init__(mtp_s)
+        self.reset()
+
+    def reset(self) -> None:
+        self.cwnd = self.initial_cwnd
+        self.ssthresh = float("inf")
+        self._recovery_pkts_left = 0.0
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        in_recovery = self._recovery_pkts_left > 0.0
+        if in_recovery:
+            # Partial progress: the episode ends once the pre-loss window's
+            # worth of data has been delivered.
+            self._recovery_pkts_left -= stats.delivered_pkts
+            if stats.lost_pkts > 0:
+                # Further losses inside one episode do not halve again;
+                # they merely extend it (the NewReno partial-ACK rule).
+                self._recovery_pkts_left = max(self._recovery_pkts_left,
+                                               self.cwnd / 2.0)
+        elif stats.lost_pkts > 0:
+            self.ssthresh = max(self.cwnd / 2.0, self.MIN_CWND)
+            self.cwnd = self.ssthresh
+            self._recovery_pkts_left = self.cwnd
+        else:
+            acked = stats.delivered_pkts
+            if self.cwnd < self.ssthresh:
+                self.cwnd = min(self.cwnd + acked, self.ssthresh)
+            else:
+                self.cwnd += acked / max(self.cwnd, 1.0)
+        self.cwnd = max(self.cwnd, self.MIN_CWND)
+        return Decision(cwnd_pkts=self.cwnd)

@@ -1,0 +1,99 @@
+"""Orca: classic-meets-modern coupled TCP (SIGCOMM'20).
+
+Orca runs CUBIC underneath and lets an RL agent periodically scale the
+kernel's window: ``cwnd = cubic_cwnd * 2^a`` with ``a`` in [-1, 1].  The
+agent optimises a *local* throughput/latency/loss objective — fairness is
+inherited (only) from the underlying AIMD, and the paper (§2, §5.1.1)
+observes that the RL half can suppress the very loss events AIMD's fairness
+proof relies on, yielding smoother-than-CUBIC but imperfect, occasionally
+unstable convergence.
+
+The RL multiplier here is by default a calibrated behavioural model — a
+damped delay-based trim on top of cubic (the "act conservatively, smooth
+the oscillation" behaviour the paper describes), clamped well inside the
+published 2^[-1, 1] coupling range; ``policy="pretrained"`` loads a
+trained bundle (``repro/models/orca_pretrained.npz``) if one is shipped.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import HISTORY_LENGTH, MTP_S
+from ..netsim.stats import MtpStats
+from .base import CongestionController, Decision, register
+from .cubic import Cubic
+
+
+@register("orca")
+class Orca(CongestionController):
+    """CUBIC coupled with an RL window multiplier."""
+
+    TARGET_LATENCY_RATIO = 1.6   # fallback: trim cubic toward this RTT ratio
+    TRIM_GAIN = 0.6
+    SMOOTH = 0.3                 # damping on the multiplier adjustments
+    EXPONENT_CLAMP = 0.35        # fallback stays close to cubic so AIMD
+                                 # fairness survives (the trained agent may
+                                 # use the full published 2^[-1, 1] range)
+
+    def __init__(self, mtp_s: float = MTP_S, policy=None,
+                 history: int = HISTORY_LENGTH):
+        super().__init__(mtp_s)
+        from ..core.policy import PolicyBundle, load_default_policy
+        from ..core.state import LocalStateBlock
+
+        if policy == "pretrained":
+            policy = load_default_policy("orca")
+        elif isinstance(policy, str):
+            policy = PolicyBundle.load(policy)
+        self.policy = policy
+        self.state_block = LocalStateBlock(
+            history=policy.history if policy is not None else history)
+        self._cubic = Cubic(mtp_s=mtp_s)
+        self.reset()
+
+    @property
+    def backend(self) -> str:
+        return "model" if self.policy is not None else "behavioural"
+
+    def reset(self) -> None:
+        self.state_block.reset()
+        self._cubic.reset()
+        self.cwnd = self.initial_cwnd
+        self._rtt_min = float("inf")
+        self._exponent = 0.0
+
+    def _fallback_exponent(self, stats: MtpStats) -> float:
+        """Exponent ``a``: a delay-based trim on top of cubic.
+
+        The signal (shared queueing delay) is symmetric across competing
+        flows, so cubic's AIMD fairness survives the coupling; the damping
+        is what smooths the sawtooth — and what occasionally suppresses the
+        loss events AIMD fairness relies on, the instability the paper
+        attributes to Orca.
+        """
+        self._rtt_min = min(self._rtt_min, stats.min_rtt_s)
+        if not np.isfinite(self._rtt_min) or self._rtt_min <= 0:
+            return 0.0
+        ratio = stats.avg_rtt_s / self._rtt_min
+        desired = self.TRIM_GAIN * (self.TARGET_LATENCY_RATIO - ratio)
+        desired = float(np.clip(desired, -self.EXPONENT_CLAMP,
+                                self.EXPONENT_CLAMP))
+        self._exponent += self.SMOOTH * (desired - self._exponent)
+        return self._exponent
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        state = self.state_block.update(stats)
+        cubic_decision = self._cubic.on_interval(stats)
+        cubic_cwnd = cubic_decision.cwnd_pkts
+        if self.policy is not None:
+            a = self.policy.act(state)
+        else:
+            a = self._fallback_exponent(stats)
+        self.cwnd = max(cubic_cwnd * (2.0 ** a), 2.0)
+        # The kernel cubic keeps evolving on its own trajectory, but cannot
+        # run unboundedly ahead of what is actually enforced on the wire.
+        self._cubic.cwnd = min(self._cubic.cwnd, self.cwnd * 2.0)
+        return Decision(cwnd_pkts=self.cwnd)

@@ -1,0 +1,76 @@
+"""Remy-style computer-generated congestion control (behavioural model).
+
+Remy (SIGCOMM'13) offline-optimises a *rule table* mapping observed signal
+triples (EWMAs of ACK inter-arrival and send inter-arrival, and the ratio of
+current to minimum RTT) to window actions (a multiplier ``m``, an increment
+``b`` and a pacing interval).  The genuine optimised tables are not
+available offline, so this module ships a compact hand-calibrated table
+with the same structure and interpreter.  It reproduces Remy's
+characteristic behaviour on paths inside its design range — conservative,
+delay-sensitive window control — and its mediocre utilisation outside it
+(the paper's Fig. 15 observation).  Substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.stats import MtpStats
+from .base import CongestionController, Decision, register
+
+
+@dataclass(frozen=True)
+class Whisker:
+    """One rule: applies when the RTT ratio falls inside [lo, hi)."""
+
+    rtt_ratio_lo: float
+    rtt_ratio_hi: float
+    window_multiple: float
+    window_increment: float
+
+
+DEFAULT_TABLE = (
+    Whisker(0.0, 1.05, 1.00, 2.0),    # empty queue: additive probe
+    Whisker(1.05, 1.25, 1.00, 1.0),   # small standing queue: gentle probe
+    Whisker(1.25, 1.60, 1.00, 0.0),   # moderate queue: hold
+    Whisker(1.60, 2.50, 0.98, 0.0),   # building queue: back off slowly
+    Whisker(2.50, float("inf"), 0.85, 0.0),  # deep queue: multiplicative cut
+)
+
+
+@register("remy")
+class Remy(CongestionController):
+    """Rule-table (whisker) interpreter with a hand-calibrated table."""
+
+    MIN_CWND = 2.0
+
+    def __init__(self, mtp_s: float = 0.030,
+                 table: tuple[Whisker, ...] = DEFAULT_TABLE):
+        super().__init__(mtp_s)
+        if not table:
+            raise ValueError("rule table must not be empty")
+        self._table = table
+        self.reset()
+
+    def reset(self) -> None:
+        self.cwnd = self.initial_cwnd
+        self._rtt_min = float("inf")
+
+    def interval_s(self, srtt_s: float) -> float:
+        return max(srtt_s / 2.0, self.mtp_s)
+
+    def _lookup(self, rtt_ratio: float) -> Whisker:
+        for whisker in self._table:
+            if whisker.rtt_ratio_lo <= rtt_ratio < whisker.rtt_ratio_hi:
+                return whisker
+        return self._table[-1]
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        self._rtt_min = min(self._rtt_min, stats.min_rtt_s)
+        ratio = stats.avg_rtt_s / max(self._rtt_min, 1e-6)
+        whisker = self._lookup(ratio)
+        self.cwnd = self.cwnd * whisker.window_multiple + whisker.window_increment
+        if stats.lost_pkts > 0:
+            self.cwnd = max(self.cwnd * 0.7, self.MIN_CWND)
+        self.cwnd = max(self.cwnd, self.MIN_CWND)
+        return Decision(cwnd_pkts=self.cwnd)

@@ -1,0 +1,44 @@
+"""TCP Reno: slow start plus AIMD congestion avoidance."""
+
+from __future__ import annotations
+
+from ..netsim.stats import MtpStats
+from .base import CongestionController, Decision, register
+
+
+@register("reno")
+class Reno(CongestionController):
+    """Classic loss-based AIMD.
+
+    Per interval the window grows by one packet per ``cwnd`` acked packets
+    in congestion avoidance (doubling per RTT in slow start) and halves on
+    a loss event, with a one-RTT recovery cooldown so a single congestion
+    episode is not punished repeatedly.
+    """
+
+    MIN_CWND = 2.0
+
+    def __init__(self, mtp_s: float = 0.030):
+        super().__init__(mtp_s)
+        self.reset()
+
+    def reset(self) -> None:
+        self.cwnd = self.initial_cwnd
+        self.ssthresh = float("inf")
+        self._recovery_until = -1.0
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        now = stats.time_s
+        if stats.lost_pkts > 0 and now >= self._recovery_until:
+            self.ssthresh = max(self.cwnd / 2.0, self.MIN_CWND)
+            self.cwnd = self.ssthresh
+            self._recovery_until = now + stats.srtt_s
+        else:
+            acked = stats.delivered_pkts
+            if self.cwnd < self.ssthresh:
+                # Slow start: one packet per ACK.
+                self.cwnd = min(self.cwnd + acked, self.ssthresh)
+            else:
+                # Congestion avoidance: one packet per window per RTT.
+                self.cwnd += acked / max(self.cwnd, 1.0)
+        return Decision(cwnd_pkts=self.cwnd)

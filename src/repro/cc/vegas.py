@@ -1,0 +1,57 @@
+"""TCP Vegas: delay-based congestion avoidance."""
+
+from __future__ import annotations
+
+from ..netsim.stats import MtpStats
+from .base import CongestionController, Decision, register
+
+
+@register("vegas")
+class Vegas(CongestionController):
+    """Vegas keeps between ``ALPHA`` and ``BETA`` packets queued.
+
+    Per RTT it estimates the backlog ``diff = cwnd * (1 - baseRTT/RTT)`` and
+    nudges the window by one packet to keep ``diff`` inside [ALPHA, BETA].
+    Operates on a per-RTT cadence like the original algorithm.
+    """
+
+    ALPHA = 2.0
+    BETA = 4.0
+    GAMMA = 1.0          # slow-start exit threshold (packets queued)
+    MIN_CWND = 2.0
+
+    def __init__(self, mtp_s: float = 0.030):
+        super().__init__(mtp_s)
+        self.reset()
+
+    def reset(self) -> None:
+        self.cwnd = self.initial_cwnd
+        self._base_rtt = float("inf")
+        self._slow_start = True
+
+    def interval_s(self, srtt_s: float) -> float:
+        return max(srtt_s, self.mtp_s)
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        self._base_rtt = min(self._base_rtt, stats.min_rtt_s)
+        rtt = max(stats.avg_rtt_s, 1e-6)
+        diff = self.cwnd * (1.0 - self._base_rtt / rtt)
+
+        if stats.lost_pkts > 0:
+            self.cwnd = max(self.cwnd * 0.75, self.MIN_CWND)
+            self._slow_start = False
+        elif self._slow_start:
+            if diff > self.GAMMA:
+                self._slow_start = False
+            else:
+                # Vegas slow start doubles every other RTT; per-RTT growth
+                # of 1.5x has similar average aggressiveness.  Growth is
+                # ACK-clocked: never more than one packet per delivery.
+                self.cwnd = min(self.cwnd * 1.5,
+                                self.cwnd + stats.delivered_pkts)
+        elif diff < self.ALPHA:
+            self.cwnd += 1.0
+        elif diff > self.BETA:
+            self.cwnd -= 1.0
+        self.cwnd = max(self.cwnd, self.MIN_CWND)
+        return Decision(cwnd_pkts=self.cwnd)

@@ -1,0 +1,136 @@
+"""PCC Vivace: online-learning (gradient-ascent) rate control (NSDI'18).
+
+Vivace maximises the latency-aware utility of Eq. 2 in the paper:
+
+    u(x) = x^0.9 - 900 * x * dRTT/dT - 11.25 * x * L
+
+with ``x`` the sending rate in Mbps, ``dRTT/dT`` the RTT gradient over the
+monitor interval and ``L`` the loss rate.  Control proceeds in monitor
+intervals (MIs) of about one RTT: a pair of probe MIs at rates
+``r (1 ± eps)`` estimates the utility gradient, then the rate moves in the
+gradient direction with step ``theta0 * m * gradient`` where the confidence
+amplifier ``m`` grows while consecutive steps agree in sign.
+
+``theta0`` is the *initial conversion factor* the paper tunes in §2: the
+default reproduces Vivace's slow-but-stable convergence (Fig. 1b); an
+enlarged value converges fast in long-RTT networks but oscillates in
+short-RTT ones (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from ..netsim.stats import MtpStats
+from .base import CongestionController, Decision, register
+from ..units import mbps_to_pps, pps_to_mbps
+
+_PROBE_UP = 0
+_PROBE_DOWN = 1
+_MOVE = 2
+
+
+@register("vivace")
+class Vivace(CongestionController):
+    """PCC Vivace with the Eq. 2 utility and confidence amplification."""
+
+    EPS = 0.05               # probing perturbation
+    LATENCY_COEFF = 900.0
+    LOSS_COEFF = 11.25
+    THROUGHPUT_EXPONENT = 0.9
+    MIN_RATE_MBPS = 0.5
+    MAX_STEP_FRACTION = 0.25  # bound a single step to 25% of the rate
+    AMPLIFIER_MAX = 6.0
+
+    def __init__(self, mtp_s: float = 0.030, theta0: float = 1.0,
+                 mi_jitter: float = 0.15, seed: int = 0):
+        super().__init__(mtp_s)
+        if theta0 <= 0:
+            raise ValueError("theta0 must be positive")
+        if not 0 <= mi_jitter < 1:
+            raise ValueError("mi jitter must lie in [0, 1)")
+        self.theta0 = theta0
+        self.mi_jitter = mi_jitter
+        self._rng_seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        import numpy as np
+
+        self.rate_mbps = 2.0
+        self._phase = _PROBE_UP
+        self._probe_utils: list[float] = []
+        self._prev_rtt: float | None = None
+        self._amplifier = 1.0
+        self._last_direction = 0
+        self._rng = np.random.default_rng(self._rng_seed)
+
+    def interval_s(self, srtt_s: float) -> float:
+        # Randomised MI lengths decorrelate concurrent flows' probes (the
+        # PCC papers randomise MI ordering for the same reason): without
+        # jitter, competitors probing in lock-step each measure the
+        # *other's* perturbation and the gradient estimates are biased.
+        base = max(srtt_s, self.mtp_s)
+        if self.mi_jitter == 0:
+            return base
+        return base * float(self._rng.uniform(1.0 - self.mi_jitter,
+                                              1.0 + self.mi_jitter))
+
+    # ------------------------------------------------------------------
+
+    def utility(self, rate_mbps: float, rtt_gradient: float,
+                loss_rate: float) -> float:
+        """Eq. 2 of the paper (sending-rate-based utility)."""
+        if rate_mbps <= 0:
+            return 0.0
+        return (rate_mbps ** self.THROUGHPUT_EXPONENT
+                - self.LATENCY_COEFF * rate_mbps * max(rtt_gradient, 0.0)
+                - self.LOSS_COEFF * rate_mbps * loss_rate)
+
+    def _measured_utility(self, stats: MtpStats) -> float:
+        if self._prev_rtt is None:
+            gradient = 0.0
+        else:
+            gradient = (stats.avg_rtt_s - self._prev_rtt) / max(stats.duration_s, 1e-6)
+        self._prev_rtt = stats.avg_rtt_s
+        # The utility uses the *sending* rate of the MI (what Vivace chose).
+        sending_mbps = pps_to_mbps(stats.sent_pkts / max(stats.duration_s, 1e-6))
+        return self.utility(sending_mbps, gradient, stats.loss_rate)
+
+    def _decision(self, rate_mbps: float, srtt: float) -> Decision:
+        pps = mbps_to_pps(rate_mbps)
+        return Decision(cwnd_pkts=max(2.0 * pps * srtt, 4.0), pacing_pps=pps)
+
+    # ------------------------------------------------------------------
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        util = self._measured_utility(stats)
+        srtt = stats.srtt_s
+
+        if self._phase == _PROBE_UP:
+            # ``util`` measured the previous (decision) MI; start probing.
+            self._probe_utils = []
+            self._phase = _PROBE_DOWN
+            return self._decision(self.rate_mbps * (1.0 + self.EPS), srtt)
+
+        if self._phase == _PROBE_DOWN:
+            self._probe_utils.append(util)   # utility of the +eps MI
+            self._phase = _MOVE
+            return self._decision(self.rate_mbps * (1.0 - self.EPS), srtt)
+
+        # _MOVE: ``util`` measured the -eps MI; take the gradient step.
+        self._probe_utils.append(util)
+        u_up, u_down = self._probe_utils
+        denom = 2.0 * self.EPS * max(self.rate_mbps, self.MIN_RATE_MBPS)
+        gradient = (u_up - u_down) / denom
+        direction = 1 if gradient > 0 else -1
+        if direction == self._last_direction:
+            self._amplifier = min(self._amplifier + 0.5, self.AMPLIFIER_MAX)
+        else:
+            self._amplifier = 1.0
+        self._last_direction = direction
+
+        step = self.theta0 * self._amplifier * gradient
+        max_step = self.MAX_STEP_FRACTION * self.rate_mbps
+        step = max(min(step, max_step), -max_step)
+        self.rate_mbps = max(self.rate_mbps + step, self.MIN_RATE_MBPS)
+        self._phase = _PROBE_UP
+        return self._decision(self.rate_mbps, srtt)

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       run a scenario described by a JSON file (see ``template``)
+              and print its summary, optionally saving the full logs.
+``compare``   run one canonical multi-flow scenario per scheme and print
+              a side-by-side summary table.
+``template``  emit a scenario-description JSON template to stdout.
+``info``      list registered schemes, traces, queue disciplines and the
+              shipped pretrained models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import persist
+from .config import LinkConfig, ScenarioConfig
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .env import run_scenario
+    from .metrics import summarize
+
+    scenario = persist.load_scenario(args.scenario)
+    result = run_scenario(scenario)
+    schemes = ",".join(sorted({f.cc for f in scenario.flows}))
+    summary = summarize(result, schemes, penalty_s=scenario.duration_s)
+    for key, value in summary.as_dict().items():
+        print(f"{key:20s} {value}")
+    if args.plot:
+        from .analysis import flow_timelines
+
+        print()
+        print(flow_timelines(result, ascii_only=args.ascii))
+    if args.out:
+        path = persist.save_result(result, args.out)
+        print(f"full logs saved to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .bench import print_table
+    from .bench.runners import run_scheme_trials, summarize_trials
+    from .netsim import staggered_flows
+
+    link = LinkConfig(bandwidth_mbps=args.bandwidth, rtt_ms=args.rtt,
+                      buffer_bdp=args.buffer)
+    rows = []
+    for cc in args.schemes.split(","):
+        cc = cc.strip()
+        flows = staggered_flows(args.flows, cc=cc,
+                                interval_s=args.interval,
+                                duration_s=args.flow_duration)
+        scenario = ScenarioConfig(link=link, flows=flows,
+                                  duration_s=args.duration)
+        results = run_scheme_trials(scenario, args.trials)
+        s = summarize_trials(results, cc, penalty_s=args.duration)
+        rows.append([s.scheme, s.utilization, s.mean_jain, s.mean_rtt_ms,
+                     s.mean_loss_rate, s.convergence_time_s,
+                     s.stability_mbps])
+        print(f"ran {cc}", file=sys.stderr)
+    print_table(
+        f"{args.flows} flows on {args.bandwidth:g} Mbps / {args.rtt:g} ms "
+        f"/ {args.buffer:g} BDP",
+        ["scheme", "util", "Jain", "RTT (ms)", "loss", "conv (s)",
+         "stab (Mbps)"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_template(args: argparse.Namespace) -> int:
+    from .netsim import staggered_flows
+
+    scenario = ScenarioConfig(
+        link=LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0),
+        flows=staggered_flows(3, cc="astraea", interval_s=20.0,
+                              duration_s=60.0),
+        duration_s=100.0,
+    )
+    print(json.dumps(persist.scenario_to_dict(scenario), indent=2))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .cc import available
+    from .core.policy import DEFAULT_POLICY_NAMES, default_policy_path
+    from .netsim.qdisc import _QDISC_FACTORIES
+    from .netsim.traces import _TRACE_FACTORIES
+
+    print("congestion controllers:")
+    for name in available():
+        print(f"  {name}")
+    print("capacity traces:")
+    for name in sorted(_TRACE_FACTORIES):
+        print(f"  {name}")
+    print("queue disciplines:")
+    for name in sorted(_QDISC_FACTORIES):
+        print(f"  {name}")
+    print("pretrained models:")
+    for scheme in DEFAULT_POLICY_NAMES:
+        path = default_policy_path(scheme)
+        state = "present" if path.exists() else "absent"
+        print(f"  {scheme}: {path.name} ({state})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a scenario JSON file")
+    p_run.add_argument("scenario", help="path to a scenario JSON")
+    p_run.add_argument("--out", default=None,
+                       help="save the full per-interval logs here")
+    p_run.add_argument("--plot", action="store_true",
+                       help="render per-flow throughput timelines")
+    p_run.add_argument("--ascii", action="store_true",
+                       help="use plain-ASCII sparklines")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare schemes side by side")
+    p_cmp.add_argument("--schemes", default="astraea,cubic,bbr,vegas")
+    p_cmp.add_argument("--bandwidth", type=float, default=100.0)
+    p_cmp.add_argument("--rtt", type=float, default=30.0)
+    p_cmp.add_argument("--buffer", type=float, default=1.0)
+    p_cmp.add_argument("--flows", type=int, default=3)
+    p_cmp.add_argument("--interval", type=float, default=20.0)
+    p_cmp.add_argument("--flow-duration", type=float, default=60.0)
+    p_cmp.add_argument("--duration", type=float, default=100.0)
+    p_cmp.add_argument("--trials", type=int, default=1)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_tpl = sub.add_parser("template", help="print a scenario template")
+    p_tpl.set_defaults(func=_cmd_template)
+
+    p_info = sub.add_parser("info", help="list schemes/traces/models")
+    p_info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

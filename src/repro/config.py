@@ -1,0 +1,234 @@
+"""Configuration objects and paper hyperparameters.
+
+This module is the single source of truth for the constants the paper
+publishes:
+
+* Table 3 — training environment characteristics (bandwidth, base RTT and
+  buffer-size ranges the offline training samples from).
+* Table 4 — training hyperparameters (learning rates, history length ``w``,
+  discount ``gamma``, batch size, the action coefficient ``alpha`` of Eq. 3,
+  the reward coefficients ``c0..c4`` of Eq. 8 and the 30 ms monitoring time
+  period).
+
+Everything else in the library takes one of the dataclasses below rather
+than loose keyword arguments, so experiments are reproducible from a single
+serialisable description.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+from .units import bdp_packets, mbps_to_pps
+
+# ---------------------------------------------------------------------------
+# Table 4 — training hyperparameters (verbatim from the paper appendix).
+# ---------------------------------------------------------------------------
+
+LEARNING_RATE = 1e-3
+HISTORY_LENGTH = 5               # w, per-MTP states stacked as model input
+GAMMA = 0.98                     # discount factor
+BATCH_SIZE = 192
+MODEL_UPDATE_INTERVAL_S = 5.0    # environment seconds between update bursts
+MODEL_UPDATE_STEPS = 20          # gradient steps per burst
+ACTION_ALPHA = 0.025             # responsiveness coefficient of Eq. 3
+REWARD_C0 = 0.1                  # throughput term
+REWARD_C1 = 0.02                 # latency term
+REWARD_C2 = 1.0                  # loss term
+REWARD_C3 = 0.02                 # fairness term
+REWARD_C4 = 0.01                 # stability term
+MTP_S = 0.030                    # monitoring time period (30 ms)
+LATENCY_TOLERANCE_BETA = 0.20    # beta of Eq. 5: queueing below beta*d0 is free
+REWARD_BOUND = 0.1               # reward scaled into (-0.1, 0.1) per MTP
+
+# ---------------------------------------------------------------------------
+# Table 3 — training environment characteristics.
+# ---------------------------------------------------------------------------
+
+TRAIN_BANDWIDTH_MBPS = (40.0, 160.0)
+TRAIN_RTT_MS = (10.0, 140.0)
+TRAIN_BUFFER_BDP = (0.1, 16.0)
+TRAIN_FLOW_COUNT = (2, 5)
+
+# Network sizes of the actor / critic MLPs (Section 4).
+HIDDEN_LAYERS = (256, 128, 64)
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """A single emulated bottleneck link.
+
+    ``bandwidth_mbps`` may be overridden per-tick by a capacity trace (see
+    :mod:`repro.netsim.traces`); it then acts as the nominal value used for
+    buffer sizing.  ``buffer_bdp`` sizes the drop-tail queue in multiples of
+    the bandwidth-delay product computed from ``bandwidth_mbps`` and
+    ``rtt_ms`` unless ``buffer_packets`` pins an absolute size.
+    """
+
+    bandwidth_mbps: float = 100.0
+    rtt_ms: float = 30.0
+    buffer_bdp: float = 1.0
+    buffer_packets: float | None = None
+    random_loss: float = 0.0
+    qdisc: str = "droptail"
+    qdisc_kwargs: dict = field(default_factory=dict)
+    name: str = "bottleneck"
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ConfigError(f"bandwidth must be positive, got {self.bandwidth_mbps}")
+        if self.rtt_ms <= 0:
+            raise ConfigError(f"rtt must be positive, got {self.rtt_ms}")
+        if self.buffer_bdp <= 0 and self.buffer_packets is None:
+            raise ConfigError("buffer must be positive")
+        if not 0.0 <= self.random_loss < 1.0:
+            raise ConfigError(f"random loss must lie in [0, 1), got {self.random_loss}")
+
+    @property
+    def rtt_s(self) -> float:
+        """Base round-trip time in seconds."""
+        return self.rtt_ms / 1e3
+
+    @property
+    def one_way_delay_s(self) -> float:
+        """Base one-way delay d0 in seconds (half the base RTT)."""
+        return self.rtt_s / 2.0
+
+    @property
+    def capacity_pps(self) -> float:
+        """Nominal capacity in packets per second."""
+        return mbps_to_pps(self.bandwidth_mbps)
+
+    @property
+    def buffer_size_packets(self) -> float:
+        """Drop-tail buffer size in packets."""
+        if self.buffer_packets is not None:
+            return self.buffer_packets
+        return max(1.0, self.buffer_bdp * bdp_packets(self.bandwidth_mbps, self.rtt_s))
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """One flow in a scenario.
+
+    ``cc`` names a registered congestion-control scheme (see
+    :func:`repro.cc.create`).  ``extra_rtt_ms`` adds per-flow propagation
+    delay on top of the link base RTT, which is how RTT-heterogeneous
+    scenarios (Fig. 8) are expressed.  ``cc_kwargs`` is forwarded to the
+    controller factory.
+    """
+
+    cc: str = "astraea"
+    start_s: float = 0.0
+    duration_s: float | None = None
+    extra_rtt_ms: float = 0.0
+    cc_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigError(f"start time must be >= 0, got {self.start_s}")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ConfigError(f"duration must be positive, got {self.duration_s}")
+        if self.extra_rtt_ms < 0:
+            raise ConfigError(f"extra rtt must be >= 0, got {self.extra_rtt_ms}")
+
+    def end_s(self) -> float:
+        """Absolute stop time, ``inf`` for a long-running flow."""
+        if self.duration_s is None:
+            return float("inf")
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete single-bottleneck experiment description."""
+
+    link: LinkConfig = field(default_factory=LinkConfig)
+    flows: tuple[FlowConfig, ...] = ()
+    duration_s: float = 60.0
+    mtp_s: float = MTP_S
+    tick_s: float = 0.002
+    seed: int = 0
+    trace: str | None = None
+    trace_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.flows:
+            raise ConfigError("a scenario needs at least one flow")
+        if self.duration_s <= 0:
+            raise ConfigError("scenario duration must be positive")
+        if self.tick_s <= 0 or self.tick_s > self.mtp_s:
+            raise ConfigError(
+                f"tick ({self.tick_s}) must be positive and no longer than "
+                f"one MTP ({self.mtp_s})"
+            )
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Coefficients of the global reward, Eq. 8 (defaults from Table 4)."""
+
+    c_thr: float = REWARD_C0
+    c_lat: float = REWARD_C1
+    c_loss: float = REWARD_C2
+    c_fair: float = REWARD_C3
+    c_stab: float = REWARD_C4
+    beta: float = LATENCY_TOLERANCE_BETA
+    bound: float = REWARD_BOUND
+
+    def __post_init__(self) -> None:
+        if self.bound <= 0:
+            raise ConfigError("reward bound must be positive")
+        if self.beta < 0:
+            raise ConfigError("latency tolerance beta must be >= 0")
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Offline-training knobs (defaults from Tables 3 and 4)."""
+
+    actor_lr: float = LEARNING_RATE
+    critic_lr: float = LEARNING_RATE
+    gamma: float = GAMMA
+    batch_size: int = BATCH_SIZE
+    history_length: int = HISTORY_LENGTH
+    hidden_layers: tuple[int, ...] = HIDDEN_LAYERS
+    replay_capacity: int = 200_000
+    warmup_transitions: int = 2_000
+    update_interval_s: float = MODEL_UPDATE_INTERVAL_S
+    update_steps: int = MODEL_UPDATE_STEPS
+    tau: float = 0.01                 # Polyak factor for target networks
+    policy_delay: int = 2             # TD3 delayed policy updates
+    actor_warmup_updates: int = 0     # freeze actor for the first N updates
+                                      # (lets fresh critics learn to value a
+                                      # warm-started policy before touching it)
+    target_noise: float = 0.1         # TD3 target policy smoothing std
+    target_noise_clip: float = 0.3
+    exploration_noise: float = 0.15
+    exploration_decay: float = 0.999
+    episodes: int = 300
+    episode_duration_s: float = 24.0
+    parallel_envs: int = 1
+    bandwidth_mbps: tuple[float, float] = TRAIN_BANDWIDTH_MBPS
+    rtt_ms: tuple[float, float] = TRAIN_RTT_MS
+    buffer_bdp: tuple[float, float] = TRAIN_BUFFER_BDP
+    flow_count: tuple[int, int] = TRAIN_FLOW_COUNT
+    reward: RewardConfig = field(default_factory=RewardConfig)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0 < self.gamma <= 1:
+            raise ConfigError("gamma must lie in (0, 1]")
+        if self.batch_size <= 0:
+            raise ConfigError("batch size must be positive")
+        if self.history_length <= 0:
+            raise ConfigError("history length must be positive")
+        if self.parallel_envs <= 0:
+            raise ConfigError("parallel env count must be positive")
+
+
+def replace(cfg, **changes):
+    """``dataclasses.replace`` re-exported for ergonomic config tweaking."""
+    return dataclasses.replace(cfg, **changes)

@@ -1,0 +1,51 @@
+"""Astraea core: state/action/reward blocks, agents, learner, training."""
+
+from .action import apply_action, invert_action, pacing_from_cwnd
+from .astraea import AstraeaController
+from .distill import (
+    collect_states,
+    distill_policy,
+    evaluate_distillation,
+    parameter_count,
+)
+from .policy import (
+    PolicyBundle,
+    clear_policy_cache,
+    default_policy_path,
+    load_default_policy,
+    new_actor,
+)
+from .reference import AstraeaReference
+from .reward import FlowSnapshot, RewardBlock, RewardTerms
+from .state import (
+    GLOBAL_FEATURES,
+    LOCAL_FEATURES,
+    LocalStateBlock,
+    global_state_vector,
+    local_feature_vector,
+)
+
+__all__ = [
+    "apply_action",
+    "invert_action",
+    "pacing_from_cwnd",
+    "collect_states",
+    "distill_policy",
+    "evaluate_distillation",
+    "parameter_count",
+    "AstraeaController",
+    "AstraeaReference",
+    "PolicyBundle",
+    "load_default_policy",
+    "default_policy_path",
+    "clear_policy_cache",
+    "new_actor",
+    "RewardBlock",
+    "RewardTerms",
+    "FlowSnapshot",
+    "LocalStateBlock",
+    "local_feature_vector",
+    "global_state_vector",
+    "LOCAL_FEATURES",
+    "GLOBAL_FEATURES",
+]

@@ -1,0 +1,123 @@
+"""Policy distillation (the paper's future-work direction, §5.4).
+
+The paper notes Astraea's overhead could be further reduced by
+hierarchical designs (Spine) and in-kernel model execution (LiteFlow) —
+both of which require a *much smaller* network than the 256/128/64 actor.
+This module implements the standard route there: distil the trained
+teacher into a tiny student MLP by regressing the teacher's actions over
+the state distribution the policy actually visits.
+
+Workflow::
+
+    states  = collect_states(bundle, scenarios)     # on-policy states
+    student = distill_policy(bundle, states)        # small PolicyBundle
+    report  = evaluate_distillation(bundle, student, states)
+
+The distillation benchmark (``benchmarks/test_ablation_distill.py``)
+shows the student preserves the congestion behaviour at a fraction of
+the inference cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import LinkConfig, ScenarioConfig
+from ..errors import ModelError
+from ..netsim.flowgen import staggered_flows
+from ..rl.nn import MLP
+from ..rl.optim import Adam
+from .astraea import AstraeaController
+from .policy import PolicyBundle
+
+STUDENT_HIDDEN = (16, 16)
+
+
+class _RecordingController(AstraeaController):
+    """AstraeaController that logs every stacked state it acts on."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.recorded: list[np.ndarray] = []
+
+    def on_interval(self, stats):
+        decision = super().on_interval(stats)
+        self.recorded.append(self.state_block.input_vector())
+        return decision
+
+
+def default_collection_scenarios() -> list[ScenarioConfig]:
+    """A small diverse scenario set for on-policy state collection."""
+    out = []
+    for bw, rtt, n in ((100.0, 30.0, 3), (50.0, 80.0, 2), (150.0, 15.0, 4)):
+        link = LinkConfig(bandwidth_mbps=bw, rtt_ms=rtt, buffer_bdp=1.0)
+        flows = staggered_flows(n, cc="astraea", interval_s=5.0,
+                                duration_s=20.0)
+        out.append(ScenarioConfig(link=link, flows=flows, duration_s=30.0))
+    return out
+
+
+def collect_states(teacher: PolicyBundle,
+                   scenarios: list[ScenarioConfig] | None = None,
+                   ) -> np.ndarray:
+    """Run the teacher through scenarios, recording its input states."""
+    from ..env import run_scenario
+
+    scenarios = scenarios or default_collection_scenarios()
+    states: list[np.ndarray] = []
+    for scenario in scenarios:
+        controllers = [_RecordingController(policy=teacher)
+                       for _ in scenario.flows]
+        run_scenario(scenario, controllers=controllers)
+        for ctl in controllers:
+            states.extend(ctl.recorded)
+    if not states:
+        raise ModelError("state collection produced no samples")
+    return np.vstack(states)
+
+
+def distill_policy(teacher: PolicyBundle, states: np.ndarray,
+                   hidden: tuple[int, ...] = STUDENT_HIDDEN,
+                   epochs: int = 200, batch_size: int = 256,
+                   lr: float = 1e-3, seed: int = 0) -> PolicyBundle:
+    """Regress a small student actor onto the teacher's actions."""
+    states = np.asarray(states, dtype=float)
+    if states.ndim != 2 or states.shape[1] != teacher.actor.in_dim:
+        raise ModelError(
+            f"states must be (n, {teacher.actor.in_dim}), got {states.shape}")
+    targets = teacher.actor.forward(states)
+    student = MLP(teacher.actor.in_dim, hidden, 1, output="tanh", seed=seed)
+    opt = Adam(student.parameters(), student.gradients(), lr=lr)
+    rng = np.random.default_rng(seed)
+    n = states.shape[0]
+    for _ in range(epochs):
+        idx = rng.integers(0, n, size=min(batch_size, n))
+        pred = student.forward(states[idx])
+        err = pred - targets[idx]
+        student.zero_grad()
+        student.backward(2.0 * err / len(idx))
+        opt.step()
+    return PolicyBundle(actor=student, history=teacher.history,
+                        alpha=teacher.alpha, scheme=teacher.scheme,
+                        metadata={"distilled_from": teacher.metadata or {},
+                                  "hidden": list(hidden)})
+
+
+def parameter_count(bundle: PolicyBundle) -> int:
+    """Total scalar parameters in a bundle's actor."""
+    return int(sum(p.size for p in bundle.actor.parameters()))
+
+
+def evaluate_distillation(teacher: PolicyBundle, student: PolicyBundle,
+                          states: np.ndarray) -> dict[str, float]:
+    """Agreement and size statistics between teacher and student."""
+    t = teacher.actor.forward(states)[:, 0]
+    s = student.actor.forward(states)[:, 0]
+    return {
+        "mean_abs_error": float(np.mean(np.abs(t - s))),
+        "sign_agreement": float(np.mean(np.sign(t) == np.sign(s))),
+        "teacher_params": parameter_count(teacher),
+        "student_params": parameter_count(student),
+        "compression": parameter_count(teacher)
+        / max(parameter_count(student), 1),
+    }

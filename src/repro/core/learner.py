@@ -1,0 +1,160 @@
+"""The Learner (§3.1/§3.4): policy store, replay, and update bursts.
+
+The Learner owns the shared actor/critic networks (all flow agents execute
+the same policy), the experience replay memory, and the update schedule of
+Table 4: every ``model_update_interval`` seconds of environment time it
+performs ``model_update_steps`` gradient steps on sampled batches.
+
+Checkpoints (:meth:`Learner.save_checkpoint`) persist the *complete*
+learner — actor, both critics and all three target networks — which is
+what makes fine-tuning stable: resuming from an actor-only bundle pits a
+good policy against freshly initialised critics, and the first actor
+updates then chase random value estimates (a failure mode we hit; see
+docs/architecture.md §2).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..errors import ModelError
+from ..rl.replay import ReplayBuffer
+from ..rl.td3 import TD3Learner
+from .policy import PolicyBundle
+from .state import GLOBAL_FEATURES, LOCAL_FEATURES
+
+
+class Learner:
+    """Shared-policy learner with the paper's update cadence."""
+
+    def __init__(self, cfg: TrainingConfig | None = None,
+                 use_global: bool = True, seed: int | None = None):
+        self.cfg = cfg or TrainingConfig()
+        seed = self.cfg.seed if seed is None else seed
+        self.local_dim = LOCAL_FEATURES * self.cfg.history_length
+        self.global_dim = GLOBAL_FEATURES
+        self.use_global = use_global
+        self.td3 = TD3Learner(self.local_dim, self.global_dim, action_dim=1,
+                              cfg=self.cfg, use_global=use_global, seed=seed)
+        self.replay = ReplayBuffer(self.cfg.replay_capacity, self.local_dim,
+                                   self.global_dim, action_dim=1, seed=seed)
+        self._last_update_env_s = 0.0
+        self.total_updates = 0
+        self.total_transitions = 0
+
+    # ------------------------------------------------------------------
+
+    def act(self, local_state: np.ndarray, noise_std: float = 0.0) -> float:
+        """Shared-policy action for one stacked local state."""
+        return float(self.td3.act(local_state[None, :], noise_std)[0, 0])
+
+    def add_transition(self, global_state, local_state, action: float,
+                       reward: float, next_global, next_local,
+                       done: bool = False) -> None:
+        """Store one (g, s, a, r, g', s') tuple in replay memory."""
+        self.replay.add(local_state, global_state, np.array([action]), reward,
+                        next_local, next_global, done)
+        self.total_transitions += 1
+
+    @property
+    def warm(self) -> bool:
+        """Whether replay holds enough experience to start updating."""
+        return len(self.replay) >= max(self.cfg.warmup_transitions,
+                                       self.cfg.batch_size)
+
+    def update_burst(self) -> dict[str, float]:
+        """Run one burst of ``model_update_steps`` gradient steps."""
+        if not self.warm:
+            return {"critic_loss": float("nan"), "actor_loss": float("nan")}
+        losses = {}
+        for _ in range(self.cfg.update_steps):
+            losses = self.td3.update(self.replay.sample(self.cfg.batch_size))
+            self.total_updates += 1
+        return losses
+
+    def maybe_update(self, env_now_s: float) -> dict[str, float] | None:
+        """Update burst if the env-time update interval elapsed."""
+        if env_now_s - self._last_update_env_s < self.cfg.update_interval_s:
+            return None
+        self._last_update_env_s = env_now_s
+        return self.update_burst()
+
+    def reset_update_clock(self) -> None:
+        """Start a new episode's env-time update schedule."""
+        self._last_update_env_s = 0.0
+
+    # ------------------------------------------------------------------
+
+    def snapshot_policy(self, scheme: str = "astraea",
+                        metadata: dict | None = None) -> PolicyBundle:
+        """An immutable copy of the current actor as a PolicyBundle."""
+        return PolicyBundle(
+            actor=self.td3.actor.clone(),
+            history=self.cfg.history_length,
+            scheme=scheme,
+            metadata=metadata,
+        )
+
+    def load_policy(self, bundle: PolicyBundle) -> None:
+        """Warm-start the actor (and its target) from a bundle.
+
+        Prefer :meth:`load_checkpoint` when one is available — an
+        actor-only warm start leaves the critics random, which requires
+        an actor-freeze warmup (``TrainingConfig.actor_warmup_updates``)
+        to avoid destroying the warm policy.
+        """
+        if bundle.actor.in_dim != self.local_dim:
+            raise ModelError(
+                f"bundle input dim {bundle.actor.in_dim} != learner "
+                f"local dim {self.local_dim}")
+        self.td3.actor.set_state(bundle.actor.get_state())
+        self.td3.actor_target.set_state(bundle.actor.get_state())
+
+    # ------------------------------------------------------------------
+
+    _CHECKPOINT_NETS = ("actor", "critic1", "critic2", "actor_target",
+                        "critic1_target", "critic2_target")
+
+    def save_checkpoint(self, path: str | Path) -> Path:
+        """Persist actor, critics and targets to one ``.npz`` file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays = {}
+        for net_name in self._CHECKPOINT_NETS:
+            net = getattr(self.td3, net_name)
+            for i, p in enumerate(net.get_state()):
+                arrays[f"{net_name}__{i}"] = p
+        meta = {
+            "local_dim": self.local_dim,
+            "global_dim": self.global_dim,
+            "use_global": self.use_global,
+            "hidden_layers": list(self.cfg.hidden_layers),
+            "total_updates": self.total_updates,
+        }
+        np.savez(path, meta=json.dumps(meta), **arrays)
+        return path
+
+    def load_checkpoint(self, path: str | Path) -> None:
+        """Restore a full checkpoint written by :meth:`save_checkpoint`."""
+        path = Path(path)
+        if not path.exists():
+            raise ModelError(f"no checkpoint at {path}")
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            if meta["local_dim"] != self.local_dim or \
+                    meta["global_dim"] != self.global_dim:
+                raise ModelError(
+                    "checkpoint dimensions do not match this learner")
+            if meta["use_global"] != self.use_global:
+                raise ModelError(
+                    "checkpoint critic topology (use_global) mismatch")
+            for net_name in self._CHECKPOINT_NETS:
+                net = getattr(self.td3, net_name)
+                n = len(net.get_state())
+                state = [data[f"{net_name}__{i}"] for i in range(n)]
+                net.set_state(state)
+            self.total_updates = int(meta.get("total_updates", 0))

@@ -1,0 +1,118 @@
+"""Policy bundles: serialisable trained actors.
+
+A :class:`PolicyBundle` holds everything needed to execute a trained
+Astraea (or Aurora/Orca) policy: the actor MLP parameters plus the
+architecture and action metadata.  Bundles serialise to ``.npz`` files;
+the package ships pretrained bundles under ``repro/models/`` which
+:func:`load_default_policy` resolves (benchmarks fall back to the analytic
+reference policy when a bundle is absent — see
+:class:`repro.core.reference.AstraeaReference`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..config import ACTION_ALPHA, HISTORY_LENGTH, HIDDEN_LAYERS
+from ..errors import ModelError
+from ..rl.nn import MLP
+
+MODELS_DIR = Path(__file__).resolve().parent.parent / "models"
+DEFAULT_POLICY_NAMES = {
+    "astraea": "astraea_pretrained.npz",
+    "aurora": "aurora_pretrained.npz",
+    "orca": "orca_pretrained.npz",
+}
+
+
+@dataclass
+class PolicyBundle:
+    """A trained deterministic actor plus its execution metadata."""
+
+    actor: MLP
+    history: int = HISTORY_LENGTH
+    alpha: float = ACTION_ALPHA
+    scheme: str = "astraea"
+    metadata: dict | None = None
+
+    def act(self, local_state: np.ndarray) -> float:
+        """Greedy action in (-1, 1) for a single stacked local state."""
+        out = self.actor.forward(np.atleast_2d(local_state))
+        return float(np.clip(out[0, 0], -0.999, 0.999))
+
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Serialise the bundle to an ``.npz`` file; returns the path."""
+        path = Path(path)
+        hidden = tuple(layer.W.shape[1] for layer in self.actor.layers[:-1])
+        meta = {
+            "scheme": self.scheme,
+            "history": self.history,
+            "alpha": self.alpha,
+            "in_dim": self.actor.in_dim,
+            "out_dim": self.actor.out_dim,
+            "hidden": list(hidden),
+            "output": self.actor.output,
+            "extra": self.metadata or {},
+        }
+        arrays = {f"param_{i}": p for i, p in enumerate(self.actor.get_state())}
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(path, meta=json.dumps(meta), **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PolicyBundle":
+        """Load a bundle previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise ModelError(f"no policy bundle at {path}")
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            n_params = len([k for k in data.files if k.startswith("param_")])
+            state = [data[f"param_{i}"] for i in range(n_params)]
+        actor = MLP(meta["in_dim"], tuple(meta["hidden"]), meta["out_dim"],
+                    output=meta["output"])
+        actor.set_state(state)
+        return cls(actor=actor, history=meta["history"], alpha=meta["alpha"],
+                   scheme=meta["scheme"], metadata=meta.get("extra") or {})
+
+
+def default_policy_path(scheme: str = "astraea") -> Path:
+    """Where the shipped pretrained bundle for ``scheme`` lives."""
+    try:
+        return MODELS_DIR / DEFAULT_POLICY_NAMES[scheme]
+    except KeyError:
+        raise ModelError(f"no default policy defined for {scheme!r}") from None
+
+
+_POLICY_CACHE: dict[str, PolicyBundle | None] = {}
+
+
+def load_default_policy(scheme: str = "astraea") -> PolicyBundle | None:
+    """The shipped pretrained bundle, or ``None`` if not present.
+
+    Results (including absence) are cached per scheme for the process.
+    """
+    if scheme not in _POLICY_CACHE:
+        path = default_policy_path(scheme)
+        _POLICY_CACHE[scheme] = PolicyBundle.load(path) if path.exists() else None
+    return _POLICY_CACHE[scheme]
+
+
+def clear_policy_cache() -> None:
+    """Forget cached default policies (used by tests and after training)."""
+    _POLICY_CACHE.clear()
+
+
+def new_actor(history: int = HISTORY_LENGTH,
+              hidden: tuple[int, ...] = HIDDEN_LAYERS,
+              seed: int = 0) -> MLP:
+    """A freshly initialised Astraea actor network."""
+    from .state import LOCAL_FEATURES
+
+    return MLP(LOCAL_FEATURES * history, hidden, 1, output="tanh", seed=seed)

@@ -1,0 +1,144 @@
+"""State block (§3.3): local per-flow features and the global state.
+
+The local state contains the eight normalised statistics the paper lists,
+computed per MTP and stacked over a ``w``-deep history (Table 4: w=5).
+All ratios are normalised so the agent sees similar inputs across network
+conditions; the raw maximum-throughput and minimum-latency features are
+kept (scaled to O(1) units) so the agent can still discriminate network
+characteristics — e.g. act more conservatively on high-RTT links.
+
+The global state follows Table 2 exactly: aggregated throughput / latency /
+cwnd statistics across all active flows plus the link's base delay, buffer
+size and bandwidth.  It is consumed only by the centralised critic during
+training and never by the deployed policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..config import HISTORY_LENGTH, LinkConfig
+from ..errors import ModelError
+from ..netsim.stats import MtpStats
+from ..units import mbps_to_pps, pps_to_mbps
+
+LOCAL_FEATURES = 8
+GLOBAL_FEATURES = 12
+
+# Scales that bring raw quantities to O(1); shared by training & inference.
+_THR_MAX_SCALE_MBPS = 200.0
+_LAT_SCALE_S = 0.2
+_NUM_FLOW_SCALE = 10.0
+_BUFFER_BDP_SCALE = 8.0
+_RATIO_CLIP = 6.0
+
+
+def local_feature_vector(stats: MtpStats, thr_max_pps: float,
+                         lat_min_s: float) -> np.ndarray:
+    """The eight per-MTP local features of §3.3."""
+    thr_max = max(thr_max_pps, 1e-6)
+    lat_min = max(lat_min_s, 1e-6)
+    bdp_est = max(thr_max * lat_min, 1e-6)
+    features = np.array([
+        stats.throughput_pps / thr_max,                       # thr ratio
+        pps_to_mbps(thr_max) / _THR_MAX_SCALE_MBPS,           # thr_max (raw)
+        stats.avg_rtt_s / lat_min,                            # latency ratio
+        lat_min / _LAT_SCALE_S,                               # lat_min (raw)
+        stats.cwnd_pkts / bdp_est,                            # relative cwnd
+        stats.loss_pps / thr_max,                             # loss ratio
+        stats.pkts_in_flight / max(stats.cwnd_pkts, 1.0),     # inflight ratio
+        stats.pacing_pps / thr_max,                           # pacing ratio
+    ])
+    return np.clip(features, 0.0, _RATIO_CLIP)
+
+
+class LocalStateBlock:
+    """Per-flow feature extractor with a ``w``-deep history stack.
+
+    Tracks the flow's historical maximum throughput and minimum latency,
+    produces the 8-feature vector per MTP, and stacks the last ``w``
+    vectors as the model input (dimension ``8 * w``).
+    """
+
+    def __init__(self, history: int = HISTORY_LENGTH):
+        if history <= 0:
+            raise ModelError("history length must be positive")
+        self.history = history
+        self.reset()
+
+    @property
+    def input_dim(self) -> int:
+        return LOCAL_FEATURES * self.history
+
+    def reset(self) -> None:
+        self._frames: deque[np.ndarray] = deque(maxlen=self.history)
+        self.thr_max_pps = 0.0
+        self.lat_min_s = float("inf")
+        self.thr_history_pps: deque[float] = deque(maxlen=self.history)
+
+    def update(self, stats: MtpStats) -> np.ndarray:
+        """Fold one MTP of statistics; returns the stacked input vector."""
+        self.thr_max_pps = max(self.thr_max_pps, stats.throughput_pps)
+        self.lat_min_s = min(self.lat_min_s, stats.min_rtt_s)
+        if self.lat_min_s == float("inf") or self.lat_min_s <= 0:
+            self.lat_min_s = max(stats.srtt_s, 1e-3)
+        self.thr_history_pps.append(stats.throughput_pps)
+        frame = local_feature_vector(stats, self.thr_max_pps, self.lat_min_s)
+        self._frames.append(frame)
+        return self.input_vector()
+
+    def input_vector(self) -> np.ndarray:
+        """Current stacked history, zero-padded on the left if young."""
+        frames = list(self._frames)
+        pad = self.history - len(frames)
+        if pad > 0:
+            frames = [np.zeros(LOCAL_FEATURES)] * pad + frames
+        return np.concatenate(frames)
+
+    def avg_throughput_pps(self) -> float:
+        """Mean throughput over the last ``w`` MTPs (Eq. 7)."""
+        if not self.thr_history_pps:
+            return 0.0
+        return float(np.mean(self.thr_history_pps))
+
+    def throughput_std_pps(self) -> float:
+        """Std-dev of throughput over the last ``w`` MTPs (for R_stab)."""
+        if len(self.thr_history_pps) < 2:
+            return 0.0
+        return float(np.std(self.thr_history_pps))
+
+
+def global_state_vector(flow_stats: list[MtpStats], link: LinkConfig,
+                        ) -> np.ndarray:
+    """The Table 2 global state, normalised to O(1) features.
+
+    ``flow_stats`` holds the most recent MTP record of every active flow.
+    """
+    c_pps = mbps_to_pps(link.bandwidth_mbps)
+    bdp = max(c_pps * link.rtt_s, 1e-6)
+    if not flow_stats:
+        thr = lat = cwnd = loss = np.zeros(1)
+        n = 0
+    else:
+        thr = np.array([s.throughput_pps for s in flow_stats])
+        lat = np.array([s.avg_rtt_s for s in flow_stats])
+        cwnd = np.array([s.cwnd_pkts for s in flow_stats])
+        loss = np.array([s.loss_rate for s in flow_stats])
+        n = len(flow_stats)
+    vec = np.array([
+        thr.sum() / c_pps,                                    # ovr_thr
+        thr.min() / c_pps,                                    # min_thr
+        thr.max() / c_pps,                                    # max_thr
+        min(lat.mean() / link.rtt_s, _RATIO_CLIP),            # avg_lat
+        cwnd.min() / bdp,                                     # min_cwnd
+        cwnd.max() / bdp,                                     # max_cwnd
+        cwnd.mean() / bdp,                                    # avg_cwnd
+        loss.mean(),                                          # loss_ratio
+        n / _NUM_FLOW_SCALE,                                  # num_flow
+        link.one_way_delay_s / (_LAT_SCALE_S / 2.0),          # d0
+        link.buffer_size_packets / bdp / _BUFFER_BDP_SCALE,   # buf
+        link.bandwidth_mbps / _THR_MAX_SCALE_MBPS,            # c
+    ])
+    return np.clip(vec, 0.0, _RATIO_CLIP)

@@ -1,0 +1,303 @@
+"""Offline training drivers (§3.4 + Appendix A).
+
+:func:`train_astraea` runs the full multi-agent training: every episode
+samples a fresh environment from the Table 3 ranges (bandwidth, base RTT,
+buffer factor, 2-5 flows with randomised starts, durations and RTT
+heterogeneity), collects shared-policy experience with exploration noise,
+and updates actor/critics on the Table 4 cadence.  Periodic greedy
+evaluations on held-out scenarios track the best policy seen, which is
+what gets bundled.
+
+:func:`train_aurora` reuses the identical harness but with single-flow
+episodes and Aurora's *local* Eq. 1 reward — which is precisely how the
+original Aurora is trained, and why the resulting policy is unfair under
+competition (Fig. 1a).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import (
+    FlowConfig,
+    LinkConfig,
+    RewardConfig,
+    ScenarioConfig,
+    TrainingConfig,
+)
+from ..netsim.flowgen import randomized_training_flows, staggered_flows
+from .learner import Learner
+from .policy import PolicyBundle
+
+
+@dataclass
+class TrainingHistory:
+    """Per-episode and per-evaluation records of a training run."""
+
+    episode_rewards: list[float] = field(default_factory=list)
+    eval_episodes: list[int] = field(default_factory=list)
+    eval_jain: list[float] = field(default_factory=list)
+    eval_utilization: list[float] = field(default_factory=list)
+    eval_score: list[float] = field(default_factory=list)
+    best_score: float = float("-inf")
+    best_episode: int = -1
+    wall_time_s: float = 0.0
+
+
+CROSS_TRAFFIC_PROB = 0.35
+"""Fraction of training episodes that include an unresponsive or CUBIC
+competitor.  Competing against flows the agents cannot drain from the
+queue is what teaches the policy to hold its ground instead of yielding
+like a pure delay-based scheme (the TCP-friendliness property, §5.3.1)."""
+
+
+def sample_training_scenario(cfg: TrainingConfig, rng: np.random.Generator,
+                             cross_traffic: bool = True) -> ScenarioConfig:
+    """One randomised training environment from the Table 3 ranges."""
+    bw = float(np.exp(rng.uniform(np.log(cfg.bandwidth_mbps[0]),
+                                  np.log(cfg.bandwidth_mbps[1]))))
+    rtt = float(rng.uniform(*cfg.rtt_ms))
+    buf = float(np.exp(rng.uniform(np.log(cfg.buffer_bdp[0]),
+                                   np.log(cfg.buffer_bdp[1]))))
+    n = int(rng.integers(cfg.flow_count[0], cfg.flow_count[1] + 1))
+    seed = int(rng.integers(0, 2 ** 31 - 1))
+    link = LinkConfig(bandwidth_mbps=bw, rtt_ms=rtt, buffer_bdp=buf)
+    flows = list(randomized_training_flows(n, cfg.episode_duration_s,
+                                           seed=seed))
+    if cross_traffic and rng.random() < CROSS_TRAFFIC_PROB:
+        if rng.random() < 0.5:
+            competitor = FlowConfig(
+                cc="cubic", start_s=0.0, duration_s=cfg.episode_duration_s)
+        else:
+            competitor = FlowConfig(
+                cc="constant-rate", start_s=0.0,
+                duration_s=cfg.episode_duration_s,
+                cc_kwargs={"rate_mbps": float(bw * rng.uniform(0.2, 0.5))})
+        flows.append(competitor)
+    return ScenarioConfig(link=link, flows=tuple(flows),
+                          duration_s=cfg.episode_duration_s, seed=seed)
+
+
+def _random_initial_cwnds(link: LinkConfig, n: int,
+                          rng: np.random.Generator) -> list[float]:
+    """Log-uniform initial windows between 4 packets and 2x the link BDP.
+
+    Randomised starting windows give the replay buffer coverage of the
+    whole operating range long before the (slow, multiplicative) policy
+    random-walk could reach it.
+    """
+    bdp = link.buffer_size_packets / max(link.buffer_bdp, 1e-6)
+    hi = max(2.0 * bdp, 16.0)
+    return [float(np.exp(rng.uniform(np.log(4.0), np.log(hi))))
+            for _ in range(n)]
+
+
+def evaluate_policy(bundle: PolicyBundle, bandwidth_mbps: float = 100.0,
+                    rtt_ms: float = 30.0, n_flows: int = 3,
+                    duration_s: float = 60.0, interval_s: float = 15.0,
+                    rtt_range_ms: tuple[float, float] | None = None,
+                    ) -> dict[str, float]:
+    """Greedy-policy evaluation on a multi-flow scenario.
+
+    By default flows are homogeneous and staggered; passing
+    ``rtt_range_ms`` instead starts ``n_flows`` long-running flows with
+    base RTTs evenly spanning the range (the Fig. 8 RTT-fairness shape).
+    """
+    from ..env import run_scenario
+    from ..netsim.flowgen import heterogeneous_rtt_flows
+    from .astraea import AstraeaController
+
+    link = LinkConfig(bandwidth_mbps=bandwidth_mbps, rtt_ms=rtt_ms,
+                      buffer_bdp=1.0)
+    if rtt_range_ms is not None:
+        flows = heterogeneous_rtt_flows(n_flows, "astraea", rtt_range_ms,
+                                        link_rtt_ms=rtt_ms)
+    else:
+        flow_len = duration_s - interval_s * (n_flows - 1) / 2.0
+        flows = staggered_flows(n_flows, cc="astraea", interval_s=interval_s,
+                                duration_s=flow_len)
+    scenario = ScenarioConfig(link=link, flows=flows, duration_s=duration_s)
+    controllers = [AstraeaController(policy=bundle) for _ in flows]
+    result = run_scenario(scenario, controllers=controllers)
+    jain = result.mean_jain()
+    util = result.utilization()
+    rtt_ratio = result.mean_rtt_s() / link.rtt_s
+    loss = result.mean_loss_rate()
+    score = (jain if np.isfinite(jain) else 0.0) * min(util, 1.0) \
+        - 0.05 * max(rtt_ratio - 2.0, 0.0) - 0.5 * loss
+    return {"jain": jain, "utilization": util, "rtt_ratio": rtt_ratio,
+            "loss": loss, "score": score}
+
+
+#: Held-out evaluation scenarios used to select the best checkpoint; the
+#: second config guards against overfitting the canonical 100/30 setting.
+EVAL_SCENARIOS = (
+    {"bandwidth_mbps": 100.0, "rtt_ms": 30.0, "n_flows": 3,
+     "duration_s": 60.0, "interval_s": 15.0},
+    {"bandwidth_mbps": 60.0, "rtt_ms": 80.0, "n_flows": 3,
+     "duration_s": 50.0, "interval_s": 12.0},
+    # RTT heterogeneity (the Fig. 8 shape): 4 flows, 30-150 ms base RTT.
+    {"bandwidth_mbps": 100.0, "rtt_ms": 30.0, "n_flows": 4,
+     "duration_s": 50.0, "rtt_range_ms": (30.0, 150.0)},
+)
+
+
+def evaluate_friendliness(bundle: PolicyBundle,
+                          duration_s: float = 40.0) -> float:
+    """Throughput ratio of one Astraea flow against one CUBIC flow.
+
+    1.0 is perfectly friendly; near 0 means the policy yields like a pure
+    delay-based scheme; >> 1 means it bullies AIMD traffic.
+    """
+    from ..env import run_scenario
+    from .astraea import AstraeaController
+
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+    flows = (FlowConfig(cc="astraea", start_s=0.0),
+             FlowConfig(cc="cubic", start_s=0.0))
+    scenario = ScenarioConfig(link=link, flows=flows, duration_s=duration_s)
+    controllers = [AstraeaController(policy=bundle), None]
+    result = run_scenario(scenario, controllers=controllers)
+    skip = duration_s / 3.0
+    mine = result.flow_mean_throughput(0, skip_s=skip)
+    cubic = result.flow_mean_throughput(1, skip_s=skip)
+    return float(mine / max(cubic, 1e-6))
+
+
+def evaluate_policy_multi(bundle: PolicyBundle) -> dict[str, float]:
+    """Average :func:`evaluate_policy` over the held-out scenario set, plus
+    a TCP-friendliness term in the selection score."""
+    rows = [evaluate_policy(bundle, **spec) for spec in EVAL_SCENARIOS]
+    out = {key: float(np.mean([r[key] for r in rows])) for key in rows[0]}
+    ratio = evaluate_friendliness(bundle)
+    # Friendly in [0, 1]: 1 at parity, decaying towards starving or bullying.
+    friendliness = min(ratio, 1.0) if ratio <= 1.0 else max(0.0,
+                                                            2.0 - ratio / 2.0)
+    out["friendliness_ratio"] = ratio
+    out["score"] = 0.75 * out["score"] + 0.25 * min(friendliness, 1.0)
+    return out
+
+
+def train_astraea(cfg: TrainingConfig | None = None, use_global: bool = True,
+                  eval_every: int = 25, verbose: bool = False,
+                  init_policy: PolicyBundle | None = None,
+                  ) -> tuple[PolicyBundle, TrainingHistory]:
+    """Full offline multi-agent training; returns the best policy bundle.
+
+    ``init_policy`` warm-starts the actor (fine-tuning an earlier bundle).
+    """
+    from ..env.episode import run_training_episode
+
+    cfg = cfg or TrainingConfig()
+    rng = np.random.default_rng(cfg.seed)
+    learner = Learner(cfg, use_global=use_global)
+    if init_policy is not None:
+        learner.load_policy(init_policy)
+    history = TrainingHistory()
+    best_state = learner.td3.actor.get_state()
+    noise = cfg.exploration_noise
+    start = time.monotonic()
+
+    for episode in range(0, cfg.episodes, cfg.parallel_envs):
+        if cfg.parallel_envs == 1:
+            scenario = sample_training_scenario(cfg, rng)
+            initial = _random_initial_cwnds(scenario.link,
+                                            len(scenario.flows), rng)
+            stats = run_training_episode(learner, scenario, noise_std=noise,
+                                         initial_cwnds=initial,
+                                         reward_config=cfg.reward)
+        else:
+            # Appendix A: several environment instances share the learner.
+            from ..env.pool import EnvironmentPool
+
+            scenarios = [sample_training_scenario(cfg, rng)
+                         for _ in range(cfg.parallel_envs)]
+            initials = [_random_initial_cwnds(sc.link, len(sc.flows), rng)
+                        for sc in scenarios]
+            pool = EnvironmentPool(learner, scenarios, noise_std=noise,
+                                   initial_cwnds=initials,
+                                   reward_config=cfg.reward)
+            stats = pool.run()
+        history.episode_rewards.append(stats.mean_reward)
+        noise = max(noise * cfg.exploration_decay ** cfg.parallel_envs, 0.02)
+
+        last = episode + cfg.parallel_envs >= cfg.episodes
+        eval_stride = max(eval_every, cfg.parallel_envs)
+        due = (episode + cfg.parallel_envs) % eval_stride < cfg.parallel_envs
+        if learner.warm and (due or last):
+            bundle = learner.snapshot_policy()
+            metrics = evaluate_policy_multi(bundle)
+            history.eval_episodes.append(episode)
+            history.eval_jain.append(metrics["jain"])
+            history.eval_utilization.append(metrics["utilization"])
+            history.eval_score.append(metrics["score"])
+            if metrics["score"] > history.best_score:
+                history.best_score = metrics["score"]
+                history.best_episode = episode
+                best_state = learner.td3.actor.get_state()
+            if verbose:
+                print(f"[train_astraea] ep={episode} "
+                      f"reward={stats.mean_reward:.4f} "
+                      f"jain={metrics['jain']:.3f} "
+                      f"util={metrics['utilization']:.3f} "
+                      f"friend={metrics.get('friendliness_ratio', 0.0):.2f} "
+                      f"score={metrics['score']:.3f} noise={noise:.3f}",
+                      flush=True)
+
+    history.wall_time_s = time.monotonic() - start
+    learner.td3.actor.set_state(best_state)
+    bundle = learner.snapshot_policy(metadata={
+        "episodes": cfg.episodes,
+        "best_episode": history.best_episode,
+        "best_score": history.best_score,
+        "use_global": use_global,
+    })
+    return bundle, history
+
+
+def train_aurora(cfg: TrainingConfig | None = None, verbose: bool = False,
+                 ) -> tuple[PolicyBundle, TrainingHistory]:
+    """Train the Aurora baseline: single flow, local Eq. 1 reward."""
+    from ..cc.aurora import aurora_reward
+    from ..env.episode import run_training_episode
+    from ..units import mbps_to_pps
+
+    cfg = cfg or TrainingConfig()
+    rng = np.random.default_rng(cfg.seed + 1000)
+    learner = Learner(cfg, use_global=True)
+    history = TrainingHistory()
+    noise = cfg.exploration_noise
+    start = time.monotonic()
+
+    def local_reward(stats, link) -> float:
+        thr_frac = stats.throughput_pps / mbps_to_pps(link.bandwidth_mbps)
+        r = aurora_reward(thr_frac, stats.avg_rtt_s, link.rtt_s,
+                          stats.loss_rate)
+        # Keep the magnitude comparable with Astraea's bounded reward.
+        return float(np.clip(r / 100.0, -0.1, 0.1))
+
+    for episode in range(cfg.episodes):
+        scenario = sample_training_scenario(cfg, rng)
+        # Aurora trains single-flow: one long-running flow per episode.
+        flows = (FlowConfig(cc="astraea", start_s=0.0,
+                            duration_s=scenario.duration_s),)
+        scenario = ScenarioConfig(link=scenario.link, flows=flows,
+                                  duration_s=scenario.duration_s,
+                                  seed=scenario.seed)
+        initial = _random_initial_cwnds(scenario.link, 1, rng)
+        stats = run_training_episode(learner, scenario, noise_std=noise,
+                                     initial_cwnds=initial,
+                                     local_reward=local_reward)
+        history.episode_rewards.append(stats.mean_reward)
+        noise = max(noise * cfg.exploration_decay, 0.02)
+        if verbose and episode % 25 == 24:
+            print(f"[train_aurora] ep={episode} "
+                  f"reward={stats.mean_reward:.4f}", flush=True)
+
+    history.wall_time_s = time.monotonic() - start
+    bundle = learner.snapshot_policy(scheme="aurora",
+                                     metadata={"episodes": cfg.episodes})
+    return bundle, history

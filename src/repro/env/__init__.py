@@ -1,0 +1,31 @@
+"""Environment runners: scenario execution and RL episode collection."""
+
+from .episode import (
+    EpisodeStats,
+    Observer,
+    TrainFlowController,
+    run_training_episode,
+)
+from .multiflow import (
+    FlowLog,
+    ScenarioDriver,
+    ScenarioResult,
+    build_driver,
+    run_scenario,
+    run_topology,
+)
+from .pool import EnvironmentPool
+
+__all__ = [
+    "FlowLog",
+    "ScenarioResult",
+    "ScenarioDriver",
+    "build_driver",
+    "run_scenario",
+    "run_topology",
+    "TrainFlowController",
+    "Observer",
+    "EpisodeStats",
+    "run_training_episode",
+    "EnvironmentPool",
+]

@@ -1,0 +1,218 @@
+"""Training-episode machinery: the Controller of §3.2 in code.
+
+During training each flow is driven by a :class:`TrainFlowController`
+executing the shared policy with exploration noise.  The
+:class:`Observer` gathers the latest per-flow statistics (the paper's
+world-observation exchange), compiles the Table 2 global state, evaluates
+the global reward, assembles ``(g, s, a, r, g', s')`` transitions, and
+triggers the Learner's update bursts on the Table 4 cadence — all from the
+``on_interval`` callback of the scenario runner (the flow-driven control
+paradigm: flows request actions, the controller relays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cc.base import CongestionController, Decision
+from ..config import (
+    ACTION_ALPHA,
+    FlowConfig,
+    LinkConfig,
+    RewardConfig,
+    ScenarioConfig,
+)
+from ..core.action import apply_action, pacing_from_cwnd
+from ..core.learner import Learner
+from ..core.reward import FlowSnapshot, RewardBlock
+from ..core.state import LocalStateBlock, global_state_vector
+from ..netsim.stats import MtpStats
+from .multiflow import run_scenario
+
+
+class TrainFlowController(CongestionController):
+    """Astraea agent in training mode: shared policy plus exploration.
+
+    The initial window is randomised per flow so early training covers the
+    state space even while exploration noise is too small to move the
+    multiplicative window far within one episode.  Exploration combines
+    three mechanisms: uniform random actions until the replay buffer is
+    warm, an epsilon of uniform actions afterwards (Gaussian noise added
+    after the tanh cannot escape a saturated actor), and the Gaussian
+    perturbation itself.
+    """
+
+    EPSILON_UNIFORM = 0.10
+
+    _instances = 0
+
+    def __init__(self, learner: Learner, noise_std: float = 0.1,
+                 alpha: float = ACTION_ALPHA, mtp_s: float = 0.030,
+                 initial_cwnd: float = 10.0, use_pacing: bool = True):
+        super().__init__(mtp_s)
+        self.learner = learner
+        self.noise_std = noise_std
+        self.alpha = alpha
+        self.use_pacing = use_pacing
+        self._initial_cwnd = max(initial_cwnd, 2.0)
+        self.state_block = LocalStateBlock(history=learner.cfg.history_length)
+        TrainFlowController._instances += 1
+        self._rng = np.random.default_rng(
+            learner.cfg.seed * 100_003 + TrainFlowController._instances)
+        self.reset()
+
+    @property
+    def initial_cwnd(self) -> float:
+        return self._initial_cwnd
+
+    def reset(self) -> None:
+        self.state_block.reset()
+        self.cwnd = self._initial_cwnd
+        self.last_state: np.ndarray | None = None
+        self.last_action: float = 0.0
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        state = self.state_block.update(stats)
+        if not self.learner.warm \
+                or self._rng.random() < self.EPSILON_UNIFORM:
+            action = float(self._rng.uniform(-0.999, 0.999))
+        else:
+            action = self.learner.act(state, noise_std=self.noise_std)
+        self.cwnd = apply_action(self.cwnd, action, self.alpha)
+        self.last_state = state
+        self.last_action = action
+        pacing = pacing_from_cwnd(self.cwnd, max(stats.srtt_s, 1e-6)) \
+            if self.use_pacing else None
+        return Decision(cwnd_pkts=self.cwnd, pacing_pps=pacing)
+
+
+@dataclass
+class EpisodeStats:
+    """What one training episode produced."""
+
+    transitions: int = 0
+    reward_sum: float = 0.0
+    reward_count: int = 0
+    update_bursts: int = 0
+    last_losses: dict = field(default_factory=dict)
+
+    @property
+    def mean_reward(self) -> float:
+        return self.reward_sum / self.reward_count if self.reward_count else 0.0
+
+
+class Observer:
+    """Gathers world observations and feeds the Learner (§3.2 Controller)."""
+
+    def __init__(self, learner: Learner, link: LinkConfig,
+                 flows: tuple[FlowConfig, ...],
+                 controllers: list[TrainFlowController],
+                 reward_config: RewardConfig | None = None,
+                 local_reward=None, do_updates: bool = True):
+        self.learner = learner
+        self.link = link
+        self.flows = flows
+        self.controllers = controllers
+        self.reward_block = RewardBlock(link, reward_config)
+        self.local_reward = local_reward
+        self.do_updates = do_updates
+        self._latest: dict[int, MtpStats] = {}
+        self._pending: dict[int, tuple[np.ndarray, np.ndarray, float]] = {}
+        self.stats = EpisodeStats()
+
+    # ------------------------------------------------------------------
+
+    def _active_indices(self, now: float) -> list[int]:
+        """Active *agent* flows (cross-traffic competitors are part of the
+        environment, not of the cooperating agent population)."""
+        return [i for i in self._latest
+                if self.flows[i].start_s <= now < self.flows[i].end_s()
+                and isinstance(self.controllers[i], TrainFlowController)]
+
+    def _snapshots(self, indices: list[int]) -> list[FlowSnapshot]:
+        out = []
+        for i in indices:
+            s = self._latest[i]
+            block = self.controllers[i].state_block
+            out.append(FlowSnapshot(
+                throughput_pps=s.throughput_pps,
+                avg_thr_pps=block.avg_throughput_pps(),
+                thr_std_pps=block.throughput_std_pps(),
+                avg_rtt_s=s.avg_rtt_s,
+                loss_pps=s.loss_pps,
+                pacing_pps=s.pacing_pps,
+            ))
+        return out
+
+    def __call__(self, now: float, idx: int, stats: MtpStats,
+                 controller: CongestionController) -> None:
+        """The scenario runner's on_interval hook."""
+        self._latest[idx] = stats
+        if not isinstance(controller, TrainFlowController):
+            return  # cross traffic: environment, not an agent
+        active = self._active_indices(now)
+        if not active:
+            return
+        if self.local_reward is not None:
+            reward = self.local_reward(stats, self.link)
+        else:
+            reward = self.reward_block.compute(self._snapshots(active)).total
+        g_now = global_state_vector([self._latest[i] for i in active],
+                                    self.link)
+        ctl = self.controllers[idx]
+        s_now, a_now = ctl.last_state, ctl.last_action
+        if idx in self._pending:
+            g_prev, s_prev, a_prev = self._pending[idx]
+            self.learner.add_transition(g_prev, s_prev, a_prev, reward,
+                                        g_now, s_now)
+            self.stats.transitions += 1
+            self.stats.reward_sum += reward
+            self.stats.reward_count += 1
+        self._pending[idx] = (g_now, s_now, a_now)
+
+        if self.do_updates:
+            losses = self.learner.maybe_update(now)
+            if losses is not None:
+                self.stats.update_bursts += 1
+                self.stats.last_losses = losses
+
+
+def run_training_episode(learner: Learner, scenario: ScenarioConfig,
+                         noise_std: float, initial_cwnds: list[float],
+                         reward_config: RewardConfig | None = None,
+                         local_reward=None,
+                         do_updates: bool = True) -> EpisodeStats:
+    """Collect one episode of experience (and update on the Table 4 cadence).
+
+    ``local_reward`` switches the reward from Astraea's global objective to
+    a per-flow local function (used to train the Aurora baseline with its
+    own Eq. 1 reward in the identical harness).
+
+    Flows whose scheme is not ``"astraea"`` are instantiated from the
+    registry and act as environment cross traffic (e.g. a CUBIC competitor
+    teaching TCP friendliness); they generate no transitions.
+    """
+    controllers: list[CongestionController | None] = []
+    for cfg_flow, cw in zip(scenario.flows, initial_cwnds):
+        if cfg_flow.cc == "astraea":
+            controllers.append(TrainFlowController(
+                learner, noise_std=noise_std, mtp_s=scenario.mtp_s,
+                initial_cwnd=cw))
+        else:
+            controllers.append(None)
+    observer_controllers = []
+    from ..cc import create as create_cc
+
+    for cfg_flow, ctl in zip(scenario.flows, controllers):
+        if ctl is None:
+            ctl = create_cc(cfg_flow.cc, **cfg_flow.cc_kwargs)
+        observer_controllers.append(ctl)
+    observer = Observer(learner, scenario.link, scenario.flows,
+                        observer_controllers, reward_config=reward_config,
+                        local_reward=local_reward, do_updates=do_updates)
+    learner.reset_update_clock()
+    run_scenario(scenario, controllers=observer_controllers,
+                 on_interval=observer)
+    return observer.stats

@@ -1,0 +1,358 @@
+"""Multi-flow scenario runner (§3.2 "Runtime" + "Flow generator").
+
+:func:`run_scenario` builds a :class:`~repro.netsim.fluid.FluidNetwork`
+from a :class:`~repro.config.ScenarioConfig`, instantiates one congestion
+controller per flow, starts and stops flows at their configured times, and
+drives every controller at its own monitoring cadence.  The result records
+one row per (flow, monitoring interval) which all metrics and benchmarks
+consume.
+
+:func:`run_topology` does the same over a multi-bottleneck
+:class:`~repro.netsim.topology.TopologyConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cc import create
+from ..cc.base import CongestionController
+from ..config import ScenarioConfig
+from ..errors import SimulationError
+from ..netsim import FluidNetwork, INITIAL_CWND_PKTS
+from ..netsim.topology import TopologyConfig
+from ..netsim.traces import create_trace
+from ..units import mbps_to_pps
+
+
+@dataclass
+class FlowLog:
+    """Per-monitoring-interval records of one flow."""
+
+    cc_name: str
+    start_s: float
+    end_s: float
+    times: list[float] = field(default_factory=list)
+    throughput_mbps: list[float] = field(default_factory=list)
+    rtt_s: list[float] = field(default_factory=list)
+    loss_rate: list[float] = field(default_factory=list)
+    cwnd_pkts: list[float] = field(default_factory=list)
+    send_rate_mbps: list[float] = field(default_factory=list)
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """All series as numpy arrays keyed by field name."""
+        return {
+            "times": np.asarray(self.times),
+            "throughput_mbps": np.asarray(self.throughput_mbps),
+            "rtt_s": np.asarray(self.rtt_s),
+            "loss_rate": np.asarray(self.loss_rate),
+            "cwnd_pkts": np.asarray(self.cwnd_pkts),
+            "send_rate_mbps": np.asarray(self.send_rate_mbps),
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run produced."""
+
+    flows: list[FlowLog]
+    duration_s: float
+    bottleneck_mbps: float
+    base_rtt_s: float
+
+    # ------------------------------------------------------------------
+
+    def throughput_matrix(self, grid_s: float = 0.1
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Resample all flows onto a common time grid.
+
+        Returns ``(times, matrix, active)`` where ``matrix[i, t]`` is flow
+        ``i``'s throughput (Mbps) in the grid slot around ``times[t]`` and
+        ``active[i, t]`` marks the slots in which the flow was running.
+        """
+        if grid_s <= 0:
+            raise SimulationError("grid must be positive")
+        n_bins = max(int(np.ceil(self.duration_s / grid_s)), 1)
+        times = (np.arange(n_bins) + 0.5) * grid_s
+        matrix = np.zeros((len(self.flows), n_bins))
+        counts = np.zeros((len(self.flows), n_bins))
+        active = np.zeros((len(self.flows), n_bins), dtype=bool)
+        for i, flow in enumerate(self.flows):
+            active[i] = (times >= flow.start_s) & (times < flow.end_s)
+            idx = np.minimum((np.asarray(flow.times) / grid_s).astype(int),
+                             n_bins - 1)
+            np.add.at(matrix[i], idx, np.asarray(flow.throughput_mbps))
+            np.add.at(counts[i], idx, 1.0)
+            filled = counts[i] > 0
+            matrix[i, filled] /= counts[i, filled]
+            # Carry the last sample forward through empty slots while active.
+            last = 0.0
+            for t in range(n_bins):
+                if filled[t]:
+                    last = matrix[i, t]
+                elif active[i, t]:
+                    matrix[i, t] = last
+        return times, matrix, active
+
+    def jain_series(self, grid_s: float = 0.1) -> tuple[np.ndarray, np.ndarray]:
+        """Jain fairness index over time, at slots with >= 2 active flows."""
+        from ..metrics.fairness import jain_index
+
+        times, matrix, active = self.throughput_matrix(grid_s)
+        out_t, out_j = [], []
+        for t in range(len(times)):
+            live = active[:, t]
+            if live.sum() >= 2:
+                out_t.append(times[t])
+                out_j.append(jain_index(matrix[live, t]))
+        return np.asarray(out_t), np.asarray(out_j)
+
+    def mean_jain(self, grid_s: float = 0.1, warmup_s: float = 2.0) -> float:
+        """Average Jain index over all multi-flow slots after a warmup."""
+        t, j = self.jain_series(grid_s)
+        if len(j) == 0:
+            return float("nan")
+        keep = t >= (t[0] + warmup_s)
+        return float(np.mean(j[keep])) if keep.any() else float(np.mean(j))
+
+    def flow_mean_throughput(self, i: int, skip_s: float = 0.0) -> float:
+        """Mean throughput (Mbps) of flow ``i`` after ``skip_s`` of its life."""
+        flow = self.flows[i]
+        times = np.asarray(flow.times)
+        thr = np.asarray(flow.throughput_mbps)
+        keep = times >= flow.start_s + skip_s
+        return float(np.mean(thr[keep])) if keep.any() else 0.0
+
+    def utilization(self, skip_s: float = 2.0) -> float:
+        """Aggregate delivered throughput over capacity, after a warmup."""
+        times, matrix, active = self.throughput_matrix()
+        total = (matrix * active).sum(axis=0)
+        keep = (times >= skip_s) & (active.any(axis=0))
+        if not keep.any():
+            return 0.0
+        return float(np.mean(total[keep]) / self.bottleneck_mbps)
+
+    def mean_rtt_s(self, skip_s: float = 2.0) -> float:
+        """Mean RTT across flows and time, after a warmup."""
+        values = []
+        for flow in self.flows:
+            t = np.asarray(flow.times)
+            r = np.asarray(flow.rtt_s)
+            keep = t >= flow.start_s + skip_s
+            if keep.any():
+                values.append(r[keep])
+        if not values:
+            return 0.0
+        return float(np.mean(np.concatenate(values)))
+
+    def mean_loss_rate(self, skip_s: float = 2.0) -> float:
+        """Mean per-interval loss rate across flows, after a warmup."""
+        values = []
+        for flow in self.flows:
+            t = np.asarray(flow.times)
+            l = np.asarray(flow.loss_rate)
+            keep = t >= flow.start_s + skip_s
+            if keep.any():
+                values.append(l[keep])
+        if not values:
+            return 0.0
+        return float(np.mean(np.concatenate(values)))
+
+
+@dataclass
+class _RunningFlow:
+    index: int
+    engine_id: int
+    controller: CongestionController
+    next_ctrl_s: float
+    end_s: float
+
+
+class ScenarioDriver:
+    """Steppable scenario executor.
+
+    One call to :meth:`step` advances the network by one tick and runs
+    every controller whose monitoring interval expired.  ``run_scenario``
+    simply steps a driver to completion; the training pool
+    (:class:`repro.env.pool.EnvironmentPool`) interleaves several drivers
+    to emulate the paper's parallel environment instances (Appendix A).
+    """
+
+    def __init__(self, engine: FluidNetwork, scenario_flows, paths,
+                 base_rtt_fn, duration_s: float, tick_s: float, controllers,
+                 bottleneck_mbps: float, base_rtt_s: float,
+                 on_interval=None):
+        self._engine = engine
+        self._flows = scenario_flows
+        self._paths = paths
+        self._base_rtt_fn = base_rtt_fn
+        self.duration_s = duration_s
+        self._tick_s = tick_s
+        self._controllers = controllers
+        self._on_interval = on_interval
+        self._logs = [FlowLog(cc_name=f.cc, start_s=f.start_s,
+                              end_s=min(f.end_s(), duration_s))
+                      for f in scenario_flows]
+        self._pending = sorted(range(len(scenario_flows)),
+                               key=lambda i: scenario_flows[i].start_s)
+        self._running: list[_RunningFlow] = []
+        self._bottleneck_mbps = bottleneck_mbps
+        self._base_rtt_s = base_rtt_s
+        self.done = False
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    def _start_due_flows(self, now: float) -> None:
+        while self._pending and \
+                self._flows[self._pending[0]].start_s <= now + 1e-12:
+            i = self._pending.pop(0)
+            cfg = self._flows[i]
+            if self._controllers is not None and \
+                    self._controllers[i] is not None:
+                controller = self._controllers[i]
+            else:
+                controller = create(cfg.cc, **cfg.cc_kwargs)
+            controller.reset()
+            fid = self._engine.add_flow(
+                base_rtt_s=self._base_rtt_fn(i),
+                path=list(self._paths[i]) if self._paths is not None
+                else None,
+                cwnd_pkts=controller.initial_cwnd,
+            )
+            self._running.append(_RunningFlow(
+                index=i, engine_id=fid, controller=controller,
+                next_ctrl_s=now + controller.mtp_s,
+                end_s=min(cfg.end_s(), self.duration_s),
+            ))
+
+    def step(self) -> bool:
+        """Advance one tick; returns False once the scenario finished."""
+        if self.done:
+            return False
+        engine = self._engine
+        now = engine.now
+        if now >= self.duration_s:
+            self.done = True
+            return False
+        self._start_due_flows(now)
+        for rf in [rf for rf in self._running if rf.end_s <= now]:
+            engine.remove_flow(rf.engine_id)
+            self._running.remove(rf)
+        if not self._running and not self._pending:
+            self.done = True
+            return False
+
+        engine.advance(self._tick_s)
+        now = engine.now
+
+        for rf in self._running:
+            if now + 1e-12 < rf.next_ctrl_s:
+                continue
+            monitor = engine.monitor(rf.engine_id)
+            stats = monitor.collect(
+                now,
+                cwnd_pkts=engine.cwnd(rf.engine_id),
+                pacing_pps=engine.flow_rate_pps(rf.engine_id),
+                pkts_in_flight=engine.pkts_in_flight(rf.engine_id),
+            )
+            decision = rf.controller.on_interval(stats)
+            engine.set_cwnd(rf.engine_id, decision.cwnd_pkts,
+                            decision.pacing_pps)
+            log = self._logs[rf.index]
+            log.times.append(now)
+            log.throughput_mbps.append(stats.throughput_mbps)
+            log.rtt_s.append(stats.avg_rtt_s)
+            log.loss_rate.append(stats.loss_rate)
+            log.cwnd_pkts.append(decision.cwnd_pkts)
+            log.send_rate_mbps.append(
+                decision.cwnd_pkts / max(stats.srtt_s, 1e-6)
+                / mbps_to_pps(1.0))
+            if self._on_interval is not None:
+                self._on_interval(now, rf.index, stats, rf.controller)
+            rf.next_ctrl_s = now + max(
+                rf.controller.interval_s(stats.srtt_s), self._tick_s)
+        return True
+
+    def result(self) -> ScenarioResult:
+        """Logs collected so far (complete once :meth:`step` returns False)."""
+        return ScenarioResult(
+            flows=self._logs,
+            duration_s=self.duration_s,
+            bottleneck_mbps=self._bottleneck_mbps,
+            base_rtt_s=self._base_rtt_s,
+        )
+
+
+def _drive(engine: FluidNetwork, scenario_flows, paths, base_rtt_fn,
+           duration_s: float, tick_s: float, controllers, bottleneck_mbps: float,
+           base_rtt_s: float, on_interval=None) -> ScenarioResult:
+    """Run a driver to completion (single-link and topology runs)."""
+    driver = ScenarioDriver(engine, scenario_flows, paths, base_rtt_fn,
+                            duration_s, tick_s, controllers,
+                            bottleneck_mbps, base_rtt_s, on_interval)
+    while driver.step():
+        pass
+    return driver.result()
+
+
+def build_driver(scenario: ScenarioConfig,
+                 controllers: list[CongestionController | None] | None = None,
+                 on_interval=None) -> ScenarioDriver:
+    """Create a steppable driver for a single-bottleneck scenario."""
+    traces = None
+    if scenario.trace is not None:
+        traces = {scenario.link.name: create_trace(scenario.trace,
+                                                   **scenario.trace_kwargs)}
+    engine = FluidNetwork(scenario.link, traces=traces, seed=scenario.seed)
+
+    def base_rtt(i: int) -> float:
+        return scenario.link.rtt_s + scenario.flows[i].extra_rtt_ms / 1e3
+
+    return ScenarioDriver(
+        engine, scenario.flows, None, base_rtt,
+        scenario.duration_s, scenario.tick_s, controllers,
+        bottleneck_mbps=scenario.link.bandwidth_mbps,
+        base_rtt_s=scenario.link.rtt_s,
+        on_interval=on_interval,
+    )
+
+
+def run_scenario(scenario: ScenarioConfig,
+                 controllers: list[CongestionController | None] | None = None,
+                 on_interval=None) -> ScenarioResult:
+    """Run a single-bottleneck scenario and return its logs.
+
+    ``controllers`` optionally injects pre-built controller instances
+    (index-aligned with ``scenario.flows``); entries left ``None`` are
+    created from the flow's registered scheme name.  ``on_interval`` is an
+    optional callback ``(now, flow_index, stats, controller)`` invoked after
+    every controller decision — the training loop uses it to harvest
+    transitions.
+    """
+    driver = build_driver(scenario, controllers=controllers,
+                          on_interval=on_interval)
+    while driver.step():
+        pass
+    return driver.result()
+
+
+def run_topology(topology: TopologyConfig,
+                 controllers: list[CongestionController | None] | None = None,
+                 ) -> ScenarioResult:
+    """Run a multi-bottleneck scenario described by a TopologyConfig."""
+    engine = FluidNetwork(list(topology.links), seed=topology.seed)
+    first_link = topology.links[0]
+
+    def base_rtt(i: int) -> float:
+        return first_link.rtt_s + topology.flows[i].extra_rtt_ms / 1e3
+
+    return _drive(
+        engine, topology.flows, topology.paths, base_rtt,
+        topology.duration_s, topology.tick_s, controllers,
+        bottleneck_mbps=first_link.bandwidth_mbps,
+        base_rtt_s=first_link.rtt_s,
+    )

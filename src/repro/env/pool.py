@@ -1,0 +1,77 @@
+"""Parallel training environments (Appendix A).
+
+The paper trains with four environment instances that share the same
+actor/critic networks, which both diversifies the replay buffer within a
+wall-clock window and decorrelates consecutive transitions.  This module
+provides the single-process equivalent: an :class:`EnvironmentPool` that
+interleaves several scenario drivers tick-by-tick, so experience from all
+instances lands in the shared Learner's replay buffer in (simulated-)
+time order, and update bursts fire on the pooled environment clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RewardConfig, ScenarioConfig
+from ..core.learner import Learner
+from .episode import EpisodeStats, Observer, TrainFlowController
+from .multiflow import build_driver
+
+
+class EnvironmentPool:
+    """Interleaves several training scenarios over one shared Learner."""
+
+    def __init__(self, learner: Learner, scenarios: list[ScenarioConfig],
+                 noise_std: float, initial_cwnds: list[list[float]],
+                 reward_config: RewardConfig | None = None):
+        if len(scenarios) != len(initial_cwnds):
+            raise ValueError("need one initial-cwnd list per scenario")
+        self.learner = learner
+        self._drivers = []
+        self._observers = []
+        for scenario, cwnds in zip(scenarios, initial_cwnds):
+            controllers = []
+            for cfg_flow, cw in zip(scenario.flows, cwnds):
+                if cfg_flow.cc == "astraea":
+                    controllers.append(TrainFlowController(
+                        learner, noise_std=noise_std,
+                        mtp_s=scenario.mtp_s, initial_cwnd=cw))
+                else:
+                    from ..cc import create as create_cc
+
+                    controllers.append(create_cc(cfg_flow.cc,
+                                                 **cfg_flow.cc_kwargs))
+            # Updates are driven by the pool clock, not per instance.
+            observer = Observer(learner, scenario.link, scenario.flows,
+                                controllers, reward_config=reward_config,
+                                do_updates=False)
+            self._drivers.append(build_driver(
+                scenario, controllers=controllers, on_interval=observer))
+            self._observers.append(observer)
+
+    def run(self) -> EpisodeStats:
+        """Step all instances round-robin until every one finishes.
+
+        Update bursts fire whenever the *mean* environment time across
+        live instances crosses the Table 4 update interval, matching the
+        paper's shared-cadence parallel collection.
+        """
+        self.learner.reset_update_clock()
+        combined = EpisodeStats()
+        live = list(self._drivers)
+        while live:
+            for driver in list(live):
+                if not driver.step():
+                    live.remove(driver)
+            if live:
+                mean_now = float(np.mean([d.now for d in live]))
+                losses = self.learner.maybe_update(mean_now)
+                if losses is not None:
+                    combined.update_bursts += 1
+                    combined.last_losses = losses
+        for observer in self._observers:
+            combined.transitions += observer.stats.transitions
+            combined.reward_sum += observer.stats.reward_sum
+            combined.reward_count += observer.stats.reward_count
+        return combined

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the Astraea reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class ModelError(ReproError):
+    """A model bundle could not be loaded or has incompatible shapes."""
+
+
+class ServiceError(ReproError):
+    """The inference service was used incorrectly."""

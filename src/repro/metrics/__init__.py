@@ -1,0 +1,32 @@
+"""Evaluation metrics: fairness, convergence, stability, summaries."""
+
+from .convergence import (
+    ARRIVAL,
+    DEPARTURE,
+    EventConvergence,
+    FlowEvent,
+    convergence_report,
+    flow_events,
+    mean_convergence_time,
+    mean_stability,
+)
+from .fairness import astraea_fairness_metric, jain_index, max_min_fair_shares
+from .summary import RunSummary, cdf, percentile_summary, summarize
+
+__all__ = [
+    "jain_index",
+    "astraea_fairness_metric",
+    "max_min_fair_shares",
+    "convergence_report",
+    "flow_events",
+    "mean_convergence_time",
+    "mean_stability",
+    "FlowEvent",
+    "EventConvergence",
+    "ARRIVAL",
+    "DEPARTURE",
+    "RunSummary",
+    "summarize",
+    "cdf",
+    "percentile_summary",
+]

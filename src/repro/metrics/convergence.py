@@ -1,0 +1,234 @@
+"""Convergence-speed and stability metrics (§5.2).
+
+The paper defines:
+
+* **convergence time** — from a flow event (arrival or departure) to the
+  time the affected flows reach a sending rate within ±10% of the ideal
+  fair share under the new flow population;
+* **stability** — the standard deviation of the newly arrived flow's
+  throughput after it has converged.
+
+Both are computed here from a :class:`~repro.env.multiflow.ScenarioResult`
+resampled onto a uniform grid, with a short smoothing window so per-MTP
+measurement noise does not mask macroscopic convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..env.multiflow import ScenarioResult
+from ..errors import ConfigError
+
+ARRIVAL = "arrival"
+DEPARTURE = "departure"
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """A change in the set of active flows."""
+
+    time_s: float
+    kind: str
+    flow_index: int
+    n_active_after: int
+
+
+@dataclass(frozen=True)
+class EventConvergence:
+    """Convergence outcome for one flow event."""
+
+    event: FlowEvent
+    fair_share_mbps: float
+    convergence_time_s: float | None
+    stability_mbps: float | None
+
+    @property
+    def converged(self) -> bool:
+        return self.convergence_time_s is not None
+
+
+def flow_events(result: ScenarioResult) -> list[FlowEvent]:
+    """Arrival/departure events, sorted by time (excluding t=0 arrivals of
+    the very first flow, which have no incumbent to converge against)."""
+    raw: list[tuple[float, str, int]] = []
+    for i, flow in enumerate(result.flows):
+        raw.append((flow.start_s, ARRIVAL, i))
+        if flow.end_s < result.duration_s:
+            raw.append((flow.end_s, DEPARTURE, i))
+    raw.sort(key=lambda e: (e[0], e[1] == ARRIVAL))
+    events = []
+    active = 0
+    for t, kind, idx in raw:
+        active += 1 if kind == ARRIVAL else -1
+        if active >= 2 or (kind == DEPARTURE and active >= 1):
+            events.append(FlowEvent(time_s=t, kind=kind, flow_index=idx,
+                                    n_active_after=active))
+    return events
+
+
+def _smooth(series: np.ndarray, width: int) -> np.ndarray:
+    if width <= 1:
+        return series
+    kernel = np.ones(width) / width
+    return np.convolve(series, kernel, mode="same")
+
+
+def convergence_report(result: ScenarioResult, tolerance: float = 0.10,
+                       hold_s: float = 1.0, grid_s: float = 0.1,
+                       smooth_s: float = 0.3) -> list[EventConvergence]:
+    """Evaluate every flow event in a run.
+
+    For each event, the ideal fair share is ``capacity / n_active``.  For
+    an *arrival*, the convergence time is the first instant at which the
+    arriving flow's smoothed throughput stays within ``tolerance`` of the
+    fair share for ``hold_s`` seconds (the paper's "time from flow events
+    to the time when it reaches a sending rate within +-10% of its ideal
+    fair share"); for a *departure* every remaining flow must reach the
+    new fair share.  Stability is the std-dev of the tracked flow's
+    throughput from convergence until the next event.
+    """
+    if not 0 < tolerance < 1:
+        raise ConfigError("tolerance must lie in (0, 1)")
+    times, matrix, active = result.throughput_matrix(grid_s)
+    width = max(int(round(smooth_s / grid_s)), 1)
+    smoothed = np.vstack([_smooth(matrix[i], width)
+                          for i in range(matrix.shape[0])])
+    events = flow_events(result)
+    reports = []
+    for k, event in enumerate(events):
+        next_t = events[k + 1].time_s if k + 1 < len(events) \
+            else result.duration_s
+        fair = result.bottleneck_mbps / max(event.n_active_after, 1)
+        window = (times >= event.time_s) & (times < next_t)
+        if not window.any():
+            reports.append(EventConvergence(event, fair, None, None))
+            continue
+        idx = np.where(window)[0]
+        if event.kind == ARRIVAL:
+            live_rows = np.array([event.flow_index])
+        else:
+            live_rows = np.where(active[:, idx[0]])[0]
+        if len(live_rows) == 0:
+            reports.append(EventConvergence(event, fair, None, None))
+            continue
+        within = np.abs(smoothed[np.ix_(live_rows, idx)] - fair) \
+            <= tolerance * fair
+        all_within = within.all(axis=0)
+        hold = max(int(round(hold_s / grid_s)), 1)
+        conv_time = None
+        conv_slot = None
+        for j in range(len(idx)):
+            end = min(j + hold, len(idx))
+            if all_within[j:end].all() and end - j >= min(hold, len(idx) - j):
+                conv_time = float(times[idx[j]] - event.time_s)
+                conv_slot = j
+                break
+        stability = None
+        watched = event.flow_index if event.kind == ARRIVAL else None
+        if conv_slot is not None:
+            rows = [watched] if watched is not None and \
+                watched in live_rows else list(live_rows)
+            tail = idx[conv_slot:]
+            if len(tail) >= 2:
+                stability = float(np.mean(
+                    [np.std(matrix[r, tail]) for r in rows]))
+        reports.append(EventConvergence(event, fair, conv_time, stability))
+    return reports
+
+
+def mean_convergence_time(reports: list[EventConvergence],
+                          penalty_s: float | None = None) -> float:
+    """Average convergence time; unconverged events count ``penalty_s``
+    (dropped entirely when ``penalty_s`` is None and nothing converged,
+    returning ``nan``)."""
+    values = []
+    for r in reports:
+        if r.convergence_time_s is not None:
+            values.append(r.convergence_time_s)
+        elif penalty_s is not None:
+            values.append(penalty_s)
+    return float(np.mean(values)) if values else float("nan")
+
+
+def mean_stability(reports: list[EventConvergence]) -> float:
+    """Average post-convergence throughput std-dev across events (Mbps)."""
+    values = [r.stability_mbps for r in reports if r.stability_mbps is not None]
+    return float(np.mean(values)) if values else float("nan")
+
+
+def jain_convergence_times(result: ScenarioResult, threshold: float = 0.9,
+                           hold_s: float = 1.0, grid_s: float = 0.1,
+                           smooth_s: float = 0.3) -> list[float | None]:
+    """Per flow event: time until the active flows' Jain index first stays
+    above ``threshold`` for ``hold_s`` seconds.
+
+    A complement to the paper's ±10%-of-fair-share criterion: it measures
+    *collective* convergence to near-fairness and is robust to a policy
+    whose equilibrium sits a constant small offset from the exact fair
+    point (see EXPERIMENTS.md).  ``None`` marks events that never reach
+    the threshold before the next event.
+    """
+    from .fairness import jain_index
+
+    if not 0 < threshold <= 1:
+        raise ConfigError("threshold must lie in (0, 1]")
+    times, matrix, active = result.throughput_matrix(grid_s)
+    width = max(int(round(smooth_s / grid_s)), 1)
+    smoothed = np.vstack([_smooth(matrix[i], width)
+                          for i in range(matrix.shape[0])])
+    events = flow_events(result)
+    hold = max(int(round(hold_s / grid_s)), 1)
+    out: list[float | None] = []
+    for k, event in enumerate(events):
+        next_t = events[k + 1].time_s if k + 1 < len(events) \
+            else result.duration_s
+        idx = np.where((times >= event.time_s) & (times < next_t))[0]
+        if len(idx) == 0:
+            out.append(None)
+            continue
+        live = np.where(active[:, idx[0]])[0]
+        if len(live) < 2:
+            out.append(0.0)
+            continue
+        fair = np.array([jain_index(np.maximum(smoothed[live, j], 0.0))
+                         >= threshold for j in idx])
+        found = None
+        for j in range(len(idx) - hold + 1):
+            if fair[j:j + hold].all():
+                found = float(times[idx[j]] - event.time_s)
+                break
+        out.append(found)
+    return out
+
+
+def mean_jain_convergence_time(result: ScenarioResult,
+                               threshold: float = 0.9,
+                               penalty_s: float = 30.0, **kwargs) -> float:
+    """Mean of :func:`jain_convergence_times`, penalising non-convergence."""
+    values = [v if v is not None else penalty_s
+              for v in jain_convergence_times(result, threshold, **kwargs)]
+    return float(np.mean(values)) if values else float("nan")
+
+
+def ramp_time_s(result: ScenarioResult, utilization: float = 0.9,
+                grid_s: float = 0.1, hold_s: float = 0.5) -> float:
+    """Time for aggregate throughput to first reach (and hold) a
+    utilisation threshold — the single-flow responsiveness the paper's
+    real-world section credits for Astraea's high utilisation.
+
+    Returns ``inf`` if the threshold is never sustained.
+    """
+    if not 0 < utilization <= 1:
+        raise ConfigError("utilization threshold must lie in (0, 1]")
+    times, matrix, active = result.throughput_matrix(grid_s)
+    total = (matrix * active).sum(axis=0)
+    target = utilization * result.bottleneck_mbps
+    hold = max(int(round(hold_s / grid_s)), 1)
+    above = total >= target
+    for i in range(len(times) - hold + 1):
+        if above[i:i + hold].all():
+            return float(times[i])
+    return float("inf")

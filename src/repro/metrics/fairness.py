@@ -1,0 +1,72 @@
+"""Fairness metrics: Jain index, Astraea's R_fair, and max-min shares."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def jain_index(throughputs) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Equals 1 for perfectly equal allocations and ``1/n`` when one flow
+    takes everything.  An all-zero allocation is defined as perfectly fair
+    (index 1), matching the convention used when flows are idle.
+    """
+    x = np.asarray(throughputs, dtype=float)
+    if x.size == 0:
+        raise ConfigError("jain index of an empty allocation is undefined")
+    if np.any(x < 0):
+        raise ConfigError("throughputs must be non-negative")
+    peak = x.max()
+    if peak == 0:
+        return 1.0
+    # Normalising by the peak makes the (scale-invariant) index immune to
+    # overflow/underflow of the squared sums at extreme magnitudes.
+    x = x / peak
+    return float(x.sum() ** 2 / (x.size * np.sum(x ** 2)))
+
+
+def astraea_fairness_metric(avg_throughputs) -> float:
+    """The paper's R_fair (Eq. 6): normalised std-dev of flow throughputs.
+
+    Zero at the fair equilibrium; unlike the Jain index it stays sensitive
+    as flows approach equality (Fig. 4).  Computed over per-flow *average*
+    throughputs (the paper averages over the last ``w`` MTPs).
+    """
+    x = np.asarray(avg_throughputs, dtype=float)
+    if x.size == 0:
+        raise ConfigError("fairness metric of an empty allocation is undefined")
+    total = x.sum()
+    if total == 0:
+        return 0.0
+    mean = total / x.size
+    return float(np.sqrt(np.sum((x - mean) ** 2) / (x.size * total ** 2)))
+
+
+def max_min_fair_shares(demands, capacity: float) -> np.ndarray:
+    """Max-min fair allocation of ``capacity`` among flows with demands.
+
+    ``demands`` may contain ``inf`` for elastic flows.  Classic water-filling.
+    """
+    d = np.asarray(demands, dtype=float)
+    if capacity < 0:
+        raise ConfigError("capacity must be non-negative")
+    if np.any(d < 0):
+        raise ConfigError("demands must be non-negative")
+    alloc = np.zeros_like(d)
+    remaining = capacity
+    unsatisfied = np.ones_like(d, dtype=bool)
+    while unsatisfied.any() and remaining > 1e-12:
+        share = remaining / unsatisfied.sum()
+        limited = unsatisfied & (d - alloc <= share)
+        if limited.any():
+            grant = d[limited] - alloc[limited]
+            alloc[limited] = d[limited]
+            remaining -= grant.sum()
+            unsatisfied &= ~limited
+        else:
+            alloc[unsatisfied] += share
+            remaining = 0.0
+    return alloc

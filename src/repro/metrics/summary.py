@@ -1,0 +1,67 @@
+"""Run summaries and distribution helpers shared by the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..env.multiflow import ScenarioResult
+from .convergence import (
+    convergence_report,
+    mean_convergence_time,
+    mean_stability,
+)
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Headline numbers of one scenario run."""
+
+    scheme: str
+    utilization: float
+    mean_jain: float
+    mean_rtt_ms: float
+    mean_loss_rate: float
+    convergence_time_s: float
+    stability_mbps: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "scheme": self.scheme,
+            "utilization": self.utilization,
+            "mean_jain": self.mean_jain,
+            "mean_rtt_ms": self.mean_rtt_ms,
+            "mean_loss_rate": self.mean_loss_rate,
+            "convergence_time_s": self.convergence_time_s,
+            "stability_mbps": self.stability_mbps,
+        }
+
+
+def summarize(result: ScenarioResult, scheme: str,
+              penalty_s: float | None = None) -> RunSummary:
+    """Compute the standard summary of a run."""
+    reports = convergence_report(result)
+    return RunSummary(
+        scheme=scheme,
+        utilization=result.utilization(),
+        mean_jain=result.mean_jain(),
+        mean_rtt_ms=result.mean_rtt_s() * 1e3,
+        mean_loss_rate=result.mean_loss_rate(),
+        convergence_time_s=mean_convergence_time(reports, penalty_s=penalty_s),
+        stability_mbps=mean_stability(reports),
+    )
+
+
+def cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns sorted values and cumulative probabilities."""
+    x = np.sort(np.asarray(values, dtype=float))
+    if x.size == 0:
+        return x, x
+    return x, np.arange(1, x.size + 1) / x.size
+
+
+def percentile_summary(values, percentiles=(5, 25, 50, 75, 95)) -> dict[int, float]:
+    """Named percentiles of a sample."""
+    arr = np.asarray(values, dtype=float)
+    return {p: float(np.percentile(arr, p)) for p in percentiles}

@@ -1,0 +1,125 @@
+"""Flow generation (§3.2, "Flow generator").
+
+The environment starts flows according to a user-defined configuration —
+start times, running times, CC scheme, per-flow extra delay — and supports
+randomised arrivals.  The paper recommends Poisson arrivals over
+deterministic ones so the RL agent does not overfit a fixed traffic
+pattern; :func:`poisson_flows` implements that recommendation and
+:func:`staggered_flows` the deterministic fixed-interval pattern used by
+most evaluation scenarios (e.g. three flows at 40 s intervals in Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import FlowConfig
+from ..errors import ConfigError
+
+
+def staggered_flows(n: int, cc: str = "astraea", interval_s: float = 40.0,
+                    duration_s: float | None = 120.0,
+                    extra_rtt_ms: float = 0.0, **cc_kwargs) -> tuple[FlowConfig, ...]:
+    """``n`` identical flows starting ``interval_s`` apart.
+
+    This is the canonical convergence-study arrival pattern: each flow runs
+    for ``duration_s`` so that consecutive flows overlap and the scheme's
+    reaction to both arrivals and departures is visible.
+    """
+    if n <= 0:
+        raise ConfigError(f"flow count must be positive, got {n}")
+    if interval_s < 0:
+        raise ConfigError("interval must be >= 0")
+    return tuple(
+        FlowConfig(cc=cc, start_s=i * interval_s, duration_s=duration_s,
+                   extra_rtt_ms=extra_rtt_ms, cc_kwargs=dict(cc_kwargs))
+        for i in range(n)
+    )
+
+
+def simultaneous_flows(n: int, cc: str = "astraea",
+                       duration_s: float | None = None,
+                       extra_rtt_ms: float = 0.0, **cc_kwargs) -> tuple[FlowConfig, ...]:
+    """``n`` identical flows all starting at t=0."""
+    return staggered_flows(n, cc=cc, interval_s=0.0, duration_s=duration_s,
+                           extra_rtt_ms=extra_rtt_ms, **cc_kwargs)
+
+
+def heterogeneous_rtt_flows(n: int, cc: str, rtt_range_ms: tuple[float, float],
+                            link_rtt_ms: float,
+                            duration_s: float | None = None) -> tuple[FlowConfig, ...]:
+    """``n`` flows whose base RTTs evenly span ``rtt_range_ms``.
+
+    The link contributes ``link_rtt_ms``; per-flow extra delay makes up the
+    difference, mirroring the RTT-fairness setup of Fig. 8 (five flows with
+    base RTTs evenly spaced between 40 and 200 ms).
+    """
+    lo, hi = rtt_range_ms
+    if lo < link_rtt_ms:
+        raise ConfigError(
+            f"smallest flow RTT {lo} ms is below the link base RTT {link_rtt_ms} ms"
+        )
+    if n <= 0:
+        raise ConfigError("flow count must be positive")
+    rtts = np.linspace(lo, hi, n) if n > 1 else np.array([lo])
+    return tuple(
+        FlowConfig(cc=cc, start_s=0.0, duration_s=duration_s,
+                   extra_rtt_ms=float(r - link_rtt_ms))
+        for r in rtts
+    )
+
+
+def poisson_flows(rate_per_s: float, horizon_s: float, cc: str = "astraea",
+                  mean_duration_s: float = 30.0, seed: int = 0,
+                  max_flows: int | None = None) -> tuple[FlowConfig, ...]:
+    """Poisson flow arrivals with exponential holding times.
+
+    Arrivals form a Poisson process of intensity ``rate_per_s`` over
+    ``[0, horizon_s)``; each flow's duration is exponential with mean
+    ``mean_duration_s``.  Used during training to randomise competition
+    patterns (§3.2).
+    """
+    if rate_per_s <= 0 or horizon_s <= 0 or mean_duration_s <= 0:
+        raise ConfigError("rate, horizon and mean duration must be positive")
+    rng = np.random.default_rng(seed)
+    flows = []
+    t = rng.exponential(1.0 / rate_per_s)
+    while t < horizon_s:
+        flows.append(FlowConfig(
+            cc=cc,
+            start_s=float(t),
+            duration_s=float(max(rng.exponential(mean_duration_s), 1.0)),
+        ))
+        if max_flows is not None and len(flows) >= max_flows:
+            break
+        t += rng.exponential(1.0 / rate_per_s)
+    if not flows:
+        flows.append(FlowConfig(cc=cc, start_s=0.0, duration_s=mean_duration_s))
+    return tuple(flows)
+
+
+def randomized_training_flows(n: int, horizon_s: float, seed: int,
+                              cc: str = "astraea",
+                              rtt_jitter_ms: tuple[float, float] = (0.0, 120.0),
+                              ) -> tuple[FlowConfig, ...]:
+    """Training-episode arrivals: randomised starts, durations and RTTs.
+
+    The first flow starts at t=0 so the link is never idle; the rest start
+    uniformly in the first third of the episode and run until (close to) the
+    end, giving long co-existence windows in which fairness is measurable.
+    Per-flow extra delay injects the RTT heterogeneity the paper trains
+    with; the wide default jitter is what teaches the policy *absolute*
+    (RTT-independent) queue-delay responses and hence RTT fairness (§5.1.2).
+    """
+    if n <= 0:
+        raise ConfigError("flow count must be positive")
+    rng = np.random.default_rng(seed)
+    flows = []
+    for i in range(n):
+        start = 0.0 if i == 0 else float(rng.uniform(0.0, horizon_s / 3.0))
+        duration = float(horizon_s - start - rng.uniform(0.0, horizon_s / 6.0))
+        extra = float(rng.uniform(*rtt_jitter_ms))
+        flows.append(FlowConfig(cc=cc, start_s=start,
+                                duration_s=max(duration, horizon_s / 4.0),
+                                extra_rtt_ms=extra))
+    return tuple(flows)

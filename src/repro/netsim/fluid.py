@@ -1,0 +1,361 @@
+"""Fluid-model network engine.
+
+This is the workhorse simulator that replaces the paper's Mahimahi +
+Pantheon-tunnel emulation.  It advances in small ticks (default 2 ms) and
+models each flow as a fluid whose instantaneous arrival rate at its first
+bottleneck is the classic window-limited rate ``cwnd / rtt`` (optionally
+capped by a pacing rate).  Every link keeps a drop-tail FIFO queue; queueing
+delay feeds back into each flow's RTT, which closes the congestion loop:
+
+    queue grows -> RTT grows -> window-limited rate drops.
+
+Multiple links are supported so the multi-bottleneck topology of Fig. 11
+runs on the same engine: a flow follows a *path* (a sequence of links) and
+its departure rate from one hop is its arrival rate at the next.  FIFO
+sharing is approximated by serving each flow in proportion to its share of
+the aggregate arrival rate, which is the standard fluid approximation and
+matches packet-level FIFO on MTP timescales (validated by the fidelity
+tests against :mod:`repro.netsim.packet`).
+
+Observation delay: the conditions a tick records become visible to the
+sender one ACK-return delay later (about half the current RTT after the
+bottleneck experienced them — a full RTT after the send decision), via
+:class:`repro.netsim.stats.FlowMonitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import LinkConfig
+from ..errors import SimulationError
+from .qdisc import QueueDiscipline, create_qdisc
+from .stats import FlowMonitor, TickSample
+from .traces import CapacityTrace, ConstantTrace
+
+INITIAL_CWND_PKTS = 10.0
+MIN_CWND_PKTS = 2.0
+
+
+@dataclass
+class _LinkState:
+    """Runtime state of one link."""
+
+    config: LinkConfig
+    trace: CapacityTrace
+    qdisc: QueueDiscipline = None  # type: ignore[assignment]
+    queue_pkts: float = 0.0
+    # Cumulative counters for diagnostics.
+    total_arrived_pkts: float = 0.0
+    total_delivered_pkts: float = 0.0
+    total_dropped_pkts: float = 0.0
+
+    def capacity_pps(self, t: float) -> float:
+        from ..units import mbps_to_pps
+
+        return mbps_to_pps(self.trace.capacity_mbps(t))
+
+    @property
+    def buffer_pkts(self) -> float:
+        return self.config.buffer_size_packets
+
+
+@dataclass
+class _FlowState:
+    """Runtime state of one flow inside the engine."""
+
+    flow_id: int
+    path: tuple[int, ...]
+    base_rtt_s: float
+    cwnd_pkts: float = INITIAL_CWND_PKTS
+    pacing_pps: float | None = None
+    monitor: FlowMonitor = field(default=None)  # type: ignore[assignment]
+    # Last-tick values cached for accessors.
+    last_rtt_s: float = 0.0
+    last_rate_pps: float = 0.0
+    last_goodput_pps: float = 0.0
+    total_delivered_pkts: float = 0.0
+    total_lost_pkts: float = 0.0
+    total_sent_pkts: float = 0.0
+
+
+class FluidNetwork:
+    """Multi-flow, multi-link fluid simulator.
+
+    Parameters
+    ----------
+    links:
+        The links of the network in the order flows traverse them (a path
+        refers to links by name).  A single-bottleneck scenario passes one
+        link.
+    traces:
+        Optional per-link capacity traces, keyed by link name.  Links
+        without a trace run at their configured constant bandwidth.
+    seed:
+        Seeds the engine RNG (currently only used by stochastic-loss
+        smoothing; the loss process itself is fluid and deterministic).
+    """
+
+    def __init__(self, links: list[LinkConfig] | LinkConfig,
+                 traces: dict[str, CapacityTrace] | None = None,
+                 seed: int = 0):
+        if isinstance(links, LinkConfig):
+            links = [links]
+        if not links:
+            raise SimulationError("a network needs at least one link")
+        names = [l.name for l in links]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate link names: {names}")
+        traces = traces or {}
+        self._links = [
+            _LinkState(
+                config=l,
+                trace=traces.get(l.name, ConstantTrace(l.bandwidth_mbps)),
+                qdisc=create_qdisc(l.qdisc, **l.qdisc_kwargs),
+            )
+            for l in links
+        ]
+        self._link_index = {l.name: i for i, l in enumerate(links)}
+        self._flows: dict[int, _FlowState] = {}
+        self._next_flow_id = 0
+        self._rng = np.random.default_rng(seed)
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Flow management
+    # ------------------------------------------------------------------
+
+    def add_flow(self, base_rtt_s: float, path: list[str] | None = None,
+                 cwnd_pkts: float = INITIAL_CWND_PKTS,
+                 pacing_pps: float | None = None) -> int:
+        """Register a flow and return its engine id.
+
+        ``path`` lists link names in traversal order; ``None`` means "all
+        links in network order", which is the single-bottleneck default.
+        """
+        if base_rtt_s <= 0:
+            raise SimulationError(f"base rtt must be positive, got {base_rtt_s}")
+        if path is None:
+            link_ids = tuple(range(len(self._links)))
+        else:
+            try:
+                link_ids = tuple(self._link_index[name] for name in path)
+            except KeyError as exc:
+                raise SimulationError(f"unknown link in path: {exc}") from None
+            if not link_ids:
+                raise SimulationError("a flow path needs at least one link")
+        fid = self._next_flow_id
+        self._next_flow_id += 1
+        flow = _FlowState(
+            flow_id=fid,
+            path=link_ids,
+            base_rtt_s=base_rtt_s,
+            cwnd_pkts=max(cwnd_pkts, MIN_CWND_PKTS),
+            pacing_pps=pacing_pps,
+            monitor=FlowMonitor(base_rtt_s),
+        )
+        flow.last_rtt_s = base_rtt_s
+        self._flows[fid] = flow
+        return fid
+
+    def remove_flow(self, fid: int) -> None:
+        """Deregister a flow (its remaining queued fluid is discarded)."""
+        self._flows.pop(fid, None)
+
+    def set_cwnd(self, fid: int, cwnd_pkts: float,
+                 pacing_pps: float | None = None) -> None:
+        """Apply a controller decision to a flow."""
+        flow = self._require(fid)
+        if not np.isfinite(cwnd_pkts):
+            raise SimulationError(f"non-finite cwnd for flow {fid}: {cwnd_pkts}")
+        flow.cwnd_pkts = float(np.clip(cwnd_pkts, MIN_CWND_PKTS, 1e9))
+        flow.pacing_pps = pacing_pps
+
+    def _require(self, fid: int) -> _FlowState:
+        try:
+            return self._flows[fid]
+        except KeyError:
+            raise SimulationError(f"unknown flow id {fid}") from None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def flow_ids(self) -> list[int]:
+        """Ids of all currently registered flows."""
+        return list(self._flows)
+
+    def monitor(self, fid: int) -> FlowMonitor:
+        """The sender-side monitor of a flow."""
+        return self._require(fid).monitor
+
+    def cwnd(self, fid: int) -> float:
+        """Current congestion window of a flow in packets."""
+        return self._require(fid).cwnd_pkts
+
+    def flow_rtt_s(self, fid: int) -> float:
+        """Instantaneous RTT of a flow (base plus path queueing delay)."""
+        return self._require(fid).last_rtt_s
+
+    def flow_rate_pps(self, fid: int) -> float:
+        """Instantaneous sending rate of a flow (pkts/s)."""
+        return self._require(fid).last_rate_pps
+
+    def flow_goodput_pps(self, fid: int) -> float:
+        """Instantaneous delivery rate of a flow (pkts/s)."""
+        return self._require(fid).last_goodput_pps
+
+    def pkts_in_flight(self, fid: int) -> float:
+        """Approximate packets in flight (rate times RTT, capped by cwnd)."""
+        flow = self._require(fid)
+        return min(flow.last_rate_pps * flow.last_rtt_s, flow.cwnd_pkts)
+
+    def queue_pkts(self, link_name: str | None = None) -> float:
+        """Current backlog of a link (first link by default), in packets."""
+        idx = 0 if link_name is None else self._link_index[link_name]
+        return self._links[idx].queue_pkts
+
+    def queue_delay_s(self, link_name: str | None = None) -> float:
+        """Current queueing delay of a link in seconds."""
+        idx = 0 if link_name is None else self._link_index[link_name]
+        link = self._links[idx]
+        cap = link.capacity_pps(self.now)
+        return link.queue_pkts / cap if cap > 0 else 0.0
+
+    def link_capacity_pps(self, link_name: str | None = None) -> float:
+        """Instantaneous capacity of a link (pkts/s)."""
+        idx = 0 if link_name is None else self._link_index[link_name]
+        return self._links[idx].capacity_pps(self.now)
+
+    def link_drops_pkts(self, link_name: str | None = None) -> float:
+        """Cumulative packets dropped at a link."""
+        idx = 0 if link_name is None else self._link_index[link_name]
+        return self._links[idx].total_dropped_pkts
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        """Advance the network by one tick of ``dt`` seconds."""
+        if dt <= 0:
+            raise SimulationError(f"tick must be positive, got {dt}")
+        flows = list(self._flows.values())
+        t = self.now
+        n_links = len(self._links)
+        qdelay = np.empty(n_links)
+        capacity = np.empty(n_links)
+        for li, link in enumerate(self._links):
+            capacity[li] = link.capacity_pps(t)
+            qdelay[li] = link.queue_pkts / capacity[li] if capacity[li] > 0 else 0.0
+
+        if not flows:
+            # Queues still drain when idle.
+            for li, link in enumerate(self._links):
+                drained = min(link.queue_pkts, capacity[li] * dt)
+                link.queue_pkts -= drained
+                link.total_delivered_pkts += drained
+            self.now = t + dt
+            return
+
+        n = len(flows)
+        base_rtt = np.array([f.base_rtt_s for f in flows])
+        cwnd = np.array([f.cwnd_pkts for f in flows])
+        pacing = np.array(
+            [f.pacing_pps if f.pacing_pps is not None else np.inf for f in flows]
+        )
+        path_delay = np.zeros(n)
+        for i, f in enumerate(flows):
+            for li in f.path:
+                path_delay[i] += qdelay[li]
+        rtt = base_rtt + path_delay
+
+        # Window-limited sending rate, optionally pacing-capped.
+        rate = np.minimum(cwnd / rtt, pacing)
+        sent = rate * dt
+        lost = np.zeros(n)
+        marked = np.zeros(n)
+
+        # Push the fluid through each link in network order.  A flow's rate
+        # entering a link is its departure rate from the previous hop.
+        current = rate.copy()
+        for li, link in enumerate(self._links):
+            on_link = [i for i, f in enumerate(flows) if li in f.path]
+            if not on_link:
+                drained = min(link.queue_pkts, capacity[li] * dt)
+                link.queue_pkts -= drained
+                link.total_delivered_pkts += drained
+                continue
+            idx = np.array(on_link)
+            arrival = current[idx]
+            # Active queue management: early-drop a fraction of arrivals.
+            early = link.qdisc.drop_fraction(
+                link.queue_pkts, qdelay[li], t, dt)
+            if early > 0:
+                early_drop = arrival * early
+                lost[idx] += early_drop * dt
+                link.total_dropped_pkts += float(early_drop.sum()) * dt
+                arrival = arrival - early_drop
+            total_arrival = float(arrival.sum())
+            link.total_arrived_pkts += total_arrival * dt
+            q_tentative = link.queue_pkts + (total_arrival - capacity[li]) * dt
+            dropped_pkts = 0.0
+            if q_tentative > link.buffer_pkts:
+                dropped_pkts = q_tentative - link.buffer_pkts
+                q_new = link.buffer_pkts
+            else:
+                q_new = max(q_tentative, 0.0)
+            delivered_pkts = (
+                link.queue_pkts + total_arrival * dt - dropped_pkts - q_new
+            )
+            departure = delivered_pkts / dt
+            link.queue_pkts = q_new
+            link.total_delivered_pkts += delivered_pkts
+            link.total_dropped_pkts += dropped_pkts
+            if total_arrival > 0:
+                share = arrival / total_arrival
+            else:
+                share = np.zeros_like(arrival)
+            out = share * departure
+            drop_rate = share * (dropped_pkts / dt)
+            # ECN marking: a fraction of what passes through is marked.
+            mark = link.qdisc.mark_fraction(link.queue_pkts, qdelay[li],
+                                            t, dt)
+            if mark > 0:
+                marked[idx] += out * mark * dt
+            # Stochastic (non-congestion) loss happens on the wire after the
+            # queue; it removes goodput but does not occupy the buffer.
+            p = link.config.random_loss
+            if p > 0:
+                rand_loss = out * p
+                out = out - rand_loss
+                drop_rate = drop_rate + rand_loss
+            lost[idx] += drop_rate * dt
+            current[idx] = out
+
+        delivered = current * dt
+
+        # Record per-flow samples; they become observable one ACK-return
+        # delay (~rtt/2 from the bottleneck's perspective) later.
+        for i, f in enumerate(flows):
+            f.last_rtt_s = float(rtt[i])
+            f.last_rate_pps = float(rate[i])
+            f.last_goodput_pps = float(current[i])
+            f.total_sent_pkts += float(sent[i])
+            f.total_delivered_pkts += float(delivered[i])
+            f.total_lost_pkts += float(lost[i])
+            f.monitor.push(TickSample(
+                time=t,
+                avail_at=t + dt + rtt[i] / 2.0,
+                dt=dt,
+                rtt_s=float(rtt[i]),
+                sent_pkts=float(sent[i]),
+                delivered_pkts=float(delivered[i]),
+                lost_pkts=float(lost[i]),
+                marked_pkts=float(marked[i]),
+            ))
+
+        self.now = t + dt

@@ -1,0 +1,224 @@
+"""Packet-level discrete-event simulator (single bottleneck).
+
+The fluid engine is fast enough for training and large parameter sweeps,
+but it is an approximation.  This module provides a reference packet-level
+simulator — a drop-tail FIFO bottleneck with per-packet service, explicit
+propagation delay and per-packet random loss — used by the fidelity tests
+to check that the fluid model's per-MTP statistics (throughput shares,
+RTT inflation, loss under overload) agree with real FIFO queueing, and by
+integration tests that drive full CC controllers per-ACK-clocked.
+
+Event model
+-----------
+All propagation delay is folded into the ACK return path, so a packet's
+measured RTT is ``queue_wait + service_time + base_rtt`` — identical in
+expectation to the fluid model's ``base_rtt + queue/capacity``.  Senders
+are cwnd-limited and optionally paced; drops are tail drops plus Bernoulli
+random loss, and the sender learns of a drop one base RTT after it happens
+(a duplicate-ACK-like notification), which also releases the in-flight slot.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import LinkConfig
+from ..errors import SimulationError
+from ..units import mbps_to_pps
+
+_SEND = 0
+_SERVICE_DONE = 1
+_ACK = 2
+_LOSS_NOTE = 3
+_MTP = 4
+
+
+@dataclass
+class PacketFlowStats:
+    """Cumulative per-flow counters exposed after a run."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    rtt_sum: float = 0.0
+
+    @property
+    def avg_rtt_s(self) -> float:
+        return self.rtt_sum / self.delivered if self.delivered else 0.0
+
+
+@dataclass
+class _Flow:
+    fid: int
+    cwnd: float
+    base_rtt_s: float
+    pacing_pps: float | None = None
+    inflight: int = 0
+    next_send_ok: float = 0.0
+    stats: PacketFlowStats = field(default_factory=PacketFlowStats)
+    # Per-MTP accumulators.
+    mtp_delivered: int = 0
+    mtp_lost: int = 0
+    mtp_sent: int = 0
+    mtp_rtt_sum: float = 0.0
+
+
+class PacketNetwork:
+    """Single-bottleneck packet-level simulator.
+
+    Flows are added with :meth:`add_flow`; an optional per-flow callback
+    ``on_mtp(stats_dict) -> new_cwnd`` runs every ``mtp_s`` and may adjust
+    the window, which lets real controllers drive the packet engine.
+    """
+
+    def __init__(self, link: LinkConfig, seed: int = 0, mtp_s: float = 0.030):
+        self._link = link
+        self._capacity_pps = mbps_to_pps(link.bandwidth_mbps)
+        self._buffer_pkts = int(round(link.buffer_size_packets))
+        self._queue: deque[tuple[int, float]] = deque()
+        self._busy = False
+        self._events: list[tuple[float, int, int, int, float]] = []
+        self._counter = itertools.count()
+        self._flows: dict[int, _Flow] = {}
+        self._callbacks: dict[int, object] = {}
+        self._rng = np.random.default_rng(seed)
+        self._mtp_s = mtp_s
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+
+    def add_flow(self, base_rtt_s: float, cwnd: float = 10.0,
+                 pacing_pps: float | None = None,
+                 on_mtp=None) -> int:
+        """Register a flow; returns its id.  Must be called before run()."""
+        if base_rtt_s <= 0:
+            raise SimulationError("base rtt must be positive")
+        fid = len(self._flows)
+        self._flows[fid] = _Flow(fid=fid, cwnd=cwnd, base_rtt_s=base_rtt_s,
+                                 pacing_pps=pacing_pps)
+        if on_mtp is not None:
+            self._callbacks[fid] = on_mtp
+        return fid
+
+    def set_cwnd(self, fid: int, cwnd: float,
+                 pacing_pps: float | None = None) -> None:
+        flow = self._flows[fid]
+        flow.cwnd = max(cwnd, 1.0)
+        flow.pacing_pps = pacing_pps
+
+    def stats(self, fid: int) -> PacketFlowStats:
+        return self._flows[fid].stats
+
+    # ------------------------------------------------------------------
+
+    def _push(self, t: float, kind: int, fid: int, payload: float = 0.0) -> None:
+        heapq.heappush(self._events, (t, next(self._counter), kind, fid, payload))
+
+    def _try_send(self, flow: _Flow) -> None:
+        """Send as permitted by cwnd and pacing; schedules follow-ups."""
+        while flow.inflight < int(flow.cwnd):
+            if flow.pacing_pps is not None and self.now < flow.next_send_ok:
+                self._push(flow.next_send_ok, _SEND, flow.fid)
+                return
+            flow.inflight += 1
+            flow.stats.sent += 1
+            flow.mtp_sent += 1
+            if flow.pacing_pps:
+                flow.next_send_ok = max(flow.next_send_ok, self.now) + 1.0 / flow.pacing_pps
+            self._enqueue(flow)
+
+    def _enqueue(self, flow: _Flow) -> None:
+        if len(self._queue) >= self._buffer_pkts and (self._busy or self._queue):
+            # Tail drop; the sender learns one base RTT later.
+            flow.stats.lost += 1
+            flow.mtp_lost += 1
+            self._push(self.now + flow.base_rtt_s, _LOSS_NOTE, flow.fid)
+            return
+        self._queue.append((flow.fid, self.now))
+        if not self._busy:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        self._busy = True
+        self._push(self.now + 1.0 / self._capacity_pps, _SERVICE_DONE, -1)
+
+    def _finish_service(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        fid, enq_time = self._queue.popleft()
+        flow = self._flows[fid]
+        if self._link.random_loss > 0 and self._rng.random() < self._link.random_loss:
+            flow.stats.lost += 1
+            flow.mtp_lost += 1
+            self._push(self.now + flow.base_rtt_s, _LOSS_NOTE, fid)
+        else:
+            rtt = (self.now - enq_time) + flow.base_rtt_s
+            self._push(self.now + flow.base_rtt_s, _ACK, fid, rtt)
+        if self._queue:
+            self._push(self.now + 1.0 / self._capacity_pps, _SERVICE_DONE, -1)
+        else:
+            self._busy = False
+
+    def _fire_mtp(self, fid: int) -> None:
+        flow = self._flows[fid]
+        cb = self._callbacks.get(fid)
+        if cb is not None:
+            stats = {
+                "time_s": self.now,
+                "duration_s": self._mtp_s,
+                "throughput_pps": flow.mtp_delivered / self._mtp_s,
+                "avg_rtt_s": (flow.mtp_rtt_sum / flow.mtp_delivered
+                              if flow.mtp_delivered else flow.base_rtt_s),
+                "lost_pkts": float(flow.mtp_lost),
+                "sent_pkts": float(flow.mtp_sent),
+                "pkts_in_flight": float(flow.inflight),
+                "cwnd_pkts": flow.cwnd,
+            }
+            new_cwnd = cb(stats)
+            if new_cwnd is not None:
+                self.set_cwnd(fid, float(new_cwnd), flow.pacing_pps)
+        flow.mtp_delivered = flow.mtp_lost = flow.mtp_sent = 0
+        flow.mtp_rtt_sum = 0.0
+        self._push(self.now + self._mtp_s, _MTP, fid)
+        self._try_send(flow)
+
+    # ------------------------------------------------------------------
+
+    def run(self, duration_s: float) -> None:
+        """Run the event loop for ``duration_s`` simulated seconds."""
+        if duration_s <= 0:
+            raise SimulationError("duration must be positive")
+        end = self.now + duration_s
+        for flow in self._flows.values():
+            self._push(self.now, _SEND, flow.fid)
+            self._push(self.now + self._mtp_s, _MTP, flow.fid)
+        while self._events:
+            t, _, kind, fid, payload = heapq.heappop(self._events)
+            if t > end:
+                break
+            self.now = t
+            if kind == _SERVICE_DONE:
+                self._finish_service()
+            elif kind == _ACK:
+                flow = self._flows[fid]
+                flow.inflight = max(flow.inflight - 1, 0)
+                flow.stats.delivered += 1
+                flow.stats.rtt_sum += payload
+                flow.mtp_delivered += 1
+                flow.mtp_rtt_sum += payload
+                self._try_send(flow)
+            elif kind == _LOSS_NOTE:
+                flow = self._flows[fid]
+                flow.inflight = max(flow.inflight - 1, 0)
+                self._try_send(flow)
+            elif kind == _SEND:
+                self._try_send(self._flows[fid])
+            elif kind == _MTP:
+                self._fire_mtp(fid)
+        self.now = end

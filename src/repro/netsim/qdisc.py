@@ -1,0 +1,182 @@
+"""Active queue management for the emulated link (§3.2).
+
+The paper's environment "can also configure user-defined queuing
+policies"; this module provides the three classic ones in fluid form:
+
+* :class:`DropTail` — drop only on buffer overflow (the default; overflow
+  itself is handled by the engine).
+* :class:`Red` — Random Early Detection: an EWMA of the queue length maps
+  to an early-drop probability between ``min_th`` and ``max_th``.
+* :class:`CoDel` — Controlled Delay: when the queueing delay stays above
+  ``target`` for longer than ``interval``, drop an increasing fraction of
+  arrivals (the fluid analogue of CoDel's sqrt-spaced drop schedule).
+
+A qdisc returns the *fraction of arriving fluid to drop this tick*; the
+engine applies it before the tail-drop overflow check, so AQM drops and
+overflow drops compose exactly as in a real queue.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigError
+
+
+class QueueDiscipline(ABC):
+    """Maps instantaneous queue state to an early-drop fraction.
+
+    With ``ecn=True`` (supported by RED and CoDel, per their RFCs) the
+    discipline *marks* instead of dropping: :meth:`drop_fraction` returns
+    0 and :meth:`mark_fraction` returns what would have been dropped.
+    ECN-capable controllers react to the mark rate as a congestion signal
+    without losing data.
+    """
+
+    ecn: bool = False
+
+    @abstractmethod
+    def drop_fraction(self, queue_pkts: float, qdelay_s: float, now: float,
+                      dt: float) -> float:
+        """Fraction of this tick's arrivals to drop, in [0, 1]."""
+
+    def mark_fraction(self, queue_pkts: float, qdelay_s: float, now: float,
+                      dt: float) -> float:
+        """Fraction of this tick's deliveries to ECN-mark, in [0, 1].
+
+        Only meaningful for disciplines constructed with ``ecn=True``;
+        the default (drop-mode) implementation marks nothing.
+        """
+        return 0.0
+
+    def reset(self) -> None:
+        """Restore initial state (new run)."""
+
+
+class DropTail(QueueDiscipline):
+    """No early drops; overflow handling lives in the engine."""
+
+    def drop_fraction(self, queue_pkts: float, qdelay_s: float, now: float,
+                      dt: float) -> float:
+        return 0.0
+
+
+class Red(QueueDiscipline):
+    """Random Early Detection over an EWMA of the backlog."""
+
+    def __init__(self, min_th_pkts: float = 50.0, max_th_pkts: float = 150.0,
+                 max_p: float = 0.1, ewma: float = 0.05, ecn: bool = False):
+        if not 0 < min_th_pkts < max_th_pkts:
+            raise ConfigError("need 0 < min_th < max_th")
+        if not 0 < max_p <= 1:
+            raise ConfigError("max_p must lie in (0, 1]")
+        if not 0 < ewma <= 1:
+            raise ConfigError("ewma weight must lie in (0, 1]")
+        self.min_th = min_th_pkts
+        self.max_th = max_th_pkts
+        self.max_p = max_p
+        self.ewma = ewma
+        self.ecn = ecn
+        self.reset()
+
+    def reset(self) -> None:
+        self.avg_queue = 0.0
+
+    def _congestion_fraction(self, queue_pkts: float) -> float:
+        self.avg_queue += self.ewma * (queue_pkts - self.avg_queue)
+        if self.avg_queue <= self.min_th:
+            return 0.0
+        if self.avg_queue >= self.max_th:
+            return 1.0
+        return self.max_p * (self.avg_queue - self.min_th) \
+            / (self.max_th - self.min_th)
+
+    def drop_fraction(self, queue_pkts: float, qdelay_s: float, now: float,
+                      dt: float) -> float:
+        if self.ecn:
+            return 0.0
+        return self._congestion_fraction(queue_pkts)
+
+    def mark_fraction(self, queue_pkts: float, qdelay_s: float, now: float,
+                      dt: float) -> float:
+        if not self.ecn:
+            return 0.0
+        return self._congestion_fraction(queue_pkts)
+
+
+class CoDel(QueueDiscipline):
+    """Controlled Delay in fluid form.
+
+    While the queueing delay exceeds ``target_s`` continuously for at
+    least ``interval_s``, the discipline enters a dropping state whose
+    drop fraction grows with the number of elapsed control intervals
+    (mirroring CoDel's ``interval / sqrt(count)`` drop spacing); it exits
+    as soon as the delay dips below target.
+    """
+
+    def __init__(self, target_s: float = 0.005, interval_s: float = 0.100,
+                 base_drop: float = 0.02, ecn: bool = False):
+        if target_s <= 0 or interval_s <= 0:
+            raise ConfigError("target and interval must be positive")
+        if not 0 < base_drop <= 1:
+            raise ConfigError("base drop must lie in (0, 1]")
+        self.target_s = target_s
+        self.interval_s = interval_s
+        self.base_drop = base_drop
+        self.ecn = ecn
+        self.reset()
+
+    def reset(self) -> None:
+        self._above_since: float | None = None
+        self._dropping = False
+        self._count = 0
+
+    def _congestion_fraction(self, qdelay_s: float, now: float) -> float:
+        if qdelay_s <= self.target_s:
+            self._above_since = None
+            self._dropping = False
+            self._count = 0
+            return 0.0
+        if self._above_since is None:
+            self._above_since = now
+        if not self._dropping:
+            if now - self._above_since < self.interval_s:
+                return 0.0
+            self._dropping = True
+            self._count = 1
+        # Escalate roughly once per (shrinking) control interval.
+        spacing = self.interval_s / math.sqrt(self._count)
+        if now - self._above_since >= self.interval_s + self._count * spacing:
+            self._count += 1
+        return min(self.base_drop * math.sqrt(self._count), 1.0)
+
+    def drop_fraction(self, queue_pkts: float, qdelay_s: float, now: float,
+                      dt: float) -> float:
+        if self.ecn:
+            return 0.0
+        return self._congestion_fraction(qdelay_s, now)
+
+    def mark_fraction(self, queue_pkts: float, qdelay_s: float, now: float,
+                      dt: float) -> float:
+        if not self.ecn:
+            return 0.0
+        return self._congestion_fraction(qdelay_s, now)
+
+
+_QDISC_FACTORIES = {
+    "droptail": DropTail,
+    "red": Red,
+    "codel": CoDel,
+}
+
+
+def create_qdisc(name: str, **kwargs) -> QueueDiscipline:
+    """Instantiate a queue discipline by registry name."""
+    try:
+        factory = _QDISC_FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown qdisc {name!r}; available: {sorted(_QDISC_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

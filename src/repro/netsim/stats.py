@@ -1,0 +1,166 @@
+"""Per-flow statistics collection with one-RTT observation delay.
+
+The fluid engine produces a *tick sample* per flow per tick at the
+bottleneck.  A real sender only learns about those conditions when the
+corresponding ACKs return, roughly one RTT after the data was sent; we model
+that by stamping every sample with an availability time and letting the
+sender-side monitor (the MTP collector) read only samples that have become
+observable.  This observation delay is what makes large-RTT scenarios
+genuinely harder for every controller, exactly as in the paper (§5.1.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..units import pps_to_mbps
+
+
+@dataclass(frozen=True)
+class TickSample:
+    """Conditions one flow experienced during one simulator tick.
+
+    All counters are in packets; rates in packets/second; times in seconds.
+    ``avail_at`` is the wall-clock time at which the sender can observe the
+    sample (generation time plus the ACK return delay).
+    """
+
+    time: float
+    avail_at: float
+    dt: float
+    rtt_s: float
+    sent_pkts: float
+    delivered_pkts: float
+    lost_pkts: float
+    marked_pkts: float = 0.0
+
+
+@dataclass(frozen=True)
+class MtpStats:
+    """Aggregated per-Monitoring-Time-Period statistics handed to a controller.
+
+    This is the observation record of §3.3: average throughput and latency
+    over the MTP, lost packets, packets in flight, the congestion window and
+    pacing rate in force, plus the smoothed RTT the sender maintains.
+    """
+
+    time_s: float
+    duration_s: float
+    throughput_pps: float
+    avg_rtt_s: float
+    min_rtt_s: float
+    sent_pkts: float
+    delivered_pkts: float
+    lost_pkts: float
+    pkts_in_flight: float
+    cwnd_pkts: float
+    pacing_pps: float
+    srtt_s: float
+    marked_pkts: float = 0.0
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Delivered goodput over the MTP in Mbps."""
+        return pps_to_mbps(self.throughput_pps)
+
+    @property
+    def pacing_mbps(self) -> float:
+        """Pacing rate in force during the MTP in Mbps."""
+        return pps_to_mbps(self.pacing_pps)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent packets lost during the MTP."""
+        if self.sent_pkts <= 0:
+            return 0.0
+        return min(1.0, self.lost_pkts / self.sent_pkts)
+
+    @property
+    def loss_pps(self) -> float:
+        """Loss expressed as a rate (packets/second)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.lost_pkts / self.duration_s
+
+    @property
+    def mark_rate(self) -> float:
+        """Fraction of delivered packets carrying an ECN mark."""
+        if self.delivered_pkts <= 0:
+            return 0.0
+        return min(1.0, self.marked_pkts / self.delivered_pkts)
+
+
+class FlowMonitor:
+    """Sender-side accumulator turning delayed tick samples into MTP stats.
+
+    The monitor keeps an exponentially smoothed RTT (the kernel's
+    ``srtt`` with gain 1/8) and exposes :meth:`collect` which drains every
+    sample observable at the current time and aggregates it into an
+    :class:`MtpStats`.  When no sample is yet observable (e.g. at flow start
+    on a long path), the previous smoothed values are reused so controllers
+    always receive a well-formed record.
+    """
+
+    SRTT_GAIN = 0.125
+
+    def __init__(self, base_rtt_s: float):
+        self._pending: deque[TickSample] = deque()
+        self._srtt = base_rtt_s
+        self._base_rtt = base_rtt_s
+        self._last_collect = 0.0
+
+    @property
+    def srtt_s(self) -> float:
+        """Current smoothed RTT estimate in seconds."""
+        return self._srtt
+
+    def push(self, sample: TickSample) -> None:
+        """Record a tick sample produced by the engine."""
+        self._pending.append(sample)
+
+    def observe_rtt(self, rtt_s: float) -> None:
+        """Fold an RTT measurement into the smoothed estimate."""
+        self._srtt += self.SRTT_GAIN * (rtt_s - self._srtt)
+
+    def collect(self, now: float, cwnd_pkts: float, pacing_pps: float,
+                pkts_in_flight: float) -> MtpStats:
+        """Aggregate all samples observable at ``now`` into one MTP record."""
+        duration = max(now - self._last_collect, 1e-9)
+        self._last_collect = now
+        sent = delivered = lost = marked = 0.0
+        rtt_weighted = 0.0
+        rtt_min = float("inf")
+        weight = 0.0
+        while self._pending and self._pending[0].avail_at <= now:
+            s = self._pending.popleft()
+            sent += s.sent_pkts
+            delivered += s.delivered_pkts
+            lost += s.lost_pkts
+            marked += s.marked_pkts
+            rtt_weighted += s.rtt_s * s.dt
+            rtt_min = min(rtt_min, s.rtt_s)
+            weight += s.dt
+            self.observe_rtt(s.rtt_s)
+        if weight > 0:
+            avg_rtt = rtt_weighted / weight
+            throughput = delivered / weight
+        else:
+            avg_rtt = self._srtt
+            rtt_min = self._srtt
+            throughput = 0.0
+        return MtpStats(
+            time_s=now,
+            duration_s=duration,
+            throughput_pps=throughput,
+            avg_rtt_s=avg_rtt,
+            min_rtt_s=rtt_min if rtt_min != float("inf") else avg_rtt,
+            sent_pkts=sent,
+            delivered_pkts=delivered,
+            lost_pkts=lost,
+            pkts_in_flight=pkts_in_flight,
+            cwnd_pkts=cwnd_pkts,
+            pacing_pps=pacing_pps,
+            srtt_s=self._srtt,
+            marked_pkts=marked,
+        )

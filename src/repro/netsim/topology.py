@@ -1,0 +1,98 @@
+"""Multi-bottleneck topology helpers.
+
+:class:`repro.netsim.fluid.FluidNetwork` already supports arbitrary link
+paths; this module provides the named topology used by the paper's
+multi-bottleneck experiment (Fig. 11) and a small description object that
+the environment can turn into an engine.
+
+The Fig. 11 "parking-lot" topology (following ExpressPass):
+
+* Flow set 1 (FS-1) traverses Link 1 only (100 Mbps).
+* Flow set 2 (FS-2) traverses Link 1 then Link 2 (20 Mbps).
+
+With two FS-2 flows and ``k`` FS-1 flows the max-min-fair allocation is:
+while ``k`` is small, FS-2 is bottlenecked by Link 2 (10 Mbps each) and FS-1
+shares the remaining Link 1 capacity; once ``k`` grows past the crossover,
+Link 1 becomes the common bottleneck and every flow gets ``100/(k+2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import FlowConfig, LinkConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Links plus a path (sequence of link names) for each flow."""
+
+    links: tuple[LinkConfig, ...]
+    flows: tuple[FlowConfig, ...]
+    paths: tuple[tuple[str, ...], ...]
+    duration_s: float = 60.0
+    mtp_s: float = 0.030
+    tick_s: float = 0.002
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.paths) != len(self.flows):
+            raise ConfigError("need exactly one path per flow")
+        names = {l.name for l in self.links}
+        for path in self.paths:
+            if not path:
+                raise ConfigError("paths must contain at least one link")
+            unknown = set(path) - names
+            if unknown:
+                raise ConfigError(f"path references unknown links: {unknown}")
+
+
+def parking_lot(n_fs1: int, n_fs2: int = 2, cc: str = "astraea",
+                link1_mbps: float = 100.0, link2_mbps: float = 20.0,
+                rtt_ms: float = 30.0, buffer_bdp: float = 4.0,
+                duration_s: float = 40.0, seed: int = 0,
+                **cc_kwargs) -> TopologyConfig:
+    """The Fig. 11 two-bottleneck topology.
+
+    FS-1 flows cross Link 1 only; FS-2 flows cross Link 1 then Link 2.  The
+    link base RTT is attached to Link 1 so both flow sets share the same
+    base propagation delay, as in the paper.
+    """
+    if n_fs1 <= 0 or n_fs2 <= 0:
+        raise ConfigError("both flow sets need at least one flow")
+    link1 = LinkConfig(bandwidth_mbps=link1_mbps, rtt_ms=rtt_ms,
+                       buffer_bdp=buffer_bdp, name="link1")
+    link2 = LinkConfig(bandwidth_mbps=link2_mbps, rtt_ms=rtt_ms,
+                       buffer_bdp=buffer_bdp * link1_mbps / link2_mbps,
+                       name="link2")
+    flows = []
+    paths = []
+    for _ in range(n_fs1):
+        flows.append(FlowConfig(cc=cc, start_s=0.0, cc_kwargs=dict(cc_kwargs)))
+        paths.append(("link1",))
+    for _ in range(n_fs2):
+        flows.append(FlowConfig(cc=cc, start_s=0.0, cc_kwargs=dict(cc_kwargs)))
+        paths.append(("link1", "link2"))
+    return TopologyConfig(
+        links=(link1, link2),
+        flows=tuple(flows),
+        paths=tuple(paths),
+        duration_s=duration_s,
+        seed=seed,
+    )
+
+
+def parking_lot_ideal_shares(n_fs1: int, n_fs2: int = 2,
+                             link1_mbps: float = 100.0,
+                             link2_mbps: float = 20.0) -> tuple[float, float]:
+    """Max-min-fair per-flow shares (Mbps) for FS-1 and FS-2 in Fig. 11."""
+    if n_fs1 <= 0 or n_fs2 <= 0:
+        raise ConfigError("both flow sets need at least one flow")
+    even_split = link1_mbps / (n_fs1 + n_fs2)
+    if even_split <= link2_mbps / n_fs2:
+        # Link 1 is the common bottleneck for everybody.
+        return even_split, even_split
+    fs2 = link2_mbps / n_fs2
+    fs1 = (link1_mbps - link2_mbps) / n_fs1
+    return fs1, fs2

@@ -1,0 +1,288 @@
+"""Bottleneck capacity traces.
+
+The paper evaluates on fixed-rate Mahimahi links, on a Verizon LTE trace
+from Sprout (Figs. 13 and 21) and on wide-area Internet paths (Fig. 15).
+Neither the LTE trace file nor the real Internet is available offline, so
+this module provides synthetic equivalents:
+
+* :class:`ConstantTrace` — a fixed-rate link (the common case).
+* :class:`StepTrace` — piecewise-constant capacity for hand-built dynamics.
+* :class:`LteTrace` — a Markov-modulated rate process whose statistics match
+  the published characteristics of the Verizon LTE downlink trace: mean
+  capacity in the low tens of Mbps, millisecond-scale drastic variation,
+  occasional deep fades and bursts.
+* :class:`WanTrace` — a long-haul Internet path model: nominal capacity with
+  slow jitter plus bursty cross-traffic that temporarily reduces available
+  bandwidth, used for the "real-world" experiments of Fig. 15.
+
+A trace is a callable mapping simulation time (seconds) to capacity in Mbps.
+All randomised traces draw from their own :class:`numpy.random.Generator`
+so that scenarios are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class CapacityTrace(ABC):
+    """Maps simulation time to instantaneous link capacity (Mbps)."""
+
+    @abstractmethod
+    def capacity_mbps(self, t: float) -> float:
+        """Capacity available at time ``t`` seconds."""
+
+    def __call__(self, t: float) -> float:
+        return self.capacity_mbps(t)
+
+    @property
+    def mean_mbps(self) -> float:
+        """Approximate long-run mean capacity (used for buffer sizing)."""
+        samples = [self.capacity_mbps(t) for t in np.linspace(0.0, 60.0, 601)]
+        return float(np.mean(samples))
+
+
+class ConstantTrace(CapacityTrace):
+    """A fixed-rate link."""
+
+    def __init__(self, mbps: float):
+        if mbps <= 0:
+            raise ConfigError(f"capacity must be positive, got {mbps}")
+        self._mbps = float(mbps)
+
+    def capacity_mbps(self, t: float) -> float:
+        return self._mbps
+
+    @property
+    def mean_mbps(self) -> float:
+        return self._mbps
+
+
+class StepTrace(CapacityTrace):
+    """Piecewise-constant capacity.
+
+    ``steps`` is a sequence of ``(start_time_s, mbps)`` pairs sorted by start
+    time; the first pair must start at 0.
+    """
+
+    def __init__(self, steps: list[tuple[float, float]]):
+        if not steps:
+            raise ConfigError("a step trace needs at least one step")
+        if steps[0][0] != 0.0:
+            raise ConfigError("the first step must start at t=0")
+        times = [t for t, _ in steps]
+        if times != sorted(times):
+            raise ConfigError("step times must be sorted")
+        for _, mbps in steps:
+            if mbps <= 0:
+                raise ConfigError("step capacities must be positive")
+        self._times = np.array(times)
+        self._rates = np.array([r for _, r in steps])
+
+    def capacity_mbps(self, t: float) -> float:
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        return float(self._rates[max(idx, 0)])
+
+
+class LteTrace(CapacityTrace):
+    """Markov-modulated LTE-like downlink capacity.
+
+    The process holds one of a small set of rate levels for an exponentially
+    distributed dwell time, with transitions biased towards neighbouring
+    levels, plus fast multiplicative fading noise.  Pre-sampled on a 10 ms
+    grid so repeated lookups are cheap and deterministic for a seed.
+    """
+
+    LEVELS_MBPS = (1.5, 4.0, 8.0, 14.0, 22.0, 32.0, 45.0)
+    MEAN_DWELL_S = 0.8
+    FADE_STD = 0.18
+    GRID_S = 0.010
+
+    def __init__(self, seed: int = 0, duration_s: float = 600.0):
+        if duration_s <= 0:
+            raise ConfigError("trace duration must be positive")
+        rng = np.random.default_rng(seed)
+        n = int(math.ceil(duration_s / self.GRID_S)) + 1
+        rates = np.empty(n)
+        level = rng.integers(2, len(self.LEVELS_MBPS) - 1)
+        dwell_left = rng.exponential(self.MEAN_DWELL_S)
+        fade = 1.0
+        for i in range(n):
+            dwell_left -= self.GRID_S
+            if dwell_left <= 0:
+                step = rng.choice([-2, -1, -1, 1, 1, 2])
+                level = int(np.clip(level + step, 0, len(self.LEVELS_MBPS) - 1))
+                dwell_left = rng.exponential(self.MEAN_DWELL_S)
+            # AR(1) multiplicative fading around the current level.
+            fade = 0.9 * fade + 0.1 * (1.0 + rng.normal(0.0, self.FADE_STD))
+            fade = float(np.clip(fade, 0.25, 1.9))
+            rates[i] = self.LEVELS_MBPS[level] * fade
+        self._rates = np.maximum(rates, 0.3)
+        self._duration = duration_s
+
+    def capacity_mbps(self, t: float) -> float:
+        idx = int(t / self.GRID_S) % len(self._rates)
+        return float(self._rates[idx])
+
+    @property
+    def mean_mbps(self) -> float:
+        return float(np.mean(self._rates))
+
+
+class WanTrace(CapacityTrace):
+    """Wide-area Internet path: jittered capacity plus bursty cross traffic.
+
+    ``kind`` selects the Fig. 15 path class: ``"intra"`` models a short-haul
+    residential-to-cloud path (higher nominal capacity, mild cross traffic),
+    ``"inter"`` a long-haul path with heavier, burstier cross traffic.
+    """
+
+    def __init__(self, kind: str = "intra", nominal_mbps: float | None = None,
+                 seed: int = 0, duration_s: float = 300.0):
+        if kind not in ("intra", "inter"):
+            raise ConfigError(f"unknown WAN path kind {kind!r}")
+        rng = np.random.default_rng(seed)
+        if nominal_mbps is None:
+            nominal_mbps = 900.0 if kind == "intra" else 800.0
+        if nominal_mbps <= 0:
+            raise ConfigError("nominal capacity must be positive")
+        grid = 0.05
+        n = int(math.ceil(duration_s / grid)) + 1
+        # Slow capacity jitter (routing/queueing upstream of the bottleneck).
+        jitter = np.ones(n)
+        for i in range(1, n):
+            jitter[i] = np.clip(
+                0.98 * jitter[i - 1] + 0.02 * (1.0 + rng.normal(0, 0.15)),
+                0.5, 1.2,
+            )
+        # Bursty cross traffic removing a fraction of the capacity.
+        cross = np.zeros(n)
+        burst_p = 0.01 if kind == "intra" else 0.03
+        burst_frac = 0.25 if kind == "intra" else 0.45
+        i = 0
+        while i < n:
+            if rng.random() < burst_p:
+                length = int(rng.exponential(1.5) / grid) + 1
+                cross[i:i + length] = burst_frac * rng.uniform(0.5, 1.5)
+                i += length
+            else:
+                i += 1
+        rates = nominal_mbps * jitter * np.clip(1.0 - cross, 0.1, 1.0)
+        self._rates = np.maximum(rates, 1.0)
+        self._grid = grid
+
+    def capacity_mbps(self, t: float) -> float:
+        idx = int(t / self._grid) % len(self._rates)
+        return float(self._rates[idx])
+
+    @property
+    def mean_mbps(self) -> float:
+        return float(np.mean(self._rates))
+
+
+class WifiTrace(CapacityTrace):
+    """802.11-like capacity: rate-adaptation steps plus contention bursts.
+
+    Wi-Fi links switch among a discrete MCS rate set on second timescales
+    (rate adaptation) and suffer short deep throughput collapses when
+    contending stations grab the medium.  Used by robustness tests and
+    available to scenarios as ``trace="wifi"``.
+    """
+
+    RATES_MBPS = (7.2, 14.4, 28.9, 57.8, 86.7, 115.6)
+    MEAN_DWELL_S = 2.0
+    CONTENTION_P = 0.02
+    CONTENTION_FRACTION = 0.15
+    GRID_S = 0.020
+
+    def __init__(self, seed: int = 0, duration_s: float = 300.0):
+        if duration_s <= 0:
+            raise ConfigError("trace duration must be positive")
+        rng = np.random.default_rng(seed)
+        n = int(math.ceil(duration_s / self.GRID_S)) + 1
+        rates = np.empty(n)
+        level = rng.integers(2, len(self.RATES_MBPS))
+        dwell_left = rng.exponential(self.MEAN_DWELL_S)
+        contention_left = 0
+        for i in range(n):
+            dwell_left -= self.GRID_S
+            if dwell_left <= 0:
+                level = int(np.clip(level + rng.choice([-1, 1]), 0,
+                                    len(self.RATES_MBPS) - 1))
+                dwell_left = rng.exponential(self.MEAN_DWELL_S)
+            if contention_left > 0:
+                contention_left -= 1
+                rates[i] = self.RATES_MBPS[level] * self.CONTENTION_FRACTION
+            else:
+                if rng.random() < self.CONTENTION_P:
+                    contention_left = int(rng.exponential(0.3) / self.GRID_S)
+                rates[i] = self.RATES_MBPS[level]
+        self._rates = np.maximum(rates, 0.5)
+
+    def capacity_mbps(self, t: float) -> float:
+        idx = int(t / self.GRID_S) % len(self._rates)
+        return float(self._rates[idx])
+
+    @property
+    def mean_mbps(self) -> float:
+        return float(np.mean(self._rates))
+
+
+class DiurnalTrace(CapacityTrace):
+    """Slow sinusoidal capacity swing (a day-scale load pattern, sped up).
+
+    ``period_s`` controls the cycle; capacity oscillates between
+    ``low_mbps`` and ``high_mbps``.  Useful for long-run adaptation tests
+    where the bottleneck drifts rather than jumps.
+    """
+
+    def __init__(self, low_mbps: float = 20.0, high_mbps: float = 100.0,
+                 period_s: float = 120.0, phase: float = 0.0):
+        if not 0 < low_mbps <= high_mbps:
+            raise ConfigError("need 0 < low <= high")
+        if period_s <= 0:
+            raise ConfigError("period must be positive")
+        self.low = low_mbps
+        self.high = high_mbps
+        self.period = period_s
+        self.phase = phase
+
+    def capacity_mbps(self, t: float) -> float:
+        mid = (self.high + self.low) / 2.0
+        amp = (self.high - self.low) / 2.0
+        return mid + amp * math.sin(2.0 * math.pi * t / self.period
+                                    + self.phase)
+
+    @property
+    def mean_mbps(self) -> float:
+        return (self.high + self.low) / 2.0
+
+
+_TRACE_FACTORIES = {
+    "constant": ConstantTrace,
+    "step": StepTrace,
+    "lte": LteTrace,
+    "wan": WanTrace,
+    "wifi": WifiTrace,
+    "diurnal": DiurnalTrace,
+}
+
+
+def create_trace(name: str, **kwargs) -> CapacityTrace:
+    """Instantiate a trace by registry name.
+
+    >>> create_trace("constant", mbps=100.0).capacity_mbps(1.0)
+    100.0
+    """
+    try:
+        factory = _TRACE_FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown trace {name!r}; available: {sorted(_TRACE_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

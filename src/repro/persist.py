@@ -1,0 +1,129 @@
+"""Persistence: scenarios and results as JSON files.
+
+Lets experiments be described, shared and replayed without writing
+Python — the CLI (`python -m repro ...`) builds on this:
+
+* :func:`scenario_to_dict` / :func:`scenario_from_dict` — round-trip a
+  :class:`~repro.config.ScenarioConfig` through plain JSON data.
+* :func:`save_result` / :func:`load_result` — persist a
+  :class:`~repro.env.multiflow.ScenarioResult`'s full per-interval logs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from .config import FlowConfig, LinkConfig, ScenarioConfig
+from .env.multiflow import FlowLog, ScenarioResult
+from .errors import ConfigError
+
+
+def scenario_to_dict(scenario: ScenarioConfig) -> dict:
+    """A JSON-serialisable description of a scenario."""
+    return {
+        "link": asdict(scenario.link),
+        "flows": [asdict(f) for f in scenario.flows],
+        "duration_s": scenario.duration_s,
+        "mtp_s": scenario.mtp_s,
+        "tick_s": scenario.tick_s,
+        "seed": scenario.seed,
+        "trace": scenario.trace,
+        "trace_kwargs": scenario.trace_kwargs,
+    }
+
+
+def scenario_from_dict(data: dict) -> ScenarioConfig:
+    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    try:
+        link = LinkConfig(**data["link"])
+        flows = tuple(FlowConfig(**f) for f in data["flows"])
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed scenario description: {exc}") from exc
+    return ScenarioConfig(
+        link=link,
+        flows=flows,
+        duration_s=data.get("duration_s", 60.0),
+        mtp_s=data.get("mtp_s", 0.030),
+        tick_s=data.get("tick_s", 0.002),
+        seed=data.get("seed", 0),
+        trace=data.get("trace"),
+        trace_kwargs=data.get("trace_kwargs", {}),
+    )
+
+
+def save_scenario(scenario: ScenarioConfig, path: str | Path) -> Path:
+    """Write a scenario description to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(scenario_to_dict(scenario), indent=2))
+    return path
+
+
+def load_scenario(path: str | Path) -> ScenarioConfig:
+    """Read a scenario description from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"no scenario file at {path}")
+    return scenario_from_dict(json.loads(path.read_text()))
+
+
+def result_to_dict(result: ScenarioResult) -> dict:
+    """A JSON-serialisable dump of a run's full per-interval logs."""
+    return {
+        "duration_s": result.duration_s,
+        "bottleneck_mbps": result.bottleneck_mbps,
+        "base_rtt_s": result.base_rtt_s,
+        "flows": [
+            {
+                "cc_name": f.cc_name,
+                "start_s": f.start_s,
+                "end_s": f.end_s,
+                "times": list(f.times),
+                "throughput_mbps": list(f.throughput_mbps),
+                "rtt_s": list(f.rtt_s),
+                "loss_rate": list(f.loss_rate),
+                "cwnd_pkts": list(f.cwnd_pkts),
+                "send_rate_mbps": list(f.send_rate_mbps),
+            }
+            for f in result.flows
+        ],
+    }
+
+
+def result_from_dict(data: dict) -> ScenarioResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    flows = []
+    for f in data["flows"]:
+        log = FlowLog(cc_name=f["cc_name"], start_s=f["start_s"],
+                      end_s=f["end_s"])
+        log.times = list(f["times"])
+        log.throughput_mbps = list(f["throughput_mbps"])
+        log.rtt_s = list(f["rtt_s"])
+        log.loss_rate = list(f["loss_rate"])
+        log.cwnd_pkts = list(f["cwnd_pkts"])
+        log.send_rate_mbps = list(f["send_rate_mbps"])
+        flows.append(log)
+    return ScenarioResult(
+        flows=flows,
+        duration_s=data["duration_s"],
+        bottleneck_mbps=data["bottleneck_mbps"],
+        base_rtt_s=data["base_rtt_s"],
+    )
+
+
+def save_result(result: ScenarioResult, path: str | Path) -> Path:
+    """Write a run's logs to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result)))
+    return path
+
+
+def load_result(path: str | Path) -> ScenarioResult:
+    """Read a run's logs back from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"no result file at {path}")
+    return result_from_dict(json.loads(path.read_text()))

@@ -1,0 +1,18 @@
+"""Reinforcement-learning substrate: NumPy networks, Adam, replay, TD3."""
+
+from .nn import MLP, Linear
+from .noise import GaussianNoise, OrnsteinUhlenbeck
+from .optim import SGD, Adam
+from .replay import ReplayBuffer
+from .td3 import TD3Learner
+
+__all__ = [
+    "MLP",
+    "Linear",
+    "Adam",
+    "SGD",
+    "ReplayBuffer",
+    "GaussianNoise",
+    "OrnsteinUhlenbeck",
+    "TD3Learner",
+]

@@ -1,0 +1,171 @@
+"""Minimal neural-network layer library (NumPy, explicit backprop).
+
+No deep-learning framework is available offline, so the actor and critic
+networks of §3.4 are implemented directly: fully-connected layers with He
+or Xavier initialisation, ReLU hidden activations and an optional ``tanh``
+output, with hand-written forward/backward passes.  The networks are the
+3-layer MLPs the paper specifies (256/128/64 hidden units).
+
+Gradient correctness is checked against numerical differentiation in
+``tests/rl/test_nn.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+class Linear:
+    """Affine layer ``y = x W + b`` with cached input for backprop."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 scale: str = "he"):
+        if in_dim <= 0 or out_dim <= 0:
+            raise ModelError("layer dimensions must be positive")
+        if scale == "he":
+            std = np.sqrt(2.0 / in_dim)
+        elif scale == "xavier":
+            std = np.sqrt(1.0 / in_dim)
+        elif scale == "small":
+            std = 1e-3
+        else:
+            raise ModelError(f"unknown init scale {scale!r}")
+        self.W = rng.normal(0.0, std, size=(in_dim, out_dim))
+        self.b = np.zeros(out_dim)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ModelError("backward called before forward")
+        self.dW += self._x.T @ grad_out
+        self.db += grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+    def zero_grad(self) -> None:
+        self.dW[:] = 0.0
+        self.db[:] = 0.0
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+class MLP:
+    """Multi-layer perceptron with ReLU hidden layers.
+
+    ``output`` selects the output nonlinearity: ``"tanh"`` for the actor
+    (actions in (-1, 1)), ``"linear"`` for critics.
+    """
+
+    def __init__(self, in_dim: int, hidden: tuple[int, ...], out_dim: int,
+                 output: str = "linear", seed: int = 0):
+        if output not in ("linear", "tanh"):
+            raise ModelError(f"unknown output activation {output!r}")
+        rng = np.random.default_rng(seed)
+        dims = [in_dim, *hidden, out_dim]
+        self.layers = [
+            Linear(dims[i], dims[i + 1], rng,
+                   scale="he" if i < len(dims) - 2 else "small")
+            for i in range(len(dims) - 1)
+        ]
+        self.output = output
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self._hidden_pre: list[np.ndarray] = []
+        self._out: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches activations for a subsequent backward."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.in_dim:
+            raise ModelError(
+                f"expected input dim {self.in_dim}, got {x.shape[1]}")
+        self._hidden_pre = []
+        h = x
+        for layer in self.layers[:-1]:
+            pre = layer.forward(h)
+            self._hidden_pre.append(pre)
+            h = _relu(pre)
+        out = self.layers[-1].forward(h)
+        if self.output == "tanh":
+            out = np.tanh(out)
+        self._out = out
+        return out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backprop ``dLoss/dOutput``; returns ``dLoss/dInput``.
+
+        Parameter gradients accumulate into each layer's ``dW``/``db``.
+        """
+        if self._out is None:
+            raise ModelError("backward called before forward")
+        grad = np.atleast_2d(np.asarray(grad_out, dtype=float))
+        if self.output == "tanh":
+            grad = grad * (1.0 - self._out ** 2)
+        grad = self.layers[-1].backward(grad)
+        for layer, pre in zip(reversed(self.layers[:-1]),
+                              reversed(self._hidden_pre)):
+            grad = grad * (pre > 0)
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # ------------------------------------------------------------------
+
+    def parameters(self) -> list[np.ndarray]:
+        """Live references to every parameter array."""
+        out = []
+        for layer in self.layers:
+            out.extend((layer.W, layer.b))
+        return out
+
+    def gradients(self) -> list[np.ndarray]:
+        """Live references to every gradient array, aligned with parameters."""
+        out = []
+        for layer in self.layers:
+            out.extend((layer.dW, layer.db))
+        return out
+
+    def get_state(self) -> list[np.ndarray]:
+        """Copies of all parameters (for targets and serialisation)."""
+        return [p.copy() for p in self.parameters()]
+
+    def set_state(self, state: list[np.ndarray]) -> None:
+        """Load parameters from :meth:`get_state` output."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ModelError(
+                f"state has {len(state)} arrays, model needs {len(params)}")
+        for p, s in zip(params, state):
+            if p.shape != s.shape:
+                raise ModelError(f"shape mismatch: {p.shape} vs {s.shape}")
+            p[:] = s
+
+    def polyak_update_from(self, source: "MLP", tau: float) -> None:
+        """Soft target update: ``p_target <- tau p_source + (1-tau) p_target``."""
+        for pt, ps in zip(self.parameters(), source.parameters()):
+            pt *= 1.0 - tau
+            pt += tau * ps
+
+    def clone(self) -> "MLP":
+        """An independent copy with identical parameters."""
+        hidden = tuple(layer.W.shape[1] for layer in self.layers[:-1])
+        copy = MLP(self.in_dim, hidden, self.out_dim, output=self.output)
+        copy.set_state(self.get_state())
+        return copy

@@ -1,0 +1,52 @@
+"""Exploration noise processes for deterministic-policy training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+class GaussianNoise:
+    """I.i.d. Gaussian exploration noise with exponential decay."""
+
+    def __init__(self, std: float, decay: float = 1.0, min_std: float = 0.01,
+                 seed: int = 0):
+        if std < 0 or min_std < 0:
+            raise ModelError("noise std must be non-negative")
+        if not 0 < decay <= 1:
+            raise ModelError("decay must lie in (0, 1]")
+        self.std = std
+        self.decay = decay
+        self.min_std = min_std
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, shape=(1,)) -> np.ndarray:
+        return self._rng.normal(0.0, self.std, size=shape)
+
+    def step(self) -> None:
+        """Decay the noise scale (called once per episode)."""
+        self.std = max(self.std * self.decay, self.min_std)
+
+
+class OrnsteinUhlenbeck:
+    """Temporally correlated OU noise (classic DDPG exploration)."""
+
+    def __init__(self, dim: int = 1, theta: float = 0.15, sigma: float = 0.2,
+                 dt: float = 1.0, seed: int = 0):
+        if dim <= 0:
+            raise ModelError("dimension must be positive")
+        self.theta = theta
+        self.sigma = sigma
+        self.dt = dt
+        self._state = np.zeros(dim)
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> np.ndarray:
+        drift = -self.theta * self._state * self.dt
+        diffusion = self.sigma * np.sqrt(self.dt) * self._rng.normal(size=self._state.shape)
+        self._state = self._state + drift + diffusion
+        return self._state.copy()
+
+    def reset(self) -> None:
+        self._state[:] = 0.0

@@ -1,0 +1,75 @@
+"""Optimisers for the NumPy network library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+class Adam:
+    """Adam (Kingma & Ba) over a fixed list of parameter arrays.
+
+    The optimiser binds to live parameter and gradient arrays once; calling
+    :meth:`step` applies one update in place.  Optional global-norm gradient
+    clipping stabilises the early critic updates.
+    """
+
+    def __init__(self, params: list[np.ndarray], grads: list[np.ndarray],
+                 lr: float = 1e-3, beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8, clip_norm: float | None = 10.0):
+        if lr <= 0:
+            raise ModelError("learning rate must be positive")
+        if len(params) != len(grads):
+            raise ModelError("params and grads must align")
+        for p, g in zip(params, grads):
+            if p.shape != g.shape:
+                raise ModelError("param/grad shape mismatch")
+        self.params = params
+        self.grads = grads
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one Adam update using the currently accumulated gradients."""
+        self._t += 1
+        scale = 1.0
+        if self.clip_norm is not None:
+            norm = np.sqrt(sum(float(np.sum(g ** 2)) for g in self.grads))
+            if norm > self.clip_norm:
+                scale = self.clip_norm / (norm + 1e-12)
+        bc1 = 1.0 - self.beta1 ** self._t
+        bc2 = 1.0 - self.beta2 ** self._t
+        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
+            grad = g * scale
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class SGD:
+    """Plain (optionally momentum) SGD, mainly for tests and ablations."""
+
+    def __init__(self, params: list[np.ndarray], grads: list[np.ndarray],
+                 lr: float = 1e-2, momentum: float = 0.0):
+        if lr <= 0:
+            raise ModelError("learning rate must be positive")
+        self.params = params
+        self.grads = grads
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self) -> None:
+        for p, g, v in zip(self.params, self.grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v

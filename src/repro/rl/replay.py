@@ -1,0 +1,66 @@
+"""Experience replay memory (Appendix A, first optimisation).
+
+Stores transition tuples ``(g, s, a, r, g', s', done)`` — the global state
+feeds only the critic, the local state feeds the actor — in preallocated
+circular NumPy buffers and samples uniform mini-batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+class ReplayBuffer:
+    """Uniform circular replay buffer over fixed-width transitions."""
+
+    def __init__(self, capacity: int, local_dim: int, global_dim: int,
+                 action_dim: int = 1, seed: int = 0):
+        if capacity <= 0:
+            raise ModelError("capacity must be positive")
+        if local_dim <= 0 or global_dim <= 0 or action_dim <= 0:
+            raise ModelError("dimensions must be positive")
+        self.capacity = capacity
+        self._local = np.zeros((capacity, local_dim))
+        self._global = np.zeros((capacity, global_dim))
+        self._action = np.zeros((capacity, action_dim))
+        self._reward = np.zeros(capacity)
+        self._next_local = np.zeros((capacity, local_dim))
+        self._next_global = np.zeros((capacity, global_dim))
+        self._done = np.zeros(capacity)
+        self._size = 0
+        self._cursor = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, local, global_state, action, reward: float,
+            next_local, next_global, done: bool) -> None:
+        """Append one transition, overwriting the oldest when full."""
+        i = self._cursor
+        self._local[i] = local
+        self._global[i] = global_state
+        self._action[i] = action
+        self._reward[i] = reward
+        self._next_local[i] = next_local
+        self._next_global[i] = next_global
+        self._done[i] = float(done)
+        self._cursor = (i + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> dict[str, np.ndarray]:
+        """Uniformly sample a batch of transitions (with replacement)."""
+        if self._size == 0:
+            raise ModelError("cannot sample from an empty buffer")
+        idx = self._rng.integers(0, self._size, size=batch_size)
+        return {
+            "local": self._local[idx],
+            "global": self._global[idx],
+            "action": self._action[idx],
+            "reward": self._reward[idx],
+            "next_local": self._next_local[idx],
+            "next_global": self._next_global[idx],
+            "done": self._done[idx],
+        }

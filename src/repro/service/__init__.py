@@ -1,0 +1,15 @@
+"""Inference serving: batched shared service vs per-flow servers (§5.4)."""
+
+from .inference import (
+    BatchedInferenceService,
+    PerFlowServers,
+    ServiceAccounting,
+    synthetic_request_trace,
+)
+
+__all__ = [
+    "BatchedInferenceService",
+    "PerFlowServers",
+    "ServiceAccounting",
+    "synthetic_request_trace",
+]

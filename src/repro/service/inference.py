@@ -1,0 +1,161 @@
+"""Astraea inference service (§4) and the scalability study of §5.4.
+
+The paper serves many concurrent senders from one shared inference service
+that batches requests over a 5 ms window, versus Orca's architecture of
+one inference-server instance per flow.  This module implements both
+architectures over the NumPy actor and measures their CPU cost, which is
+what Fig. 16 compares:
+
+* :class:`BatchedInferenceService` — a single shared actor; requests that
+  arrive within one batching window are served by one batched forward pass.
+* :class:`PerFlowServers` — one actor instance per flow, one forward pass
+  per request (the resource-inefficient baseline).
+
+Both keep accounting (requests, batches, process-CPU-seconds) so the
+benchmark can report overhead as a function of the number of flows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.policy import PolicyBundle
+from ..errors import ServiceError
+
+
+@dataclass
+class ServiceAccounting:
+    """Work counters of an inference backend."""
+
+    requests: int = 0
+    forward_passes: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+    cpu_time_s: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+
+class BatchedInferenceService:
+    """Shared-actor service with a fixed batching window.
+
+    ``submit`` enqueues a request stamped with its (simulated) arrival
+    time; ``flush`` runs one batched forward per elapsed batching window
+    and returns ``{request_id: action}``.  ``serve_trace`` drives a whole
+    request timeline through the service, which is what the overhead
+    benchmark uses.
+    """
+
+    def __init__(self, policy: PolicyBundle, batch_window_s: float = 0.005):
+        if batch_window_s <= 0:
+            raise ServiceError("batch window must be positive")
+        self.policy = policy
+        self.batch_window_s = batch_window_s
+        self.accounting = ServiceAccounting()
+        self._queue: list[tuple[int, np.ndarray]] = []
+
+    def submit(self, request_id: int, state: np.ndarray) -> None:
+        state = np.asarray(state, dtype=float)
+        if state.ndim != 1 or state.shape[0] != self.policy.actor.in_dim:
+            raise ServiceError(
+                f"state must be a vector of dim {self.policy.actor.in_dim}")
+        self._queue.append((request_id, state))
+        self.accounting.requests += 1
+
+    def flush(self) -> dict[int, float]:
+        """Serve everything queued in the current window with one pass."""
+        if not self._queue:
+            return {}
+        ids = [rid for rid, _ in self._queue]
+        states = np.vstack([s for _, s in self._queue])
+        self._queue.clear()
+        t0 = time.process_time()
+        actions = self.policy.actor.forward(states)[:, 0]
+        self.accounting.cpu_time_s += time.process_time() - t0
+        self.accounting.forward_passes += 1
+        self.accounting.batch_sizes.append(len(ids))
+        return {rid: float(np.clip(a, -0.999, 0.999))
+                for rid, a in zip(ids, actions)}
+
+    def serve_trace(self, arrivals: list[tuple[float, int, np.ndarray]],
+                    ) -> dict[int, list[float]]:
+        """Serve a timeline of (arrival_time, flow_id, state) requests.
+
+        Requests are grouped into consecutive batching windows by arrival
+        time.  Returns per-flow action lists, in arrival order.
+        """
+        out: dict[int, list[float]] = {}
+        if not arrivals:
+            return out
+        arrivals = sorted(arrivals, key=lambda r: r[0])
+        window_end = arrivals[0][0] + self.batch_window_s
+        for t, fid, state in arrivals:
+            if t >= window_end:
+                for rid, action in self.flush().items():
+                    out.setdefault(rid, []).append(action)
+                window_end = t + self.batch_window_s
+            self.submit(fid, state)
+        for rid, action in self.flush().items():
+            out.setdefault(rid, []).append(action)
+        return out
+
+
+class PerFlowServers:
+    """One actor instance per flow — the Orca-style baseline.
+
+    Every flow owns a full copy of the network (the memory overhead the
+    paper calls resource-inefficient) and every request costs one
+    single-row forward pass.
+    """
+
+    def __init__(self, policy: PolicyBundle, n_flows: int):
+        if n_flows <= 0:
+            raise ServiceError("need at least one flow")
+        self._actors = [policy.actor.clone() for _ in range(n_flows)]
+        self.accounting = ServiceAccounting()
+
+    @property
+    def n_flows(self) -> int:
+        return len(self._actors)
+
+    def serve(self, flow_id: int, state: np.ndarray) -> float:
+        if not 0 <= flow_id < len(self._actors):
+            raise ServiceError(f"unknown flow {flow_id}")
+        self.accounting.requests += 1
+        t0 = time.process_time()
+        action = self._actors[flow_id].forward(state[None, :])[0, 0]
+        self.accounting.cpu_time_s += time.process_time() - t0
+        self.accounting.forward_passes += 1
+        self.accounting.batch_sizes.append(1)
+        return float(np.clip(action, -0.999, 0.999))
+
+    def serve_trace(self, arrivals: list[tuple[float, int, np.ndarray]],
+                    ) -> dict[int, list[float]]:
+        """Serve a timeline of requests, one forward pass each."""
+        out: dict[int, list[float]] = {}
+        for _, fid, state in sorted(arrivals, key=lambda r: r[0]):
+            out.setdefault(fid, []).append(self.serve(fid, state))
+        return out
+
+
+def synthetic_request_trace(n_flows: int, duration_s: float,
+                            mtp_s: float = 0.020, state_dim: int = 40,
+                            seed: int = 0,
+                            ) -> list[tuple[float, int, np.ndarray]]:
+    """Per-flow MTP-cadenced inference requests with desynchronised phases."""
+    if n_flows <= 0 or duration_s <= 0 or mtp_s <= 0:
+        raise ServiceError("trace parameters must be positive")
+    rng = np.random.default_rng(seed)
+    phases = rng.uniform(0.0, mtp_s, size=n_flows)
+    arrivals = []
+    for fid in range(n_flows):
+        t = phases[fid]
+        while t < duration_s:
+            arrivals.append((float(t), fid,
+                             rng.normal(size=state_dim)))
+            t += mtp_s
+    return arrivals

@@ -1,0 +1,50 @@
+"""Unit conversions shared across the simulator and the learning stack.
+
+The simulator works internally in *packets per second* and *seconds*.
+A packet is one MSS-sized segment (1500 bytes including headers, the value
+Mahimahi and the Astraea paper use for BDP accounting).  These helpers keep
+the conversions in one place so that link capacities quoted in Mbps, buffers
+quoted in BDP multiples and statistics reported in Mbps all agree.
+"""
+
+from __future__ import annotations
+
+MSS_BYTES = 1500
+"""Segment size in bytes used for all packet <-> byte conversions."""
+
+BITS_PER_PACKET = MSS_BYTES * 8
+"""Bits carried by one packet."""
+
+
+def mbps_to_pps(mbps: float) -> float:
+    """Convert a rate in Mbps to packets per second."""
+    return mbps * 1e6 / BITS_PER_PACKET
+
+
+def pps_to_mbps(pps: float) -> float:
+    """Convert a rate in packets per second to Mbps."""
+    return pps * BITS_PER_PACKET / 1e6
+
+
+def bdp_packets(bandwidth_mbps: float, rtt_s: float) -> float:
+    """Bandwidth-delay product in packets for a link.
+
+    ``bandwidth_mbps`` is the bottleneck capacity and ``rtt_s`` the base
+    round-trip time in seconds.
+    """
+    return mbps_to_pps(bandwidth_mbps) * rtt_s
+
+
+def bytes_to_packets(n_bytes: float) -> float:
+    """Convert a byte count to (possibly fractional) packets."""
+    return n_bytes / MSS_BYTES
+
+
+def packets_to_bytes(n_packets: float) -> float:
+    """Convert a packet count to bytes."""
+    return n_packets * MSS_BYTES
+
+
+def ms(milliseconds: float) -> float:
+    """Milliseconds expressed in seconds (readability helper)."""
+    return milliseconds / 1e3

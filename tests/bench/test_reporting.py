@@ -1,0 +1,42 @@
+"""Benchmark reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import reporting
+
+
+class TestFormat:
+    def test_table_contains_everything(self):
+        text = reporting.format_table("T", ["a", "bee"],
+                                      [[1.0, "x"], [0.12345, "y"]])
+        assert "=== T ===" in text
+        assert "bee" in text
+        assert "0.1235" in text
+        assert "x" in text
+
+    def test_nan_rendered(self):
+        text = reporting.format_table("T", ["v"], [[float("nan")]])
+        assert "n/a" in text
+
+    def test_empty_rows(self):
+        text = reporting.format_table("T", ["v"], [])
+        assert "=== T ===" in text
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        payload = {"x": 1.5, "arr": np.array([1.0, 2.0]),
+                   "np_float": np.float64(3.0)}
+        reporting.save_results("exp", payload)
+        loaded = reporting.load_results("exp")
+        assert loaded["x"] == 1.5
+        assert loaded["arr"] == [1.0, 2.0]
+        assert loaded["np_float"] == 3.0
+
+    def test_load_missing_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        assert reporting.load_results("missing") is None

@@ -1,0 +1,68 @@
+"""Controller registry and interface contract."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.cc as cc
+from repro.errors import ConfigError
+from repro.netsim.stats import MtpStats
+
+
+def make_stats(**kwargs):
+    defaults = dict(time_s=1.0, duration_s=0.03, throughput_pps=1000.0,
+                    avg_rtt_s=0.03, min_rtt_s=0.03, sent_pkts=30.0,
+                    delivered_pkts=30.0, lost_pkts=0.0, pkts_in_flight=25.0,
+                    cwnd_pkts=30.0, pacing_pps=1100.0, srtt_s=0.03)
+    defaults.update(kwargs)
+    return MtpStats(**defaults)
+
+
+ALL_SCHEMES = ["reno", "newreno", "cubic", "compound", "vegas", "bbr",
+               "copa", "vivace", "remy", "aurora", "orca", "astraea",
+               "astraea-ref"]
+
+
+class TestRegistry:
+    def test_all_schemes_registered(self):
+        assert set(ALL_SCHEMES) <= set(cc.available())
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            cc.create("carrier-pigeon")
+
+    def test_double_registration_raises(self):
+        with pytest.raises(ConfigError):
+            @cc.register("cubic")
+            class Dup(cc.CongestionController):
+                def on_interval(self, stats):
+                    return cc.Decision(cwnd_pkts=1.0)
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_create_and_drive(self, name):
+        """Every scheme survives 50 intervals and emits sane windows."""
+        controller = cc.create(name)
+        controller.reset()
+        for i in range(50):
+            decision = controller.on_interval(
+                make_stats(time_s=i * 0.03 + 0.03))
+            assert decision.cwnd_pkts >= 1.0
+            assert decision.cwnd_pkts < 1e9
+            if decision.pacing_pps is not None:
+                assert decision.pacing_pps > 0
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_reset_restores_initial_window(self, name):
+        controller = cc.create(name)
+        for i in range(20):
+            controller.on_interval(make_stats(time_s=i * 0.03 + 0.03))
+        controller.reset()
+        assert controller.initial_cwnd == pytest.approx(10.0)
+
+    def test_interval_default_is_mtp(self):
+        controller = cc.create("reno", mtp_s=0.02)
+        assert controller.interval_s(0.5) == 0.02
+
+    def test_rejects_nonpositive_mtp(self):
+        with pytest.raises(ConfigError):
+            cc.create("reno", mtp_s=0.0)

@@ -1,0 +1,211 @@
+"""Behavioural tests of the classical TCP implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc import Bbr, Copa, Cubic, Remy, Reno, Vegas
+from repro.cc.remy import Whisker
+from tests.cc.test_base import make_stats
+
+
+class TestReno:
+    def test_slow_start_growth(self):
+        reno = Reno()
+        start = reno.cwnd
+        reno.on_interval(make_stats(delivered_pkts=10.0))
+        assert reno.cwnd == pytest.approx(start + 10.0)
+
+    def test_halves_on_loss(self):
+        reno = Reno()
+        reno.cwnd = 100.0
+        reno.ssthresh = 50.0
+        reno.on_interval(make_stats(lost_pkts=3.0))
+        assert reno.cwnd == pytest.approx(50.0)
+
+    def test_loss_cooldown_prevents_double_halving(self):
+        reno = Reno()
+        reno.cwnd = 100.0
+        reno.on_interval(make_stats(time_s=1.0, lost_pkts=3.0))
+        after_first = reno.cwnd
+        reno.on_interval(make_stats(time_s=1.01, lost_pkts=3.0))
+        assert reno.cwnd >= after_first
+
+    def test_congestion_avoidance_linear(self):
+        reno = Reno()
+        reno.cwnd = 100.0
+        reno.ssthresh = 50.0
+        reno.on_interval(make_stats(delivered_pkts=100.0))
+        # One packet per window per RTT worth of ACKs.
+        assert reno.cwnd == pytest.approx(101.0)
+
+    def test_never_below_min(self):
+        reno = Reno()
+        reno.cwnd = 2.0
+        for i in range(5):
+            reno.on_interval(make_stats(time_s=10 + i, lost_pkts=5.0))
+        assert reno.cwnd >= Reno.MIN_CWND
+
+
+class TestCubic:
+    def test_reduces_by_beta_on_loss(self):
+        cubic = Cubic()
+        cubic.cwnd = 100.0
+        cubic.ssthresh = 50.0
+        cubic.on_interval(make_stats(lost_pkts=2.0))
+        assert cubic.cwnd == pytest.approx(70.0)
+
+    def test_recovers_toward_wmax(self):
+        cubic = Cubic()
+        cubic.cwnd = 100.0
+        cubic.ssthresh = 50.0
+        cubic.on_interval(make_stats(time_s=1.0, lost_pkts=2.0))
+        for i in range(400):
+            cubic.on_interval(make_stats(time_s=1.03 + i * 0.03,
+                                         delivered_pkts=30.0))
+        assert cubic.cwnd > 95.0
+
+    def test_growth_capped_per_interval(self):
+        cubic = Cubic()
+        cubic.cwnd = 10.0
+        cubic.ssthresh = 5.0  # force CA
+        cubic._epoch_start = -100.0  # huge cubic target
+        cubic._w_max = 10.0
+        before = cubic.cwnd
+        cubic.on_interval(make_stats(delivered_pkts=10.0))
+        assert cubic.cwnd <= before * 1.5 + 1.0
+
+
+class TestVegas:
+    def test_holds_when_backlog_in_band(self):
+        vegas = Vegas()
+        vegas._slow_start = False
+        vegas.cwnd = 100.0
+        # 3 packets queued: between alpha=2 and beta=4.
+        rtt = 0.03 / (1 - 3.0 / 100.0)
+        vegas._base_rtt = 0.03
+        before = vegas.cwnd
+        vegas.on_interval(make_stats(avg_rtt_s=rtt, min_rtt_s=rtt))
+        assert vegas.cwnd == before
+
+    def test_increases_when_queue_empty(self):
+        vegas = Vegas()
+        vegas._slow_start = False
+        vegas.cwnd = 100.0
+        vegas._base_rtt = 0.03
+        vegas.on_interval(make_stats(avg_rtt_s=0.03, min_rtt_s=0.03))
+        assert vegas.cwnd == pytest.approx(101.0)
+
+    def test_decreases_when_backlog_high(self):
+        vegas = Vegas()
+        vegas._slow_start = False
+        vegas.cwnd = 100.0
+        vegas._base_rtt = 0.03
+        rtt = 0.03 / (1 - 10.0 / 100.0)  # 10 packets queued
+        vegas.on_interval(make_stats(avg_rtt_s=rtt, min_rtt_s=rtt))
+        assert vegas.cwnd == pytest.approx(99.0)
+
+    def test_per_rtt_cadence(self):
+        vegas = Vegas()
+        assert vegas.interval_s(0.1) == pytest.approx(0.1)
+        assert vegas.interval_s(0.001) == pytest.approx(vegas.mtp_s)
+
+
+class TestBbr:
+    def test_startup_exits_on_plateau(self):
+        bbr = Bbr()
+        for i in range(30):
+            bbr.on_interval(make_stats(time_s=i * 0.03 + 0.03,
+                                       throughput_pps=1000.0))
+        assert bbr._state != "startup"
+
+    def test_cwnd_tracks_bdp(self):
+        bbr = Bbr()
+        for i in range(60):
+            bbr.on_interval(make_stats(time_s=i * 0.03 + 0.03,
+                                       throughput_pps=1000.0,
+                                       min_rtt_s=0.03, avg_rtt_s=0.03,
+                                       pkts_in_flight=30.0))
+        # cwnd_gain * btlbw * rtprop = 2 * 1000 * 0.03 = 60.
+        assert bbr.cwnd == pytest.approx(60.0, rel=0.05)
+
+    def test_probe_rtt_shrinks_window(self):
+        bbr = Bbr()
+        decisions = []
+        for i in range(500):
+            d = bbr.on_interval(make_stats(time_s=i * 0.03 + 0.03,
+                                           throughput_pps=1000.0,
+                                           min_rtt_s=0.03, avg_rtt_s=0.03,
+                                           pkts_in_flight=30.0))
+            decisions.append(d.cwnd_pkts)
+        # PROBE_RTT fires within the 10 s rtprop window and drops to 4.
+        assert min(decisions) == pytest.approx(Bbr.PROBE_RTT_CWND)
+
+
+class TestCopa:
+    def test_rate_moves_toward_target(self):
+        copa = Copa()
+        copa.cwnd = 10.0
+        # Tiny queueing delay -> huge target rate -> window grows.
+        before = copa.cwnd
+        copa.on_interval(make_stats(avg_rtt_s=0.0301, min_rtt_s=0.03))
+        assert copa.cwnd > before
+
+    def test_backs_off_with_large_queue(self):
+        copa = Copa()
+        copa.cwnd = 500.0
+        for i in range(10):
+            copa.on_interval(make_stats(time_s=i * 0.03 + 0.03,
+                                        avg_rtt_s=0.30, min_rtt_s=0.03,
+                                        cwnd_pkts=500.0))
+        assert copa.cwnd < 500.0
+
+    def test_velocity_doubles_on_consistent_direction(self):
+        copa = Copa()
+        for i in range(8):
+            copa.on_interval(make_stats(time_s=i * 0.03 + 0.03,
+                                        avg_rtt_s=0.0301, min_rtt_s=0.03))
+        assert copa._velocity > 1.0
+
+    def test_heavy_loss_halves(self):
+        copa = Copa()
+        copa.cwnd = 100.0
+        copa.on_interval(make_stats(lost_pkts=5.0, sent_pkts=30.0))
+        # 16% loss is congestion-scale: halved (after the small velocity
+        # step of the same interval).
+        assert copa.cwnd <= 51.0
+
+    def test_random_loss_ignored(self):
+        copa = Copa()
+        copa.cwnd = 100.0
+        copa.on_interval(make_stats(lost_pkts=0.3, sent_pkts=30.0,
+                                    avg_rtt_s=0.0301, min_rtt_s=0.03))
+        # 1% loss is below Copa's congestion threshold: no halving.
+        assert copa.cwnd > 60.0
+
+
+class TestRemy:
+    def test_lookup_matches_ratio(self):
+        remy = Remy()
+        whisker = remy._lookup(1.0)
+        assert whisker.window_increment == 2.0
+        whisker = remy._lookup(3.0)
+        assert whisker.window_multiple == pytest.approx(0.85)
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            Remy(table=())
+
+    def test_custom_table(self):
+        table = (Whisker(0.0, float("inf"), 1.0, 5.0),)
+        remy = Remy(table=table)
+        before = remy.cwnd
+        remy.on_interval(make_stats())
+        assert remy.cwnd == pytest.approx(before + 5.0)
+
+    def test_backs_off_in_deep_queue(self):
+        remy = Remy()
+        remy.cwnd = 100.0
+        remy._rtt_min = 0.03
+        remy.on_interval(make_stats(avg_rtt_s=0.12, min_rtt_s=0.12))
+        assert remy.cwnd < 100.0

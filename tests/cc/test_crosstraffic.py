@@ -1,0 +1,54 @@
+"""Constant-rate (unresponsive) cross traffic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc import ConstantRate, create
+from repro.units import mbps_to_pps
+from tests.cc.test_base import make_stats
+
+
+class TestConstantRate:
+    def test_paces_at_configured_rate(self):
+        ctl = ConstantRate(rate_mbps=20.0)
+        d = ctl.on_interval(make_stats())
+        assert d.pacing_pps == pytest.approx(mbps_to_pps(20.0))
+
+    def test_never_reacts_to_congestion(self):
+        ctl = ConstantRate(rate_mbps=20.0)
+        calm = ctl.on_interval(make_stats())
+        stormy = ctl.on_interval(make_stats(avg_rtt_s=0.5, lost_pkts=20.0))
+        assert calm.pacing_pps == stormy.pacing_pps
+
+    def test_window_never_limits(self):
+        ctl = ConstantRate(rate_mbps=50.0)
+        d = ctl.on_interval(make_stats(srtt_s=0.1))
+        # cwnd covers several RTTs of the pacing rate.
+        assert d.cwnd_pkts >= 2.0 * d.pacing_pps * 0.1
+
+    def test_registry_name(self):
+        assert create("constant-rate", rate_mbps=5.0).rate_mbps == 5.0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ConstantRate(rate_mbps=0.0)
+
+    def test_starves_responsive_flows_of_its_share(self):
+        """End-to-end: a 40 Mbps blaster leaves ~60 Mbps to a cubic flow."""
+        from repro.config import FlowConfig, LinkConfig, ScenarioConfig
+        from repro.env import run_scenario
+
+        scenario = ScenarioConfig(
+            link=LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0,
+                            buffer_bdp=1.0),
+            flows=(FlowConfig(cc="constant-rate",
+                              cc_kwargs={"rate_mbps": 40.0}),
+                   FlowConfig(cc="cubic")),
+            duration_s=12.0,
+        )
+        result = run_scenario(scenario)
+        blaster = result.flow_mean_throughput(0, skip_s=4.0)
+        cubic = result.flow_mean_throughput(1, skip_s=4.0)
+        assert blaster == pytest.approx(40.0, rel=0.15)
+        assert cubic == pytest.approx(60.0, rel=0.25)

@@ -1,0 +1,112 @@
+"""Aurora and Orca baselines (fallback behaviour paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.aurora import Aurora, aurora_reward
+from repro.cc.orca import Orca
+from tests.cc.test_base import make_stats
+
+
+class TestAuroraReward:
+    def test_throughput_dominant(self):
+        # Full utilisation beats half utilisation even with some latency.
+        full = aurora_reward(1.0, 0.06, 0.03, 0.0)
+        half = aurora_reward(0.5, 0.03, 0.03, 0.0)
+        assert full > half
+
+    def test_loss_penalised(self):
+        assert aurora_reward(1.0, 0.03, 0.03, 0.1) < \
+            aurora_reward(1.0, 0.03, 0.03, 0.0)
+
+    def test_no_fairness_term(self):
+        """Eq. 1 is purely local: identical stats, identical reward —
+        regardless of what competitors experience."""
+        assert aurora_reward(0.5, 0.04, 0.03, 0.0) == \
+            aurora_reward(0.5, 0.04, 0.03, 0.0)
+
+
+class TestAuroraFallback:
+    def make(self):
+        a = Aurora(policy=None)
+        a.policy = None  # force fallback even if a bundle is shipped
+        a.reset()
+        return a
+
+    def test_fills_queue_to_latency_target(self):
+        aurora = self.make()
+        for i in range(300):
+            aurora.on_interval(make_stats(time_s=(i + 1) * 0.03,
+                                          avg_rtt_s=0.03, min_rtt_s=0.03))
+        # With no queue it keeps growing.
+        assert aurora.cwnd > 100.0
+
+    def test_does_not_yield_at_target(self):
+        aurora = self.make()
+        aurora._in_slow_start = False
+        aurora._rtt_min = 0.03
+        aurora.cwnd = 200.0
+        before = aurora.cwnd
+        # At exactly the 2x latency target: holds, never yields.
+        aurora.on_interval(make_stats(avg_rtt_s=0.06, min_rtt_s=0.06))
+        assert aurora.cwnd == pytest.approx(before, rel=0.01)
+
+    def test_tolerates_moderate_loss(self):
+        aurora = self.make()
+        aurora._in_slow_start = False
+        aurora._rtt_min = 0.03
+        aurora.cwnd = 100.0
+        aurora.on_interval(make_stats(avg_rtt_s=0.03, lost_pkts=0.9,
+                                      sent_pkts=30.0))
+        # 3% loss is below Aurora's panic threshold: still grows.
+        assert aurora.cwnd >= 100.0
+
+
+class TestOrcaFallback:
+    def make(self):
+        o = Orca(policy=None)
+        o.policy = None
+        o.reset()
+        return o
+
+    def test_tracks_cubic_scaled(self):
+        orca = self.make()
+        d = orca.on_interval(make_stats())
+        # Within the published 2^[-1, 1] coupling of the cubic window.
+        assert d.cwnd_pkts >= orca._cubic.cwnd / 2.0
+        assert d.cwnd_pkts <= orca._cubic.cwnd * 2.0
+
+    def test_trims_under_latency_inflation(self):
+        orca = self.make()
+        orca._rtt_min = 0.03
+        for i in range(30):
+            orca.on_interval(make_stats(time_s=(i + 1) * 0.03,
+                                        avg_rtt_s=0.09, min_rtt_s=0.09))
+        assert orca._exponent < 0.0
+
+    def test_boosts_when_queue_empty(self):
+        orca = self.make()
+        orca._rtt_min = 0.03
+        for i in range(30):
+            orca.on_interval(make_stats(time_s=(i + 1) * 0.03,
+                                        avg_rtt_s=0.03, min_rtt_s=0.03))
+        assert orca._exponent > 0.0
+
+    def test_exponent_bounded(self):
+        orca = self.make()
+        orca._rtt_min = 0.001
+        for i in range(50):
+            orca.on_interval(make_stats(time_s=(i + 1) * 0.03,
+                                        avg_rtt_s=0.5, min_rtt_s=0.5))
+        assert abs(orca._exponent) <= Orca.EXPONENT_CLAMP + 1e-9
+
+    def test_inherits_cubic_loss_response(self):
+        orca = self.make()
+        # Drive to a steady window, then hit a loss.
+        for i in range(50):
+            orca.on_interval(make_stats(time_s=(i + 1) * 0.03))
+        before = orca.cwnd
+        orca.on_interval(make_stats(time_s=10.0, lost_pkts=5.0,
+                                    cwnd_pkts=before))
+        assert orca.cwnd < before

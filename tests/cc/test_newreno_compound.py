@@ -1,0 +1,103 @@
+"""NewReno and Compound TCP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc import Compound, NewReno
+from tests.cc.test_base import make_stats
+
+
+class TestNewReno:
+    def test_single_halving_per_episode(self):
+        nr = NewReno()
+        nr.cwnd = 100.0
+        nr.ssthresh = 50.0
+        nr.on_interval(make_stats(time_s=1.0, lost_pkts=3.0,
+                                  delivered_pkts=10.0))
+        after_first = nr.cwnd
+        assert after_first == pytest.approx(50.0)
+        # More loss while still recovering: no second halving.
+        nr.on_interval(make_stats(time_s=1.03, lost_pkts=3.0,
+                                  delivered_pkts=10.0))
+        assert nr.cwnd == pytest.approx(after_first)
+
+    def test_recovery_ends_after_window_delivered(self):
+        nr = NewReno()
+        nr.cwnd = 100.0
+        nr.ssthresh = 50.0
+        nr.on_interval(make_stats(time_s=1.0, lost_pkts=3.0))
+        # Deliver a full window's worth: episode over, growth resumes.
+        nr.on_interval(make_stats(time_s=1.03, delivered_pkts=60.0))
+        before = nr.cwnd
+        nr.on_interval(make_stats(time_s=1.06, delivered_pkts=50.0))
+        assert nr.cwnd > before
+
+    def test_slow_start_until_ssthresh(self):
+        nr = NewReno()
+        nr.on_interval(make_stats(delivered_pkts=10.0))
+        assert nr.cwnd == pytest.approx(20.0)
+
+    def test_reset(self):
+        nr = NewReno()
+        nr.on_interval(make_stats(lost_pkts=5.0))
+        nr.reset()
+        assert nr.cwnd == nr.initial_cwnd
+        assert nr._recovery_pkts_left == 0.0
+
+
+class TestCompound:
+    def test_dwnd_grows_on_uncongested_path(self):
+        c = Compound()
+        c.ssthresh = 5.0  # force CA so growth comes from dwnd
+        for i in range(20):
+            c.on_interval(make_stats(time_s=(i + 1) * 0.03,
+                                     avg_rtt_s=0.03, min_rtt_s=0.03))
+        assert c.dwnd > 0.0
+
+    def test_dwnd_shrinks_under_queueing(self):
+        c = Compound()
+        c.ssthresh = 5.0
+        c.dwnd = 50.0
+        c._base_rtt = 0.03
+        c.cwnd = 100.0
+        # Heavy backlog: well above GAMMA packets queued.
+        c.on_interval(make_stats(avg_rtt_s=0.09, min_rtt_s=0.09,
+                                 delivered_pkts=30.0))
+        assert c.dwnd < 50.0
+
+    def test_loss_halves_both_windows(self):
+        c = Compound()
+        c.cwnd = 100.0
+        c.dwnd = 40.0
+        before = c.send_window
+        c.on_interval(make_stats(lost_pkts=3.0))
+        assert c.send_window < before
+        assert c.cwnd == pytest.approx(50.0)
+        assert c.dwnd == pytest.approx(20.0)
+
+    def test_faster_ramp_than_newreno_on_long_fat_path(self):
+        """Compound's raison d'etre: quicker window growth when the pipe
+        is empty."""
+        nr, cp = NewReno(), Compound()
+        nr.ssthresh = cp.ssthresh = 5.0  # both in congestion avoidance
+        nr.cwnd = cp.cwnd = 50.0
+        for i in range(50):
+            stats = make_stats(time_s=(i + 1) * 0.03, avg_rtt_s=0.1,
+                               min_rtt_s=0.1, delivered_pkts=15.0)
+            nr.on_interval(stats)
+            cp.on_interval(stats)
+        assert cp.send_window > nr.cwnd
+
+    def test_end_to_end_single_flow(self):
+        from repro.config import FlowConfig, LinkConfig, ScenarioConfig
+        from repro.env import run_scenario
+
+        scenario = ScenarioConfig(
+            link=LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0,
+                            buffer_bdp=1.0),
+            flows=(FlowConfig(cc="compound"),),
+            duration_s=12.0,
+        )
+        result = run_scenario(scenario)
+        assert result.utilization(skip_s=4.0) > 0.85

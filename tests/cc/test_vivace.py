@@ -1,0 +1,120 @@
+"""Vivace: utility function and gradient-ascent behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc import Vivace
+from tests.cc.test_base import make_stats
+
+
+class TestUtility:
+    def test_monotone_in_rate_without_penalty(self):
+        v = Vivace()
+        assert v.utility(20.0, 0.0, 0.0) > v.utility(10.0, 0.0, 0.0)
+
+    def test_latency_gradient_penalised(self):
+        v = Vivace()
+        assert v.utility(10.0, 0.1, 0.0) < v.utility(10.0, 0.0, 0.0)
+
+    def test_loss_penalised(self):
+        v = Vivace()
+        assert v.utility(10.0, 0.0, 0.2) < v.utility(10.0, 0.0, 0.0)
+
+    def test_matches_eq2_form(self):
+        v = Vivace()
+        x, grad, loss = 10.0, 0.01, 0.05
+        expected = x ** 0.9 - 900.0 * x * grad - 11.25 * x * loss
+        assert v.utility(x, grad, loss) == pytest.approx(expected)
+
+    def test_zero_rate(self):
+        assert Vivace().utility(0.0, 0.0, 0.0) == 0.0
+
+    def test_negative_gradient_not_rewarded(self):
+        v = Vivace()
+        assert v.utility(10.0, -0.5, 0.0) == pytest.approx(
+            v.utility(10.0, 0.0, 0.0))
+
+
+class TestControl:
+    def drive(self, vivace, rtts, loss=0.0):
+        """Feed stats whose sent-rate reflects the previously enforced
+        pacing, as the environment would."""
+        decisions = []
+        pacing = None
+        for i, rtt in enumerate(rtts):
+            sent = pacing * 0.03 if pacing else 30.0
+            d = vivace.on_interval(make_stats(
+                time_s=(i + 1) * 0.03, avg_rtt_s=rtt, min_rtt_s=rtt,
+                sent_pkts=max(sent, 1.0),
+                lost_pkts=loss * max(sent, 1.0)))
+            pacing = d.pacing_pps
+            decisions.append(d)
+        return decisions
+
+    def test_probing_cycle_is_three_phase(self):
+        v = Vivace(theta0=1.0)
+        base = v.rate_mbps
+        # probe up, probe down, move: one full cycle in one timeline.
+        self.drive(v, [0.03, 0.03, 0.03])
+        # With flat RTT and no loss the utility gradient in rate is
+        # positive, so the move step raises the rate.
+        assert v.rate_mbps > base
+
+    def test_rate_never_below_floor(self):
+        v = Vivace(theta0=10.0)
+        self.drive(v, [0.03 + 0.02 * i for i in range(60)], loss=0.3)
+        assert v.rate_mbps >= Vivace.MIN_RATE_MBPS
+
+    def test_theta0_scales_step(self):
+        # At a high operating rate the 25%-of-rate step bound is far away,
+        # so the step size is proportional to theta0.
+        slow = Vivace(theta0=1.0)
+        fast = Vivace(theta0=8.0)
+        for v in (slow, fast):
+            v.rate_mbps = 100.0
+            self.drive(v, [0.03] * 3)
+        assert fast.rate_mbps - 100.0 > 2.0 * (slow.rate_mbps - 100.0) > 0.0
+
+    def test_amplifier_grows_with_consistent_direction(self):
+        v = Vivace(theta0=1.0)
+        self.drive(v, [0.03] * 30)
+        assert v._amplifier > 1.0
+
+    def test_interval_tracks_rtt(self):
+        v = Vivace()
+        assert v.interval_s(0.12) == pytest.approx(0.12, rel=v.mi_jitter)
+
+    def test_rejects_bad_theta0(self):
+        with pytest.raises(ValueError):
+            Vivace(theta0=0.0)
+
+    def test_decision_sets_pacing_and_cwnd(self):
+        v = Vivace()
+        d = v.on_interval(make_stats())
+        assert d.pacing_pps is not None
+        assert d.cwnd_pkts >= 4.0
+
+
+class TestMiJitter:
+    def test_jittered_intervals_vary_around_srtt(self):
+        v = Vivace(mi_jitter=0.15)
+        intervals = [v.interval_s(0.1) for _ in range(50)]
+        assert min(intervals) >= 0.085 - 1e-9
+        assert max(intervals) <= 0.115 + 1e-9
+        assert len(set(intervals)) > 10
+
+    def test_zero_jitter_is_deterministic(self):
+        v = Vivace(mi_jitter=0.0)
+        assert v.interval_s(0.1) == v.interval_s(0.1) == 0.1
+
+    def test_jitter_reproducible_per_seed(self):
+        a, b = Vivace(seed=3), Vivace(seed=3)
+        assert [a.interval_s(0.1) for _ in range(5)] == \
+            [b.interval_s(0.1) for _ in range(5)]
+
+    def test_rejects_bad_jitter(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Vivace(mi_jitter=1.0)

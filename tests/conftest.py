@@ -1,0 +1,36 @@
+"""Shared fixtures: short canonical scenario runs cached per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FlowConfig, LinkConfig, ScenarioConfig
+from repro.env import run_scenario
+from repro.netsim import staggered_flows
+
+
+@pytest.fixture(scope="session")
+def short_link() -> LinkConfig:
+    return LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+
+
+@pytest.fixture(scope="session")
+def reference_three_flow_result(short_link):
+    """Three astraea-ref flows, 10 s stagger — reused by many tests."""
+    scenario = ScenarioConfig(
+        link=short_link,
+        flows=staggered_flows(3, cc="astraea-ref", interval_s=10.0,
+                              duration_s=30.0),
+        duration_s=50.0,
+    )
+    return run_scenario(scenario)
+
+
+@pytest.fixture(scope="session")
+def single_cubic_result(short_link):
+    scenario = ScenarioConfig(
+        link=short_link,
+        flows=(FlowConfig(cc="cubic", start_s=0.0),),
+        duration_s=15.0,
+    )
+    return run_scenario(scenario)

@@ -1,0 +1,95 @@
+"""Action block (Eq. 3) properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.action import (
+    apply_action,
+    invert_action,
+    max_growth_per_second,
+    pacing_from_cwnd,
+)
+from repro.errors import ModelError
+
+
+class TestApplyAction:
+    def test_positive_action_multiplies(self):
+        assert apply_action(100.0, 1.0, alpha=0.025) == pytest.approx(102.5)
+
+    def test_negative_action_divides(self):
+        assert apply_action(102.5, -1.0, alpha=0.025) == pytest.approx(100.0)
+
+    def test_zero_action_is_identity(self):
+        assert apply_action(123.0, 0.0) == 123.0
+
+    def test_symmetry_in_log_space(self):
+        """+a then -a returns exactly to the start (Eq. 3's design)."""
+        up = apply_action(100.0, 0.7)
+        back = apply_action(up, -0.7)
+        assert back == pytest.approx(100.0)
+
+    def test_floor_at_min_cwnd(self):
+        assert apply_action(2.0, -1.0) >= 2.0
+
+    def test_rejects_out_of_range_action(self):
+        with pytest.raises(ModelError):
+            apply_action(10.0, 1.5)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ModelError):
+            apply_action(10.0, 0.5, alpha=0.0)
+        with pytest.raises(ModelError):
+            apply_action(10.0, 0.5, alpha=1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(cwnd=st.floats(min_value=4.0, max_value=1e6),
+           action=st.floats(min_value=-1.0, max_value=1.0))
+    def test_property_bounded_change(self, cwnd, action):
+        """One step never changes the window by more than factor 1+alpha."""
+        new = apply_action(cwnd, action, alpha=0.025)
+        assert new <= cwnd * 1.025 + 1e-9
+        assert new >= cwnd / 1.025 - 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(cwnd=st.floats(min_value=4.0, max_value=1e6),
+           a1=st.floats(min_value=-1.0, max_value=1.0),
+           a2=st.floats(min_value=-1.0, max_value=1.0))
+    def test_property_monotone_in_action(self, cwnd, a1, a2):
+        if a1 <= a2:
+            assert apply_action(cwnd, a1) <= apply_action(cwnd, a2) + 1e-9
+
+
+class TestInvertAction:
+    @settings(max_examples=100, deadline=None)
+    @given(cwnd=st.floats(min_value=10.0, max_value=1e5),
+           action=st.floats(min_value=-1.0, max_value=1.0))
+    def test_property_roundtrip(self, cwnd, action):
+        new = apply_action(cwnd, action, alpha=0.025)
+        if new > 2.0 + 1e-9:  # not clipped by the floor
+            recovered = invert_action(cwnd, new, alpha=0.025)
+            assert recovered == pytest.approx(action, abs=1e-6)
+
+    def test_clipped_to_range(self):
+        assert invert_action(10.0, 1000.0) == 1.0
+        assert invert_action(1000.0, 10.0) == -1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            invert_action(0.0, 10.0)
+
+
+class TestHelpers:
+    def test_pacing(self):
+        assert pacing_from_cwnd(100.0, 0.05) == pytest.approx(2000.0)
+        with pytest.raises(ModelError):
+            pacing_from_cwnd(10.0, 0.0)
+
+    def test_max_growth_documentation_value(self):
+        # alpha=0.025 at 30 ms MTP: (1.025)^(1/0.03) per second ~ 2.28x.
+        assert max_growth_per_second(0.025, 0.030) == pytest.approx(2.28,
+                                                                    rel=0.01)
+        with pytest.raises(ModelError):
+            max_growth_per_second(0.025, 0.0)

@@ -1,0 +1,73 @@
+"""Full learner checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig, replace
+from repro.core.learner import Learner
+from repro.errors import ModelError
+
+SMALL = replace(TrainingConfig(), hidden_layers=(8, 8), batch_size=8,
+                warmup_transitions=10, update_steps=2)
+
+
+def trained_learner(seed=0):
+    learner = Learner(SMALL, seed=seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(40):
+        learner.add_transition(rng.normal(size=learner.global_dim),
+                               rng.normal(size=learner.local_dim),
+                               0.2, 0.01,
+                               rng.normal(size=learner.global_dim),
+                               rng.normal(size=learner.local_dim))
+    learner.update_burst()
+    return learner
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_all_networks(self, tmp_path):
+        a = trained_learner(seed=1)
+        path = a.save_checkpoint(tmp_path / "ck.npz")
+        b = Learner(SMALL, seed=99)
+        b.load_checkpoint(path)
+        x = np.random.default_rng(0).normal(size=(3, a.local_dim))
+        g = np.random.default_rng(1).normal(size=(3, a.global_dim))
+        act = np.zeros((3, 1))
+        assert np.allclose(a.td3.actor.forward(x), b.td3.actor.forward(x))
+        assert np.allclose(a.q_values(g, x, act), b.q_values(g, x, act)) \
+            if hasattr(a, "q_values") else True
+        assert np.allclose(a.td3.q_values(g, x, act),
+                           b.td3.q_values(g, x, act))
+        assert np.allclose(a.td3.critic2.forward(
+            np.concatenate([g, x, act], axis=1)),
+            b.td3.critic2.forward(np.concatenate([g, x, act], axis=1)))
+        assert b.total_updates == a.total_updates
+
+    def test_targets_restored_independently(self, tmp_path):
+        a = trained_learner(seed=2)
+        path = a.save_checkpoint(tmp_path / "ck.npz")
+        b = Learner(SMALL, seed=3)
+        b.load_checkpoint(path)
+        x = np.random.default_rng(0).normal(size=(2, a.local_dim))
+        assert np.allclose(a.td3.actor_target.forward(x),
+                           b.td3.actor_target.forward(x))
+
+    def test_dimension_mismatch_rejected(self, tmp_path):
+        a = trained_learner()
+        path = a.save_checkpoint(tmp_path / "ck.npz")
+        other = Learner(replace(SMALL, history_length=2))
+        with pytest.raises(ModelError):
+            other.load_checkpoint(path)
+
+    def test_topology_mismatch_rejected(self, tmp_path):
+        a = trained_learner()
+        path = a.save_checkpoint(tmp_path / "ck.npz")
+        other = Learner(SMALL, use_global=False)
+        with pytest.raises(ModelError):
+            other.load_checkpoint(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ModelError):
+            Learner(SMALL).load_checkpoint(tmp_path / "nope.npz")

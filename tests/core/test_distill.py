@@ -1,0 +1,95 @@
+"""Policy distillation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distill import (
+    collect_states,
+    distill_policy,
+    evaluate_distillation,
+    parameter_count,
+)
+from repro.core.policy import PolicyBundle, new_actor
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def teacher():
+    return PolicyBundle(actor=new_actor(seed=4))
+
+
+@pytest.fixture(scope="module")
+def states(teacher):
+    rng = np.random.default_rng(0)
+    # Synthetic state cloud spanning the clipped feature range.
+    return rng.uniform(0.0, 3.0, size=(2000, teacher.actor.in_dim))
+
+
+class TestDistill:
+    def test_student_matches_teacher_on_training_states(self, teacher,
+                                                        states):
+        student = distill_policy(teacher, states, epochs=400)
+        report = evaluate_distillation(teacher, student, states)
+        assert report["mean_abs_error"] < 0.15
+        assert report["sign_agreement"] > 0.8
+
+    def test_student_is_much_smaller(self, teacher, states):
+        student = distill_policy(teacher, states, epochs=10)
+        assert parameter_count(student) < parameter_count(teacher) / 20
+        assert evaluate_distillation(teacher, student,
+                                     states)["compression"] > 20
+
+    def test_student_keeps_execution_metadata(self, teacher, states):
+        student = distill_policy(teacher, states, epochs=10)
+        assert student.history == teacher.history
+        assert student.alpha == teacher.alpha
+        assert student.metadata["hidden"] == [16, 16]
+
+    def test_rejects_bad_state_shape(self, teacher):
+        with pytest.raises(ModelError):
+            distill_policy(teacher, np.zeros((10, 3)))
+
+    def test_collect_states_on_policy(self, teacher):
+        from repro.config import LinkConfig, ScenarioConfig
+        from repro.netsim import staggered_flows
+
+        scenario = ScenarioConfig(
+            link=LinkConfig(bandwidth_mbps=50.0, rtt_ms=20.0),
+            flows=staggered_flows(2, cc="astraea", interval_s=1.0,
+                                  duration_s=5.0),
+            duration_s=6.0,
+        )
+        collected = collect_states(teacher, [scenario])
+        assert collected.shape[1] == teacher.actor.in_dim
+        assert collected.shape[0] > 100
+
+    def test_student_drives_the_emulator(self, teacher, states):
+        """End-to-end: the distilled bundle works as a controller."""
+        from repro.config import LinkConfig, ScenarioConfig
+        from repro.core.astraea import AstraeaController
+        from repro.env import run_scenario
+        from repro.netsim import staggered_flows
+
+        student = distill_policy(teacher, states, epochs=100)
+        scenario = ScenarioConfig(
+            link=LinkConfig(bandwidth_mbps=50.0, rtt_ms=20.0),
+            flows=staggered_flows(2, cc="astraea", interval_s=1.0,
+                                  duration_s=6.0),
+            duration_s=8.0,
+        )
+        controllers = [AstraeaController(policy=student)
+                       for _ in scenario.flows]
+        result = run_scenario(scenario, controllers=controllers)
+        assert result.utilization() > 0.0  # ran to completion
+
+
+class TestDefaultScenarios:
+    def test_default_collection_scenarios_are_diverse(self):
+        from repro.core.distill import default_collection_scenarios
+
+        scenarios = default_collection_scenarios()
+        assert len(scenarios) >= 3
+        bandwidths = {s.link.bandwidth_mbps for s in scenarios}
+        assert len(bandwidths) >= 3

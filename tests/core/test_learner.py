@@ -1,0 +1,86 @@
+"""Learner: cadence, warmup gating, snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig, replace
+from repro.core.learner import Learner
+from repro.errors import ModelError
+
+SMALL = replace(TrainingConfig(), hidden_layers=(16, 16), batch_size=16,
+                warmup_transitions=20, update_steps=3,
+                update_interval_s=5.0)
+
+
+def fill(learner, n):
+    rng = np.random.default_rng(0)
+    for _ in range(n):
+        learner.add_transition(rng.normal(size=learner.global_dim),
+                               rng.normal(size=learner.local_dim),
+                               0.1, 0.05,
+                               rng.normal(size=learner.global_dim),
+                               rng.normal(size=learner.local_dim))
+
+
+class TestLearner:
+    def test_dims_follow_config(self):
+        learner = Learner(SMALL)
+        assert learner.local_dim == 8 * SMALL.history_length
+        assert learner.global_dim == 12
+
+    def test_warmup_gates_updates(self):
+        learner = Learner(SMALL)
+        fill(learner, 5)
+        assert not learner.warm
+        losses = learner.update_burst()
+        assert np.isnan(losses["critic_loss"])
+        assert learner.total_updates == 0
+        fill(learner, 30)
+        assert learner.warm
+        learner.update_burst()
+        assert learner.total_updates == SMALL.update_steps
+
+    def test_maybe_update_cadence(self):
+        learner = Learner(SMALL)
+        fill(learner, 40)
+        assert learner.maybe_update(1.0) is None       # interval not reached
+        assert learner.maybe_update(5.1) is not None   # fires
+        assert learner.maybe_update(6.0) is None       # resets
+        assert learner.maybe_update(10.2) is not None
+
+    def test_reset_update_clock(self):
+        learner = Learner(SMALL)
+        fill(learner, 40)
+        learner.maybe_update(5.1)
+        learner.reset_update_clock()
+        assert learner.maybe_update(5.1) is not None
+
+    def test_act_in_range(self):
+        learner = Learner(SMALL)
+        a = learner.act(np.zeros(learner.local_dim), noise_std=1.0)
+        assert -1.0 < a < 1.0
+
+    def test_snapshot_and_load(self):
+        learner = Learner(SMALL)
+        bundle = learner.snapshot_policy()
+        other = Learner(replace(SMALL, seed=123))
+        other.load_policy(bundle)
+        x = np.random.default_rng(0).normal(size=learner.local_dim)
+        assert learner.act(x) == pytest.approx(other.act(x))
+
+    def test_load_rejects_mismatched_bundle(self):
+        learner = Learner(SMALL)
+        small_cfg = replace(SMALL, history_length=2)
+        other = Learner(small_cfg)
+        with pytest.raises(ModelError):
+            learner.load_policy(other.snapshot_policy())
+
+    def test_snapshot_is_immutable_copy(self):
+        learner = Learner(SMALL)
+        bundle = learner.snapshot_policy()
+        before = bundle.actor.get_state()[0].copy()
+        fill(learner, 40)
+        learner.update_burst()
+        assert np.allclose(bundle.actor.get_state()[0], before)

@@ -1,0 +1,149 @@
+"""Reward block: Eqs. 4-8 and the Fig. 4 sensitivity argument."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import LinkConfig, RewardConfig
+from repro.core.reward import (
+    FlowSnapshot,
+    RewardBlock,
+    fairness_term,
+    stability_term,
+)
+from repro.errors import ModelError
+from repro.metrics.fairness import jain_index
+from repro.units import mbps_to_pps
+
+LINK = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+
+
+def snap(thr_mbps=50.0, avg_mbps=None, std=0.0, rtt=0.030, loss_pps=0.0,
+         pacing_mbps=None):
+    thr = mbps_to_pps(thr_mbps)
+    return FlowSnapshot(
+        throughput_pps=thr,
+        avg_thr_pps=mbps_to_pps(avg_mbps) if avg_mbps is not None else thr,
+        thr_std_pps=std,
+        avg_rtt_s=rtt,
+        loss_pps=loss_pps,
+        pacing_pps=mbps_to_pps(pacing_mbps) if pacing_mbps is not None
+        else thr,
+    )
+
+
+class TestFairnessTerm:
+    def test_zero_at_equality(self):
+        assert fairness_term([100.0, 100.0, 100.0]) == 0.0
+
+    def test_positive_when_unequal(self):
+        assert fairness_term([150.0, 50.0]) > 0.0
+
+    def test_zero_total_is_zero(self):
+        assert fairness_term([0.0, 0.0]) == 0.0
+
+    def test_more_sensitive_than_jain_near_equality(self):
+        """Fig. 4: a 20 Mbps gap on 100 Mbps moves R_fair (0.1) much more
+        than it moves the Jain index (0.038)."""
+        equal = np.array([50.0, 50.0])
+        gapped = np.array([60.0, 40.0])
+        jain_drop = jain_index(equal) - jain_index(gapped)
+        fair_rise = fairness_term(gapped) - fairness_term(equal)
+        assert fair_rise == pytest.approx(0.1)
+        assert jain_drop == pytest.approx(0.038, abs=0.002)
+        assert fair_rise > 2.0 * jain_drop
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            fairness_term([])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e4),
+                    min_size=1, max_size=8))
+    def test_property_bounded_by_half(self, thr):
+        # sqrt((1-1/n)/n) <= 0.5 for all n >= 1.
+        assert 0.0 <= fairness_term(thr) <= 0.5 + 1e-9
+
+
+class TestStabilityTerm:
+    def test_zero_for_steady_flows(self):
+        assert stability_term([100.0, 100.0], [0.0, 0.0]) == 0.0
+
+    def test_scales_with_cv(self):
+        low = stability_term([100.0], [5.0])
+        high = stability_term([100.0], [30.0])
+        assert high > low > 0.0
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ModelError):
+            stability_term([1.0, 2.0], [0.0])
+
+
+class TestRewardBlock:
+    def test_full_fair_utilisation_is_max_reward(self):
+        block = RewardBlock(LINK)
+        terms = block.compute([snap(50.0), snap(50.0)])
+        assert terms.throughput == pytest.approx(1.0)
+        assert terms.fairness == 0.0
+        assert terms.latency == 0.0
+        assert terms.loss == 0.0
+        assert terms.total == pytest.approx(0.1 * 1.0)
+
+    def test_latency_tolerance_band(self):
+        block = RewardBlock(LINK)
+        # 20% inflation: inside the (1+beta) tolerance -> no penalty.
+        terms = block.compute([snap(rtt=0.030 * 1.19)])
+        assert terms.latency == 0.0
+        terms = block.compute([snap(rtt=0.030 * 2.0)])
+        assert terms.latency > 0.0
+
+    def test_latency_penalty_scales_with_pacing(self):
+        block = RewardBlock(LINK)
+        slow = block.compute([snap(rtt=0.09, pacing_mbps=10.0)])
+        fast = block.compute([snap(rtt=0.09, pacing_mbps=100.0)])
+        assert fast.latency > slow.latency
+
+    def test_loss_term(self):
+        block = RewardBlock(LINK)
+        terms = block.compute([snap(thr_mbps=50.0,
+                                    loss_pps=mbps_to_pps(5.0))])
+        assert terms.loss == pytest.approx(0.1)
+
+    def test_unfairness_reduces_total(self):
+        block = RewardBlock(LINK)
+        fair = block.compute([snap(50.0), snap(50.0)])
+        unfair = block.compute([snap(90.0, avg_mbps=90.0),
+                                snap(10.0, avg_mbps=10.0)])
+        assert unfair.total < fair.total
+
+    def test_instability_reduces_total(self):
+        block = RewardBlock(LINK)
+        steady = block.compute([snap(50.0), snap(50.0)])
+        shaky = block.compute([snap(50.0, std=mbps_to_pps(25.0)),
+                               snap(50.0, std=mbps_to_pps(25.0))])
+        assert shaky.total < steady.total
+
+    def test_capacity_override(self):
+        block = RewardBlock(LINK)
+        terms = block.compute([snap(25.0)],
+                              capacity_pps=mbps_to_pps(50.0))
+        assert terms.throughput == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            RewardBlock(LINK).compute([])
+
+    @settings(max_examples=50, deadline=None)
+    @given(thr=st.lists(st.floats(min_value=0.0, max_value=300.0),
+                        min_size=1, max_size=6),
+           rtt=st.floats(min_value=0.005, max_value=1.0),
+           loss=st.floats(min_value=0.0, max_value=100.0))
+    def test_property_reward_bounded(self, thr, rtt, loss):
+        """Eq. 8: the total reward always lies in [-0.1, 0.1]."""
+        block = RewardBlock(LINK, RewardConfig())
+        snaps = [snap(t, rtt=rtt, loss_pps=loss) for t in thr]
+        terms = block.compute(snaps)
+        assert -0.1 <= terms.total <= 0.1

@@ -1,0 +1,99 @@
+"""Training drivers: scenario sampling, evaluation, short end-to-end runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig, replace
+from repro.core.policy import PolicyBundle, new_actor
+from repro.core.train import (
+    CROSS_TRAFFIC_PROB,
+    EVAL_SCENARIOS,
+    _random_initial_cwnds,
+    evaluate_friendliness,
+    evaluate_policy,
+    sample_training_scenario,
+    train_astraea,
+)
+
+FAST = replace(TrainingConfig(), episodes=2, episode_duration_s=6.0,
+               hidden_layers=(16, 16), batch_size=32,
+               warmup_transitions=100, update_steps=2)
+
+
+class TestScenarioSampling:
+    def test_respects_table3_ranges(self):
+        cfg = TrainingConfig()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            sc = sample_training_scenario(cfg, rng, cross_traffic=False)
+            assert 40.0 <= sc.link.bandwidth_mbps <= 160.0
+            assert 10.0 <= sc.link.rtt_ms <= 140.0
+            assert 0.1 <= sc.link.buffer_bdp <= 16.0
+            assert 2 <= len(sc.flows) <= 5
+
+    def test_cross_traffic_sometimes_added(self):
+        cfg = TrainingConfig()
+        rng = np.random.default_rng(1)
+        kinds = set()
+        extra = 0
+        for _ in range(200):
+            sc = sample_training_scenario(cfg, rng, cross_traffic=True)
+            competitors = [f for f in sc.flows if f.cc != "astraea"]
+            extra += len(competitors)
+            kinds |= {f.cc for f in competitors}
+        # Roughly CROSS_TRAFFIC_PROB of episodes carry one competitor.
+        assert 0.5 * CROSS_TRAFFIC_PROB < extra / 200 < 2 * CROSS_TRAFFIC_PROB
+        assert "cubic" in kinds and "constant-rate" in kinds
+
+    def test_deterministic_per_rng_state(self):
+        cfg = TrainingConfig()
+        a = sample_training_scenario(cfg, np.random.default_rng(5))
+        b = sample_training_scenario(cfg, np.random.default_rng(5))
+        assert a.link == b.link
+        assert a.flows == b.flows
+
+    def test_initial_cwnds_bounded(self):
+        from repro.config import LinkConfig
+
+        link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+        rng = np.random.default_rng(0)
+        cwnds = _random_initial_cwnds(link, 50, rng)
+        assert all(4.0 <= c <= 2.0 * 250.0 for c in cwnds)
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return PolicyBundle(actor=new_actor(seed=2))
+
+    def test_evaluate_policy_fields(self, bundle):
+        metrics = evaluate_policy(bundle, duration_s=8.0, interval_s=2.0)
+        assert set(metrics) == {"jain", "utilization", "rtt_ratio", "loss",
+                                "score"}
+        assert np.isfinite(metrics["score"])
+
+    def test_evaluate_rtt_heterogeneous_path(self, bundle):
+        metrics = evaluate_policy(bundle, duration_s=8.0,
+                                  rtt_range_ms=(30.0, 120.0), n_flows=3)
+        assert np.isfinite(metrics["utilization"])
+
+    def test_eval_scenarios_include_heterogeneous(self):
+        assert any("rtt_range_ms" in spec for spec in EVAL_SCENARIOS)
+
+    def test_friendliness_ratio_positive(self, bundle):
+        ratio = evaluate_friendliness(bundle, duration_s=8.0)
+        assert ratio >= 0.0
+
+
+class TestEndToEnd:
+    def test_two_episode_training_produces_bundle(self):
+        bundle, history = train_astraea(FAST, eval_every=1)
+        assert bundle.actor.in_dim == 8 * FAST.history_length
+        assert len(history.episode_rewards) == FAST.episodes
+        assert history.wall_time_s > 0
+
+    def test_local_critic_ablation_runs(self):
+        bundle, _ = train_astraea(FAST, use_global=False, eval_every=10)
+        assert bundle.metadata["use_global"] is False

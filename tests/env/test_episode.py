@@ -1,0 +1,125 @@
+"""Training-episode collection: observer, transitions, rewards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    FlowConfig,
+    LinkConfig,
+    ScenarioConfig,
+    TrainingConfig,
+    replace,
+)
+from repro.core.learner import Learner
+from repro.env.episode import TrainFlowController, run_training_episode
+from repro.netsim import staggered_flows
+
+SMALL = replace(TrainingConfig(), hidden_layers=(16, 16), batch_size=16,
+                warmup_transitions=50, update_steps=2)
+LINK = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+
+
+def episode_scenario(n=2, duration=6.0):
+    return ScenarioConfig(
+        link=LINK,
+        flows=staggered_flows(n, cc="astraea", interval_s=1.0,
+                              duration_s=duration - 1.0),
+        duration_s=duration,
+    )
+
+
+class TestTrainController:
+    def test_respects_alpha_bound(self):
+        learner = Learner(SMALL)
+        ctl = TrainFlowController(learner, noise_std=1.0, initial_cwnd=50.0)
+        from tests.cc.test_base import make_stats
+
+        prev = ctl.cwnd
+        for i in range(10):
+            d = ctl.on_interval(make_stats(time_s=(i + 1) * 0.03))
+            assert d.cwnd_pkts <= prev * 1.025 + 1e-9
+            prev = d.cwnd_pkts
+
+    def test_randomised_initial_cwnd(self):
+        learner = Learner(SMALL)
+        ctl = TrainFlowController(learner, initial_cwnd=77.0)
+        assert ctl.initial_cwnd == 77.0
+        assert ctl.cwnd == 77.0
+
+    def test_records_state_action(self):
+        learner = Learner(SMALL)
+        ctl = TrainFlowController(learner)
+        from tests.cc.test_base import make_stats
+
+        ctl.on_interval(make_stats())
+        assert ctl.last_state is not None
+        assert -1.0 <= ctl.last_action <= 1.0
+
+
+class TestEpisode:
+    def test_collects_transitions(self):
+        learner = Learner(SMALL)
+        stats = run_training_episode(learner, episode_scenario(),
+                                     noise_std=0.1,
+                                     initial_cwnds=[30.0, 30.0])
+        assert stats.transitions > 100
+        assert len(learner.replay) == stats.transitions
+
+    def test_rewards_bounded(self):
+        learner = Learner(SMALL)
+        stats = run_training_episode(learner, episode_scenario(),
+                                     noise_std=0.1,
+                                     initial_cwnds=[30.0, 30.0])
+        assert -0.1 <= stats.mean_reward <= 0.1
+
+    def test_updates_fire_on_cadence(self):
+        cfg = replace(SMALL, update_interval_s=2.0)
+        learner = Learner(cfg)
+        stats = run_training_episode(learner, episode_scenario(duration=7.0),
+                                     noise_std=0.1,
+                                     initial_cwnds=[30.0, 30.0])
+        assert stats.update_bursts >= 2
+        assert learner.total_updates >= 2 * cfg.update_steps
+
+    def test_no_updates_when_disabled(self):
+        learner = Learner(SMALL)
+        run_training_episode(learner, episode_scenario(), noise_std=0.1,
+                             initial_cwnds=[30.0, 30.0], do_updates=False)
+        assert learner.total_updates == 0
+
+    def test_local_reward_path(self):
+        learner = Learner(SMALL)
+        seen = []
+
+        def local_reward(stats, link):
+            seen.append(stats)
+            return 0.05
+
+        ep = run_training_episode(learner, episode_scenario(n=1),
+                                  noise_std=0.1, initial_cwnds=[30.0],
+                                  local_reward=local_reward)
+        assert seen
+        assert ep.mean_reward == pytest.approx(0.05)
+
+    def test_fair_outcome_scores_higher_than_starved(self):
+        """Global reward must rank a fair equilibrium above a starved one —
+        the property that makes multi-agent training optimise fairness."""
+        learner = Learner(SMALL)
+
+        # Fair: two equal astraea-ref flows.
+        fair = ScenarioConfig(
+            link=LINK,
+            flows=staggered_flows(2, cc="astraea", interval_s=0.0),
+            duration_s=8.0,
+        )
+        fair_stats = run_training_episode(
+            learner, fair, noise_std=0.0, initial_cwnds=[125.0, 125.0],
+            do_updates=False)
+
+        # Starved: one giant window, one pinned tiny window.
+        starved_stats = run_training_episode(
+            learner, fair, noise_std=0.0, initial_cwnds=[450.0, 2.0],
+            do_updates=False)
+        assert fair_stats.mean_reward > starved_stats.mean_reward

@@ -1,0 +1,168 @@
+"""Convergence-time and stability metrics on synthetic runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.multiflow import FlowLog, ScenarioResult
+from repro.errors import ConfigError
+from repro.metrics import (
+    ARRIVAL,
+    DEPARTURE,
+    convergence_report,
+    flow_events,
+    mean_convergence_time,
+    mean_stability,
+)
+
+
+def synthetic_result(converge_after_s: float = 2.0) -> ScenarioResult:
+    """Two flows on 100 Mbps: flow 1 joins at 10 s; both reach 50/50 after
+    ``converge_after_s`` with a linear transition."""
+    grid = 0.1
+    duration = 30.0
+    times = np.arange(grid, duration, grid)
+
+    def log(start, end, series):
+        flow = FlowLog(cc_name="synthetic", start_s=start, end_s=end)
+        for t, thr in zip(times, series):
+            if start <= t < end:
+                flow.times.append(float(t))
+                flow.throughput_mbps.append(float(thr))
+                flow.rtt_s.append(0.03)
+                flow.loss_rate.append(0.0)
+                flow.cwnd_pkts.append(100.0)
+                flow.send_rate_mbps.append(float(thr))
+        return flow
+
+    join, tau = 10.0, converge_after_s
+    thr0 = np.where(times < join, 100.0,
+                    np.maximum(50.0, 100.0 - 50.0 * (times - join) / tau))
+    thr1 = np.where(times < join, 0.0,
+                    np.minimum(50.0, 50.0 * (times - join) / tau))
+    return ScenarioResult(
+        flows=[log(0.0, duration, thr0), log(join, duration, thr1)],
+        duration_s=duration,
+        bottleneck_mbps=100.0,
+        base_rtt_s=0.03,
+    )
+
+
+class TestFlowEvents:
+    def test_detects_arrival(self):
+        events = flow_events(synthetic_result())
+        kinds = [(e.kind, e.time_s) for e in events]
+        assert (ARRIVAL, 10.0) in kinds
+
+    def test_departure_detected(self):
+        result = synthetic_result()
+        result.flows[1].end_s = 20.0
+        events = flow_events(result)
+        assert any(e.kind == DEPARTURE and e.time_s == 20.0 for e in events)
+
+
+class TestConvergence:
+    def test_measures_known_convergence_time(self):
+        reports = convergence_report(synthetic_result(converge_after_s=2.0))
+        arrival = [r for r in reports if r.event.kind == ARRIVAL][0]
+        assert arrival.converged
+        # Linear transition reaches +/-10% of 50 at 1.8 s.
+        assert arrival.convergence_time_s == pytest.approx(1.8, abs=0.4)
+
+    def test_faster_transition_shorter_time(self):
+        fast = convergence_report(synthetic_result(0.5))
+        slow = convergence_report(synthetic_result(5.0))
+        t_fast = mean_convergence_time(fast)
+        t_slow = mean_convergence_time(slow)
+        assert t_fast < t_slow
+
+    def test_stability_zero_for_flat_series(self):
+        reports = convergence_report(synthetic_result(1.0))
+        assert mean_stability(reports) == pytest.approx(0.0, abs=0.5)
+
+    def test_fair_share_recorded(self):
+        reports = convergence_report(synthetic_result())
+        arrival = [r for r in reports if r.event.kind == ARRIVAL][0]
+        assert arrival.fair_share_mbps == pytest.approx(50.0)
+
+    def test_unconverged_counts_penalty(self):
+        # Never converges: flows stay at 90/10 after the join.
+        result = synthetic_result(converge_after_s=1e9)
+        reports = convergence_report(result)
+        arrival = [r for r in reports if r.event.kind == ARRIVAL][0]
+        assert not arrival.converged
+        assert np.isnan(mean_convergence_time([arrival]))
+        assert mean_convergence_time([arrival], penalty_s=30.0) == 30.0
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ConfigError):
+            convergence_report(synthetic_result(), tolerance=0.0)
+
+    def test_real_reference_run_converges(self, reference_three_flow_result):
+        reports = convergence_report(reference_three_flow_result)
+        assert any(r.converged for r in reports)
+        t = mean_convergence_time(reports, penalty_s=30.0)
+        assert t < 10.0
+
+
+class TestRampTime:
+    def test_measures_threshold_crossing(self):
+        result = synthetic_result()
+        # Aggregate is 100 Mbps from the first sample: immediate.
+        from repro.metrics.convergence import ramp_time_s
+
+        assert ramp_time_s(result, utilization=0.9) < 0.5
+
+    def test_unreachable_threshold_is_inf(self):
+        from repro.metrics.convergence import ramp_time_s
+
+        result = synthetic_result()
+        for flow in result.flows:
+            flow.throughput_mbps = [t * 0.1 for t in flow.throughput_mbps]
+        assert ramp_time_s(result, utilization=0.9) == float("inf")
+
+    def test_rejects_bad_threshold(self):
+        from repro.metrics.convergence import ramp_time_s
+
+        with pytest.raises(ConfigError):
+            ramp_time_s(synthetic_result(), utilization=0.0)
+
+
+class TestJainConvergence:
+    def test_converges_when_shares_equalise(self):
+        from repro.metrics.convergence import jain_convergence_times
+
+        times = jain_convergence_times(synthetic_result(2.0), threshold=0.9)
+        # The arrival event reaches Jain >= 0.9 well before the strict
+        # +-10% criterion (linear transition: jain 0.9 at ~35/65 split).
+        assert any(t is not None and t < 2.0 for t in times)
+
+    def test_never_fair_yields_none(self):
+        from repro.metrics.convergence import (
+            jain_convergence_times,
+            mean_jain_convergence_time,
+        )
+
+        result = synthetic_result(converge_after_s=1e9)
+        times = jain_convergence_times(result, threshold=0.95)
+        arrival_times = [t for t in times if t is None]
+        assert arrival_times  # the arrival event never reaches 0.95
+        penalised = mean_jain_convergence_time(result, threshold=0.95,
+                                               penalty_s=99.0)
+        assert penalised > 1.0
+
+    def test_threshold_validation(self):
+        from repro.metrics.convergence import jain_convergence_times
+
+        with pytest.raises(ConfigError):
+            jain_convergence_times(synthetic_result(), threshold=0.0)
+
+    def test_single_flow_event_counts_as_immediate(self):
+        from repro.metrics.convergence import jain_convergence_times
+
+        result = synthetic_result()
+        # Remove flow 1 entirely: only departures/arrivals with < 2 active.
+        result.flows[1].end_s = 10.05
+        times = jain_convergence_times(result)
+        assert all(t is None or t >= 0.0 for t in times)

@@ -1,0 +1,100 @@
+"""Fairness metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.metrics import (
+    astraea_fairness_metric,
+    jain_index,
+    max_min_fair_shares,
+)
+
+
+class TestJain:
+    def test_equal_allocation(self):
+        assert jain_index([10.0, 10.0, 10.0]) == pytest.approx(1.0)
+
+    def test_winner_takes_all(self):
+        assert jain_index([30.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_known_value(self):
+        # (60+40)^2 / (2*(3600+1600)) = 10000/10400.
+        assert jain_index([60.0, 40.0]) == pytest.approx(10000.0 / 10400.0)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ConfigError):
+            jain_index([])
+        with pytest.raises(ConfigError):
+            jain_index([-1.0, 2.0])
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6),
+                    min_size=1, max_size=10))
+    def test_property_range(self, xs):
+        j = jain_index(xs)
+        assert 1.0 / len(xs) - 1e-9 <= j <= 1.0 + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(xs=st.lists(st.floats(min_value=0.1, max_value=1e4),
+                       min_size=2, max_size=8),
+           scale=st.floats(min_value=0.1, max_value=100.0))
+    def test_property_scale_invariant(self, xs, scale):
+        assert jain_index(xs) == pytest.approx(
+            jain_index([x * scale for x in xs]))
+
+
+class TestAstraeaMetric:
+    def test_zero_at_equality(self):
+        assert astraea_fairness_metric([5.0, 5.0]) == 0.0
+
+    def test_saturation_contrast_with_jain(self):
+        """Fig. 4: near equality, R_fair keeps moving while Jain flattens."""
+        gaps = [0.0, 10.0, 20.0, 40.0]
+        jains, fairs = [], []
+        for g in gaps:
+            alloc = [50.0 + g / 2, 50.0 - g / 2]
+            jains.append(1.0 - jain_index(alloc))
+            fairs.append(astraea_fairness_metric(alloc))
+        # First 20 Mbps of gap: R_fair moves 0.1, Jain only ~0.038.
+        assert fairs[2] - fairs[0] > 2.5 * (jains[2] - jains[0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            astraea_fairness_metric([])
+
+
+class TestMaxMin:
+    def test_elastic_flows_split_evenly(self):
+        shares = max_min_fair_shares([np.inf, np.inf], 100.0)
+        assert shares == pytest.approx([50.0, 50.0])
+
+    def test_small_demand_capped(self):
+        shares = max_min_fair_shares([10.0, np.inf, np.inf], 100.0)
+        assert shares == pytest.approx([10.0, 45.0, 45.0])
+
+    def test_all_demands_satisfiable(self):
+        shares = max_min_fair_shares([10.0, 20.0], 100.0)
+        assert shares == pytest.approx([10.0, 20.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            max_min_fair_shares([-1.0], 10.0)
+        with pytest.raises(ConfigError):
+            max_min_fair_shares([1.0], -10.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=6),
+           st.floats(min_value=1.0, max_value=500.0))
+    def test_property_feasible_and_capped(self, demands, capacity):
+        shares = max_min_fair_shares(demands, capacity)
+        assert np.all(shares <= np.asarray(demands) + 1e-9)
+        assert shares.sum() <= capacity + 1e-6

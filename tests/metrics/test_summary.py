@@ -1,0 +1,46 @@
+"""Run summaries and distribution helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import cdf, percentile_summary, summarize
+from repro.metrics.summary import RunSummary
+
+
+class TestSummarize:
+    def test_fields(self, reference_three_flow_result):
+        summary = summarize(reference_three_flow_result, "astraea-ref")
+        assert summary.scheme == "astraea-ref"
+        assert 0.9 < summary.utilization <= 1.05
+        assert 0.9 < summary.mean_jain <= 1.0
+        assert 25.0 < summary.mean_rtt_ms < 60.0
+        assert summary.mean_loss_rate < 0.01
+
+    def test_as_dict(self, reference_three_flow_result):
+        d = summarize(reference_three_flow_result, "x").as_dict()
+        assert set(d) == {"scheme", "utilization", "mean_jain",
+                          "mean_rtt_ms", "mean_loss_rate",
+                          "convergence_time_s", "stability_mbps"}
+
+
+class TestCdf:
+    def test_monotone(self):
+        x, f = cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(f) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        x, f = cdf([])
+        assert len(x) == 0 and len(f) == 0
+
+
+class TestPercentiles:
+    def test_median(self):
+        p = percentile_summary(np.arange(101), percentiles=(50,))
+        assert p[50] == pytest.approx(50.0)
+
+    def test_default_keys(self):
+        p = percentile_summary([1.0, 2.0, 3.0])
+        assert set(p) == {5, 25, 50, 75, 95}

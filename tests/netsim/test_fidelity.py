@@ -1,0 +1,64 @@
+"""Fluid-vs-packet fidelity: the substitution argument of DESIGN.md §2.
+
+The fluid model must reproduce packet-level FIFO behaviour on the
+statistics the controllers actually consume: per-flow throughput shares,
+RTT inflation under standing queues, and full-capacity delivery under
+overload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LinkConfig
+from repro.netsim import FluidNetwork, PacketNetwork
+
+
+LINK = LinkConfig(bandwidth_mbps=12.0, rtt_ms=30.0, buffer_bdp=4.0)
+
+
+def run_fluid(cwnds, seconds=6.0):
+    net = FluidNetwork(LINK)
+    fids = [net.add_flow(base_rtt_s=0.030, cwnd_pkts=c) for c in cwnds]
+    for _ in range(int(seconds / 0.002)):
+        net.advance(0.002)
+    return net, fids
+
+
+def run_packet(cwnds, seconds=6.0):
+    net = PacketNetwork(LINK, seed=0)
+    fids = [net.add_flow(base_rtt_s=0.030, cwnd=c) for c in cwnds]
+    net.run(seconds)
+    return net, fids
+
+
+class TestFidelity:
+    def test_single_flow_underload_rates_match(self):
+        fluid, [ff] = run_fluid([10.0])
+        packet, [pf] = run_packet([10.0])
+        fluid_rate = fluid.flow_goodput_pps(ff)
+        packet_rate = packet.stats(pf).delivered / 6.0
+        assert fluid_rate == pytest.approx(packet_rate, rel=0.07)
+
+    def test_overload_shares_match(self):
+        cwnds = [60.0, 20.0]
+        fluid, ffids = run_fluid(cwnds)
+        packet, pfids = run_packet(cwnds)
+        fluid_shares = [fluid.flow_goodput_pps(f) for f in ffids]
+        packet_shares = [packet.stats(f).delivered / 6.0 for f in pfids]
+        fluid_ratio = fluid_shares[0] / fluid_shares[1]
+        packet_ratio = packet_shares[0] / packet_shares[1]
+        assert fluid_ratio == pytest.approx(packet_ratio, rel=0.15)
+
+    def test_rtt_inflation_matches(self):
+        fluid, [ff] = run_fluid([60.0])
+        packet, [pf] = run_packet([60.0])
+        assert fluid.flow_rtt_s(ff) == pytest.approx(
+            packet.stats(pf).avg_rtt_s, rel=0.12)
+
+    def test_aggregate_at_capacity_matches(self):
+        fluid, ffids = run_fluid([80.0, 80.0])
+        packet, pfids = run_packet([80.0, 80.0])
+        fluid_total = sum(fluid.flow_goodput_pps(f) for f in ffids)
+        packet_total = sum(packet.stats(f).delivered for f in pfids) / 6.0
+        assert fluid_total == pytest.approx(packet_total, rel=0.07)

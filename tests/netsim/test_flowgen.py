@@ -1,0 +1,95 @@
+"""Flow generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.netsim.flowgen import (
+    heterogeneous_rtt_flows,
+    poisson_flows,
+    randomized_training_flows,
+    simultaneous_flows,
+    staggered_flows,
+)
+
+
+class TestStaggered:
+    def test_start_times(self):
+        flows = staggered_flows(3, interval_s=40.0, duration_s=120.0)
+        assert [f.start_s for f in flows] == [0.0, 40.0, 80.0]
+        assert all(f.duration_s == 120.0 for f in flows)
+
+    def test_kwargs_forwarded(self):
+        flows = staggered_flows(2, cc="vivace", interval_s=1.0, theta0=5.0)
+        assert flows[0].cc_kwargs == {"theta0": 5.0}
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigError):
+            staggered_flows(0)
+        with pytest.raises(ConfigError):
+            staggered_flows(2, interval_s=-1.0)
+
+    def test_simultaneous(self):
+        flows = simultaneous_flows(4, cc="cubic")
+        assert all(f.start_s == 0.0 for f in flows)
+        assert all(f.end_s() == float("inf") for f in flows)
+
+
+class TestHeterogeneousRtt:
+    def test_even_spacing(self):
+        flows = heterogeneous_rtt_flows(5, "cubic", (40.0, 200.0),
+                                        link_rtt_ms=40.0)
+        extras = [f.extra_rtt_ms for f in flows]
+        assert extras == pytest.approx([0.0, 40.0, 80.0, 120.0, 160.0])
+
+    def test_rejects_rtt_below_link(self):
+        with pytest.raises(ConfigError):
+            heterogeneous_rtt_flows(3, "cubic", (10.0, 50.0),
+                                    link_rtt_ms=40.0)
+
+    def test_single_flow(self):
+        flows = heterogeneous_rtt_flows(1, "cubic", (40.0, 200.0), 40.0)
+        assert len(flows) == 1
+        assert flows[0].extra_rtt_ms == 0.0
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        a = poisson_flows(0.2, 60.0, seed=5)
+        b = poisson_flows(0.2, 60.0, seed=5)
+        assert [f.start_s for f in a] == [f.start_s for f in b]
+
+    def test_within_horizon(self):
+        flows = poisson_flows(0.5, 30.0, seed=1)
+        assert all(0.0 <= f.start_s < 30.0 for f in flows)
+
+    def test_never_empty(self):
+        flows = poisson_flows(1e-6, 1.0, seed=0)
+        assert len(flows) >= 1
+
+    def test_max_flows_cap(self):
+        flows = poisson_flows(10.0, 100.0, seed=0, max_flows=7)
+        assert len(flows) <= 7
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            poisson_flows(0.0, 10.0)
+
+
+class TestRandomizedTraining:
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=6),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_property_first_flow_at_zero_and_durations_positive(self, n, seed):
+        flows = randomized_training_flows(n, 24.0, seed=seed)
+        assert len(flows) == n
+        assert flows[0].start_s == 0.0
+        assert all(f.duration_s > 0 for f in flows)
+        assert all(f.start_s <= 24.0 / 3.0 for f in flows)
+
+    def test_rejects_zero_flows(self):
+        with pytest.raises(ConfigError):
+            randomized_training_flows(0, 10.0, seed=0)

@@ -1,0 +1,90 @@
+"""Packet-level simulator behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LinkConfig
+from repro.errors import SimulationError
+from repro.netsim import PacketNetwork
+from repro.units import mbps_to_pps
+
+
+def small_link(bw=12.0, rtt=30.0, buffer_bdp=1.0, loss=0.0):
+    return LinkConfig(bandwidth_mbps=bw, rtt_ms=rtt, buffer_bdp=buffer_bdp,
+                      random_loss=loss)
+
+
+class TestSingleFlow:
+    def test_window_limited_throughput(self):
+        link = small_link()
+        net = PacketNetwork(link, seed=0)
+        f = net.add_flow(base_rtt_s=0.030, cwnd=10.0)  # BDP = 30
+        net.run(5.0)
+        stats = net.stats(f)
+        expected = 10.0 / 0.030  # pkts per second
+        measured = stats.delivered / 5.0
+        assert measured == pytest.approx(expected, rel=0.05)
+        assert stats.lost == 0
+
+    def test_capacity_limited_throughput(self):
+        link = small_link(buffer_bdp=4.0)
+        net = PacketNetwork(link, seed=0)
+        f = net.add_flow(base_rtt_s=0.030, cwnd=100.0)
+        net.run(5.0)
+        measured = net.stats(f).delivered / 5.0
+        assert measured == pytest.approx(mbps_to_pps(12.0), rel=0.05)
+
+    def test_overflow_causes_loss(self):
+        link = small_link(buffer_bdp=0.5)
+        net = PacketNetwork(link, seed=0)
+        f = net.add_flow(base_rtt_s=0.030, cwnd=500.0)
+        net.run(5.0)
+        assert net.stats(f).lost > 0
+
+    def test_random_loss(self):
+        link = small_link(loss=0.05, buffer_bdp=4.0)
+        net = PacketNetwork(link, seed=0)
+        f = net.add_flow(base_rtt_s=0.030, cwnd=20.0)
+        net.run(10.0)
+        stats = net.stats(f)
+        rate = stats.lost / max(stats.lost + stats.delivered, 1)
+        assert rate == pytest.approx(0.05, abs=0.02)
+
+    def test_rtt_includes_queueing(self):
+        link = small_link(buffer_bdp=4.0)
+        net = PacketNetwork(link, seed=0)
+        f = net.add_flow(base_rtt_s=0.030, cwnd=60.0)  # 2x BDP
+        net.run(5.0)
+        # Standing queue of ~30 packets at 1000 pkt/s adds ~30 ms.
+        assert net.stats(f).avg_rtt_s == pytest.approx(0.060, rel=0.10)
+
+
+class TestCallbacks:
+    def test_mtp_callback_adjusts_cwnd(self):
+        link = small_link()
+        net = PacketNetwork(link, seed=0, mtp_s=0.030)
+        seen = []
+
+        def on_mtp(stats):
+            seen.append(stats)
+            return 20.0
+
+        f = net.add_flow(base_rtt_s=0.030, cwnd=5.0, on_mtp=on_mtp)
+        net.run(2.0)
+        assert len(seen) >= 50
+        measured = net.stats(f).delivered / 2.0
+        assert measured == pytest.approx(20.0 / 0.030, rel=0.10)
+
+
+class TestValidation:
+    def test_rejects_bad_rtt(self):
+        net = PacketNetwork(small_link())
+        with pytest.raises(SimulationError):
+            net.add_flow(base_rtt_s=0.0)
+
+    def test_rejects_bad_duration(self):
+        net = PacketNetwork(small_link())
+        net.add_flow(base_rtt_s=0.03)
+        with pytest.raises(SimulationError):
+            net.run(0.0)

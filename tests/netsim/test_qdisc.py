@@ -1,0 +1,118 @@
+"""Queue disciplines: RED, CoDel, and engine integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LinkConfig
+from repro.errors import ConfigError
+from repro.netsim import FluidNetwork
+from repro.netsim.qdisc import CoDel, DropTail, Red, create_qdisc
+
+
+class TestDropTail:
+    def test_never_drops_early(self):
+        q = DropTail()
+        assert q.drop_fraction(1e9, 10.0, 0.0, 0.002) == 0.0
+
+
+class TestRed:
+    def test_no_drop_below_min_threshold(self):
+        red = Red(min_th_pkts=50, max_th_pkts=150, max_p=0.1)
+        for _ in range(100):
+            assert red.drop_fraction(40.0, 0.01, 0.0, 0.002) == 0.0
+
+    def test_linear_ramp_between_thresholds(self):
+        red = Red(min_th_pkts=50, max_th_pkts=150, max_p=0.1, ewma=1.0)
+        mid = red.drop_fraction(100.0, 0.01, 0.0, 0.002)
+        assert mid == pytest.approx(0.05)
+
+    def test_full_drop_above_max(self):
+        red = Red(min_th_pkts=50, max_th_pkts=150, max_p=0.1, ewma=1.0)
+        assert red.drop_fraction(200.0, 0.02, 0.0, 0.002) == 1.0
+
+    def test_ewma_smooths_spikes(self):
+        red = Red(min_th_pkts=50, max_th_pkts=150, max_p=0.1, ewma=0.05)
+        # A single spike barely moves the average.
+        first = red.drop_fraction(500.0, 0.05, 0.0, 0.002)
+        assert first == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_th_pkts": 100, "max_th_pkts": 50},
+        {"max_p": 0.0},
+        {"ewma": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            Red(**kwargs)
+
+
+class TestCoDel:
+    def test_no_drop_below_target(self):
+        codel = CoDel(target_s=0.005, interval_s=0.1)
+        assert codel.drop_fraction(10.0, 0.001, 0.0, 0.002) == 0.0
+
+    def test_waits_one_interval_before_dropping(self):
+        codel = CoDel(target_s=0.005, interval_s=0.1)
+        assert codel.drop_fraction(100.0, 0.02, 0.00, 0.002) == 0.0
+        assert codel.drop_fraction(100.0, 0.02, 0.05, 0.002) == 0.0
+        assert codel.drop_fraction(100.0, 0.02, 0.11, 0.002) > 0.0
+
+    def test_drop_escalates(self):
+        codel = CoDel(target_s=0.005, interval_s=0.1, base_drop=0.02)
+        fractions = [codel.drop_fraction(100.0, 0.02, t, 0.002)
+                     for t in [0.0, 0.11, 0.5, 1.5, 3.0]]
+        assert fractions[-1] > fractions[1] > 0.0
+
+    def test_exits_when_delay_recovers(self):
+        codel = CoDel(target_s=0.005, interval_s=0.1)
+        codel.drop_fraction(100.0, 0.02, 0.0, 0.002)
+        codel.drop_fraction(100.0, 0.02, 0.2, 0.002)
+        assert codel.drop_fraction(1.0, 0.001, 0.3, 0.002) == 0.0
+        # Re-entry starts a fresh interval.
+        assert codel.drop_fraction(100.0, 0.02, 0.31, 0.002) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CoDel(target_s=0.0)
+        with pytest.raises(ConfigError):
+            CoDel(base_drop=0.0)
+
+
+class TestRegistry:
+    def test_create(self):
+        assert isinstance(create_qdisc("red"), Red)
+        assert isinstance(create_qdisc("codel"), CoDel)
+        assert isinstance(create_qdisc("droptail"), DropTail)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            create_qdisc("fq-godel")
+
+
+class TestEngineIntegration:
+    def run(self, qdisc, qdisc_kwargs=None, cwnd=800.0, seconds=4.0):
+        link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=4.0,
+                          qdisc=qdisc, qdisc_kwargs=qdisc_kwargs or {})
+        net = FluidNetwork(link)
+        fid = net.add_flow(base_rtt_s=0.030, cwnd_pkts=cwnd)
+        for _ in range(int(seconds / 0.002)):
+            net.advance(0.002)
+        return net, fid
+
+    def test_red_keeps_queue_below_droptail(self):
+        tail, _ = self.run("droptail")
+        red, _ = self.run("red", {"min_th_pkts": 50.0,
+                                  "max_th_pkts": 200.0,
+                                  "max_p": 0.3})
+        assert red.queue_pkts() < tail.queue_pkts()
+        assert red.link_drops_pkts() > 0
+
+    def test_codel_bounds_queueing_delay(self):
+        tail, tf = self.run("droptail")
+        codel, cf = self.run("codel", {"target_s": 0.005})
+        assert codel.queue_delay_s() < tail.queue_delay_s()
+
+    def test_droptail_default_unchanged(self):
+        net, fid = self.run("droptail", cwnd=100.0)
+        assert net.link_drops_pkts() == 0.0

@@ -1,0 +1,53 @@
+"""Property-based tests for queue disciplines."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.qdisc import CoDel, Red
+
+
+@settings(max_examples=100, deadline=None)
+@given(queue=st.floats(min_value=0.0, max_value=1e6),
+       delay=st.floats(min_value=0.0, max_value=10.0),
+       now=st.floats(min_value=0.0, max_value=1e4))
+def test_red_fraction_always_valid(queue, delay, now):
+    red = Red(min_th_pkts=50, max_th_pkts=150, max_p=0.1, ewma=1.0)
+    frac = red.drop_fraction(queue, delay, now, 0.002)
+    assert 0.0 <= frac <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(queues=st.lists(st.floats(min_value=0.0, max_value=500.0),
+                       min_size=2, max_size=30))
+def test_red_monotone_in_average_queue(queues):
+    """With instant EWMA, RED's drop fraction is monotone in the queue."""
+    red = Red(min_th_pkts=50, max_th_pkts=150, max_p=0.1, ewma=1.0)
+    fractions = [red.drop_fraction(q, 0.01, 0.0, 0.002)
+                 for q in sorted(queues)]
+    assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=0.2),
+                       min_size=5, max_size=50))
+def test_codel_fraction_always_valid(delays):
+    codel = CoDel()
+    t = 0.0
+    for delay in delays:
+        frac = codel.drop_fraction(100.0, delay, t, 0.002)
+        assert 0.0 <= frac <= 1.0
+        t += 0.05
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_codel_silent_below_target_forever(seed):
+    codel = CoDel(target_s=0.005)
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    for i in range(50):
+        delay = float(rng.uniform(0.0, 0.005))
+        assert codel.drop_fraction(10.0, delay, i * 0.1, 0.002) == 0.0

@@ -1,0 +1,78 @@
+"""Per-flow monitors: observation delay, sRTT smoothing, MTP aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.stats import FlowMonitor, MtpStats, TickSample
+
+
+def sample(time, avail_at, rtt=0.03, sent=10.0, delivered=9.0, lost=1.0,
+           dt=0.002):
+    return TickSample(time=time, avail_at=avail_at, dt=dt, rtt_s=rtt,
+                      sent_pkts=sent, delivered_pkts=delivered,
+                      lost_pkts=lost)
+
+
+class TestFlowMonitor:
+    def test_delayed_samples_invisible(self):
+        mon = FlowMonitor(base_rtt_s=0.03)
+        mon.push(sample(time=0.0, avail_at=1.0))
+        stats = mon.collect(0.5, cwnd_pkts=10, pacing_pps=0,
+                            pkts_in_flight=5)
+        assert stats.sent_pkts == 0.0
+        assert stats.throughput_pps == 0.0
+        # Once time passes availability, the sample is aggregated.
+        stats = mon.collect(1.5, cwnd_pkts=10, pacing_pps=0,
+                            pkts_in_flight=5)
+        assert stats.sent_pkts == 10.0
+        assert stats.delivered_pkts == 9.0
+
+    def test_throughput_is_rate_over_observed_window(self):
+        mon = FlowMonitor(base_rtt_s=0.03)
+        for i in range(10):
+            mon.push(sample(time=i * 0.002, avail_at=0.0, delivered=2.0,
+                            lost=0.0))
+        stats = mon.collect(0.03, cwnd_pkts=10, pacing_pps=0,
+                            pkts_in_flight=5)
+        # 20 packets over 10 ticks of 2 ms = 1000 pkt/s.
+        assert stats.throughput_pps == pytest.approx(1000.0)
+
+    def test_srtt_converges_to_observed(self):
+        mon = FlowMonitor(base_rtt_s=0.03)
+        for _ in range(200):
+            mon.observe_rtt(0.06)
+        assert mon.srtt_s == pytest.approx(0.06, rel=0.01)
+
+    def test_empty_collection_reuses_srtt(self):
+        mon = FlowMonitor(base_rtt_s=0.05)
+        stats = mon.collect(1.0, cwnd_pkts=10, pacing_pps=100,
+                            pkts_in_flight=3)
+        assert stats.avg_rtt_s == pytest.approx(0.05)
+        assert stats.min_rtt_s == pytest.approx(0.05)
+
+
+class TestMtpStats:
+    def make(self, **kwargs):
+        defaults = dict(time_s=1.0, duration_s=0.03, throughput_pps=1000.0,
+                        avg_rtt_s=0.04, min_rtt_s=0.03, sent_pkts=40.0,
+                        delivered_pkts=30.0, lost_pkts=10.0,
+                        pkts_in_flight=20.0, cwnd_pkts=25.0,
+                        pacing_pps=1200.0, srtt_s=0.04)
+        defaults.update(kwargs)
+        return MtpStats(**defaults)
+
+    def test_loss_rate(self):
+        assert self.make().loss_rate == pytest.approx(0.25)
+        assert self.make(sent_pkts=0.0).loss_rate == 0.0
+
+    def test_loss_rate_capped_at_one(self):
+        assert self.make(lost_pkts=100.0, sent_pkts=40.0).loss_rate == 1.0
+
+    def test_throughput_mbps(self):
+        # 1000 pkt/s * 12000 bits = 12 Mbps.
+        assert self.make().throughput_mbps == pytest.approx(12.0)
+
+    def test_loss_pps(self):
+        assert self.make().loss_pps == pytest.approx(10.0 / 0.03)
+        assert self.make(duration_s=0.0).loss_pps == 0.0

@@ -1,0 +1,69 @@
+"""Topology helpers and max-min ideal shares (Fig. 11 analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.topology import (
+    TopologyConfig,
+    parking_lot,
+    parking_lot_ideal_shares,
+)
+
+
+class TestIdealShares:
+    def test_link2_bottlenecked_regime(self):
+        # 2 FS-1 flows: FS-2 stuck at link2 (10 each), FS-1 shares 80.
+        fs1, fs2 = parking_lot_ideal_shares(2)
+        assert fs2 == pytest.approx(10.0)
+        assert fs1 == pytest.approx(40.0)
+
+    def test_common_bottleneck_regime(self):
+        # Many FS-1 flows: link1 is the common bottleneck.
+        fs1, fs2 = parking_lot_ideal_shares(18)
+        assert fs1 == pytest.approx(100.0 / 20.0)
+        assert fs2 == pytest.approx(100.0 / 20.0)
+
+    def test_crossover_point(self):
+        # Crossover where 100/(k+2) == 10 -> k == 8.
+        fs1, fs2 = parking_lot_ideal_shares(8)
+        assert fs1 == pytest.approx(fs2)
+        assert fs1 == pytest.approx(10.0)
+
+    def test_monotone_in_fs1_count(self):
+        prev = float("inf")
+        for k in range(1, 20):
+            fs1, _ = parking_lot_ideal_shares(k)
+            assert fs1 <= prev + 1e-9
+            prev = fs1
+
+    def test_rejects_empty_sets(self):
+        with pytest.raises(ConfigError):
+            parking_lot_ideal_shares(0)
+
+
+class TestParkingLot:
+    def test_structure(self):
+        topo = parking_lot(n_fs1=3, n_fs2=2, cc="cubic")
+        assert len(topo.flows) == 5
+        assert topo.paths[:3] == (("link1",),) * 3
+        assert topo.paths[3:] == (("link1", "link2"),) * 2
+        assert topo.links[0].bandwidth_mbps == 100.0
+        assert topo.links[1].bandwidth_mbps == 20.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            parking_lot(0)
+
+    def test_config_validation(self):
+        from repro.config import FlowConfig, LinkConfig
+
+        with pytest.raises(ConfigError):
+            TopologyConfig(links=(LinkConfig(name="a"),),
+                           flows=(FlowConfig(),),
+                           paths=(("missing",),))
+        with pytest.raises(ConfigError):
+            TopologyConfig(links=(LinkConfig(name="a"),),
+                           flows=(FlowConfig(), FlowConfig()),
+                           paths=(("a",),))

@@ -1,0 +1,171 @@
+"""Capacity traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.traces import (
+    ConstantTrace,
+    LteTrace,
+    StepTrace,
+    WanTrace,
+    create_trace,
+)
+
+
+class TestConstantTrace:
+    def test_value_and_mean(self):
+        tr = ConstantTrace(42.0)
+        assert tr(0.0) == 42.0
+        assert tr(1e6) == 42.0
+        assert tr.mean_mbps == 42.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            ConstantTrace(0.0)
+
+
+class TestStepTrace:
+    def test_steps(self):
+        tr = StepTrace([(0.0, 10.0), (5.0, 20.0), (10.0, 5.0)])
+        assert tr(0.0) == 10.0
+        assert tr(4.99) == 10.0
+        assert tr(5.0) == 20.0
+        assert tr(100.0) == 5.0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ConfigError):
+            StepTrace([(0.0, 10.0), (5.0, 20.0), (3.0, 5.0)])
+
+    def test_rejects_missing_origin(self):
+        with pytest.raises(ConfigError):
+            StepTrace([(1.0, 10.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            StepTrace([])
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigError):
+            StepTrace([(0.0, -1.0)])
+
+
+class TestLteTrace:
+    def test_deterministic_per_seed(self):
+        a = LteTrace(seed=3, duration_s=20.0)
+        b = LteTrace(seed=3, duration_s=20.0)
+        ts = np.linspace(0, 19, 50)
+        assert all(a(t) == b(t) for t in ts)
+
+    def test_different_seeds_differ(self):
+        a = LteTrace(seed=1, duration_s=20.0)
+        b = LteTrace(seed=2, duration_s=20.0)
+        ts = np.linspace(0, 19, 50)
+        assert any(a(t) != b(t) for t in ts)
+
+    def test_rates_positive_and_varying(self):
+        tr = LteTrace(seed=0, duration_s=60.0)
+        samples = np.array([tr(t) for t in np.linspace(0, 59, 600)])
+        assert (samples > 0).all()
+        # LTE links vary drastically: expect at least 3x dynamic range.
+        assert samples.max() / samples.min() > 3.0
+
+    def test_mean_in_lte_range(self):
+        tr = LteTrace(seed=0, duration_s=120.0)
+        assert 3.0 < tr.mean_mbps < 40.0
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigError):
+            LteTrace(duration_s=0.0)
+
+
+class TestWanTrace:
+    @pytest.mark.parametrize("kind", ["intra", "inter"])
+    def test_positive(self, kind):
+        tr = WanTrace(kind=kind, seed=0, duration_s=60.0)
+        samples = [tr(t) for t in np.linspace(0, 59, 300)]
+        assert min(samples) > 0
+
+    def test_inter_has_more_cross_traffic(self):
+        intra = WanTrace(kind="intra", nominal_mbps=500, seed=0)
+        inter = WanTrace(kind="inter", nominal_mbps=500, seed=0)
+        assert inter.mean_mbps <= intra.mean_mbps * 1.05
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            WanTrace(kind="orbital")
+
+    def test_rejects_bad_nominal(self):
+        with pytest.raises(ConfigError):
+            WanTrace(nominal_mbps=-5.0)
+
+
+class TestRegistry:
+    def test_create_constant(self):
+        tr = create_trace("constant", mbps=7.0)
+        assert tr(3.0) == 7.0
+
+    def test_create_unknown(self):
+        with pytest.raises(ConfigError):
+            create_trace("warp-link")
+
+
+class TestWifiTrace:
+    def test_rates_from_mcs_set_or_contention(self):
+        from repro.netsim.traces import WifiTrace
+
+        tr = WifiTrace(seed=0, duration_s=30.0)
+        samples = [tr(t) for t in np.linspace(0, 29, 300)]
+        assert min(samples) > 0
+        assert max(samples) <= max(WifiTrace.RATES_MBPS)
+
+    def test_deterministic_per_seed(self):
+        from repro.netsim.traces import WifiTrace
+
+        a, b = WifiTrace(seed=4, duration_s=10.0), WifiTrace(seed=4,
+                                                             duration_s=10.0)
+        assert all(a(t) == b(t) for t in np.linspace(0, 9, 40))
+
+    def test_rejects_bad_duration(self):
+        from repro.netsim.traces import WifiTrace
+
+        with pytest.raises(ConfigError):
+            WifiTrace(duration_s=0.0)
+
+
+class TestDiurnalTrace:
+    def test_oscillates_between_bounds(self):
+        from repro.netsim.traces import DiurnalTrace
+
+        tr = DiurnalTrace(low_mbps=20.0, high_mbps=100.0, period_s=60.0)
+        samples = np.array([tr(t) for t in np.linspace(0, 120, 600)])
+        assert samples.min() >= 20.0 - 1e-9
+        assert samples.max() <= 100.0 + 1e-9
+        assert samples.min() < 25.0 and samples.max() > 95.0
+
+    def test_mean_is_midpoint(self):
+        from repro.netsim.traces import DiurnalTrace
+
+        assert DiurnalTrace(20.0, 100.0).mean_mbps == 60.0
+
+    def test_period_respected(self):
+        from repro.netsim.traces import DiurnalTrace
+
+        tr = DiurnalTrace(period_s=50.0)
+        assert tr(0.0) == pytest.approx(tr(50.0))
+
+    def test_validation(self):
+        from repro.netsim.traces import DiurnalTrace
+
+        with pytest.raises(ConfigError):
+            DiurnalTrace(low_mbps=0.0)
+        with pytest.raises(ConfigError):
+            DiurnalTrace(period_s=0.0)
+
+
+class TestNewRegistryEntries:
+    def test_wifi_and_diurnal_registered(self):
+        assert create_trace("wifi", seed=0, duration_s=5.0)(1.0) > 0
+        assert create_trace("diurnal")(0.0) > 0

@@ -1,0 +1,140 @@
+"""NumPy network library: gradient correctness and state management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.rl.nn import MLP, Linear
+
+
+def numeric_grad(f, param, eps=1e-6):
+    grad = np.zeros_like(param)
+    it = np.nditer(param, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        orig = param[idx]
+        param[idx] = orig + eps
+        up = f()
+        param[idx] = orig - eps
+        down = f()
+        param[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestGradients:
+    @pytest.mark.parametrize("output", ["linear", "tanh"])
+    def test_full_gradient_check(self, output):
+        rng = np.random.default_rng(0)
+        net = MLP(4, (8, 6), 2, output=output, seed=1)
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(3, 2))   # fixed loss weights
+
+        def loss():
+            return float(np.sum(w * net.forward(x)))
+
+        net.zero_grad()
+        net.forward(x)
+        grad_in = net.backward(w)
+        for layer in net.layers:
+            assert np.allclose(layer.dW, numeric_grad(loss, layer.W),
+                               atol=1e-5)
+            assert np.allclose(layer.db, numeric_grad(loss, layer.b),
+                               atol=1e-5)
+        # Input gradient too.
+        num_in = numeric_grad(loss, x)
+        assert np.allclose(grad_in, num_in, atol=1e-5)
+
+    def test_gradients_accumulate(self):
+        net = MLP(3, (4,), 1, seed=0)
+        x = np.ones((2, 3))
+        net.forward(x)
+        net.backward(np.ones((2, 1)))
+        once = net.layers[0].dW.copy()
+        net.forward(x)
+        net.backward(np.ones((2, 1)))
+        assert np.allclose(net.layers[0].dW, 2 * once)
+        net.zero_grad()
+        assert np.all(net.layers[0].dW == 0)
+
+
+class TestShapesAndErrors:
+    def test_forward_shape(self):
+        net = MLP(5, (7,), 3, seed=0)
+        assert net.forward(np.zeros((4, 5))).shape == (4, 3)
+        assert net.forward(np.zeros(5)).shape == (1, 3)
+
+    def test_rejects_wrong_input_dim(self):
+        net = MLP(5, (7,), 3, seed=0)
+        with pytest.raises(ModelError):
+            net.forward(np.zeros((1, 4)))
+
+    def test_backward_before_forward(self):
+        net = MLP(2, (3,), 1, seed=0)
+        with pytest.raises(ModelError):
+            net.backward(np.zeros((1, 1)))
+
+    def test_rejects_unknown_output(self):
+        with pytest.raises(ModelError):
+            MLP(2, (3,), 1, output="sigmoid")
+
+    def test_rejects_bad_dims(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ModelError):
+            Linear(0, 3, rng)
+
+    def test_tanh_output_bounded(self):
+        net = MLP(3, (8,), 1, output="tanh", seed=0)
+        out = net.forward(np.random.default_rng(0).normal(size=(50, 3)) * 100)
+        assert np.all(np.abs(out) <= 1.0)
+
+
+class TestState:
+    def test_roundtrip(self):
+        a = MLP(3, (5,), 2, seed=0)
+        b = MLP(3, (5,), 2, seed=99)
+        b.set_state(a.get_state())
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_clone_is_independent(self):
+        a = MLP(3, (5,), 2, output="tanh", seed=0)
+        b = a.clone()
+        x = np.random.default_rng(1).normal(size=(2, 3))
+        assert np.allclose(a.forward(x), b.forward(x))
+        a.layers[0].W += 1.0
+        assert not np.allclose(a.forward(x), b.forward(x))
+
+    def test_set_state_shape_mismatch(self):
+        a = MLP(3, (5,), 2, seed=0)
+        b = MLP(3, (6,), 2, seed=0)
+        with pytest.raises(ModelError):
+            a.set_state(b.get_state())
+
+    def test_set_state_length_mismatch(self):
+        a = MLP(3, (5,), 2, seed=0)
+        with pytest.raises(ModelError):
+            a.set_state(a.get_state()[:-1])
+
+    def test_polyak_update(self):
+        a = MLP(3, (5,), 2, seed=0)
+        b = MLP(3, (5,), 2, seed=7)
+        before = b.layers[0].W.copy()
+        b.polyak_update_from(a, tau=0.5)
+        expected = 0.5 * a.layers[0].W + 0.5 * before
+        assert np.allclose(b.layers[0].W, expected)
+
+    @settings(max_examples=10, deadline=None)
+    @given(tau=st.floats(min_value=0.0, max_value=1.0))
+    def test_property_polyak_convex(self, tau):
+        a = MLP(2, (3,), 1, seed=0)
+        b = MLP(2, (3,), 1, seed=7)
+        lo = np.minimum(a.layers[0].W, b.layers[0].W)
+        hi = np.maximum(a.layers[0].W, b.layers[0].W)
+        b.polyak_update_from(a, tau=tau)
+        assert np.all(b.layers[0].W >= lo - 1e-12)
+        assert np.all(b.layers[0].W <= hi + 1e-12)

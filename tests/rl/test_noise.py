@@ -1,0 +1,46 @@
+"""Exploration noise processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.rl.noise import GaussianNoise, OrnsteinUhlenbeck
+
+
+class TestGaussian:
+    def test_scale_matches_std(self):
+        noise = GaussianNoise(std=0.5, seed=0)
+        samples = np.array([noise.sample()[0] for _ in range(5000)])
+        assert np.std(samples) == pytest.approx(0.5, rel=0.1)
+
+    def test_decay_floors_at_min(self):
+        noise = GaussianNoise(std=0.5, decay=0.1, min_std=0.05)
+        for _ in range(10):
+            noise.step()
+        assert noise.std == pytest.approx(0.05)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ModelError):
+            GaussianNoise(std=-1.0)
+        with pytest.raises(ModelError):
+            GaussianNoise(std=0.1, decay=0.0)
+
+
+class TestOU:
+    def test_temporal_correlation(self):
+        ou = OrnsteinUhlenbeck(dim=1, theta=0.1, sigma=0.2, seed=0)
+        xs = np.array([ou.sample()[0] for _ in range(2000)])
+        lag1 = np.corrcoef(xs[:-1], xs[1:])[0, 1]
+        assert lag1 > 0.5  # strongly autocorrelated, unlike white noise
+
+    def test_reset_zeroes_state(self):
+        ou = OrnsteinUhlenbeck(dim=3, seed=0)
+        ou.sample()
+        ou.reset()
+        assert np.all(ou._state == 0.0)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ModelError):
+            OrnsteinUhlenbeck(dim=0)

@@ -1,0 +1,69 @@
+"""Replay buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.rl.replay import ReplayBuffer
+
+
+def make(capacity=10, local=3, glob=2):
+    return ReplayBuffer(capacity, local, glob, action_dim=1, seed=0)
+
+
+def add_n(buf, n, value=0.0):
+    for i in range(n):
+        buf.add(np.full(3, i + value), np.full(2, i), np.array([0.5]),
+                float(i), np.zeros(3), np.zeros(2), False)
+
+
+class TestReplayBuffer:
+    def test_len_grows_then_saturates(self):
+        buf = make(capacity=5)
+        add_n(buf, 3)
+        assert len(buf) == 3
+        add_n(buf, 10)
+        assert len(buf) == 5
+
+    def test_circular_overwrite(self):
+        buf = make(capacity=3)
+        add_n(buf, 5)   # rewards 0..4; slots hold 3, 4, 2
+        batch = buf.sample(100)
+        assert set(np.unique(batch["reward"])) <= {2.0, 3.0, 4.0}
+
+    def test_sample_shapes(self):
+        buf = make()
+        add_n(buf, 6)
+        batch = buf.sample(4)
+        assert batch["local"].shape == (4, 3)
+        assert batch["global"].shape == (4, 2)
+        assert batch["action"].shape == (4, 1)
+        assert batch["reward"].shape == (4,)
+        assert batch["done"].shape == (4,)
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ModelError):
+            make().sample(1)
+
+    def test_done_flag_stored(self):
+        buf = make()
+        buf.add(np.zeros(3), np.zeros(2), np.array([0.0]), 1.0,
+                np.zeros(3), np.zeros(2), True)
+        assert buf.sample(1)["done"][0] == 1.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ModelError):
+            ReplayBuffer(0, 3, 2)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ModelError):
+            ReplayBuffer(5, 0, 2)
+
+    def test_sampling_deterministic_per_seed(self):
+        a, b = make(), make()
+        add_n(a, 8)
+        add_n(b, 8)
+        sa, sb = a.sample(4), b.sample(4)
+        assert np.allclose(sa["reward"], sb["reward"])

@@ -1,0 +1,131 @@
+"""Batched inference service vs per-flow servers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policy import PolicyBundle, new_actor
+from repro.errors import ServiceError
+from repro.service import (
+    BatchedInferenceService,
+    PerFlowServers,
+    synthetic_request_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return PolicyBundle(actor=new_actor(seed=11))
+
+
+class TestBatchedService:
+    def test_flush_serves_everything_queued(self, bundle):
+        svc = BatchedInferenceService(bundle)
+        for i in range(5):
+            svc.submit(i, np.zeros(bundle.actor.in_dim))
+        out = svc.flush()
+        assert set(out) == set(range(5))
+        assert svc.accounting.forward_passes == 1
+        assert svc.accounting.batch_sizes == [5]
+
+    def test_actions_match_direct_inference(self, bundle):
+        svc = BatchedInferenceService(bundle)
+        rng = np.random.default_rng(0)
+        states = rng.normal(size=(4, bundle.actor.in_dim))
+        for i, s in enumerate(states):
+            svc.submit(i, s)
+        out = svc.flush()
+        for i, s in enumerate(states):
+            assert out[i] == pytest.approx(bundle.act(s), abs=1e-9)
+
+    def test_windows_group_requests(self, bundle):
+        svc = BatchedInferenceService(bundle, batch_window_s=0.005)
+        dim = bundle.actor.in_dim
+        arrivals = [(0.000, 0, np.zeros(dim)),
+                    (0.001, 1, np.zeros(dim)),
+                    (0.010, 0, np.zeros(dim))]
+        out = svc.serve_trace(arrivals)
+        # Two windows: {0,1} then {0}.
+        assert svc.accounting.forward_passes == 2
+        assert sorted(svc.accounting.batch_sizes) == [1, 2]
+        assert len(out[0]) == 2
+        assert len(out[1]) == 1
+
+    def test_rejects_bad_state(self, bundle):
+        svc = BatchedInferenceService(bundle)
+        with pytest.raises(ServiceError):
+            svc.submit(0, np.zeros(3))
+
+    def test_rejects_bad_window(self, bundle):
+        with pytest.raises(ServiceError):
+            BatchedInferenceService(bundle, batch_window_s=0.0)
+
+
+class TestPerFlowServers:
+    def test_one_pass_per_request(self, bundle):
+        servers = PerFlowServers(bundle, n_flows=3)
+        dim = bundle.actor.in_dim
+        for fid in range(3):
+            servers.serve(fid, np.zeros(dim))
+        assert servers.accounting.forward_passes == 3
+        assert servers.accounting.batch_sizes == [1, 1, 1]
+
+    def test_actions_match_bundle(self, bundle):
+        servers = PerFlowServers(bundle, n_flows=2)
+        s = np.random.default_rng(1).normal(size=bundle.actor.in_dim)
+        assert servers.serve(0, s) == pytest.approx(bundle.act(s), abs=1e-9)
+
+    def test_rejects_unknown_flow(self, bundle):
+        servers = PerFlowServers(bundle, n_flows=2)
+        with pytest.raises(ServiceError):
+            servers.serve(5, np.zeros(bundle.actor.in_dim))
+
+    def test_rejects_zero_flows(self, bundle):
+        with pytest.raises(ServiceError):
+            PerFlowServers(bundle, n_flows=0)
+
+
+class TestScalability:
+    def test_batching_reduces_forward_passes(self, bundle):
+        """The architectural claim of §5.4: with many concurrent flows the
+        batched service does far fewer forward passes."""
+        trace = synthetic_request_trace(n_flows=50, duration_s=0.5,
+                                        state_dim=bundle.actor.in_dim)
+        batched = BatchedInferenceService(bundle)
+        batched.serve_trace(trace)
+        per_flow = PerFlowServers(bundle, n_flows=50)
+        per_flow.serve_trace(trace)
+        assert batched.accounting.requests == per_flow.accounting.requests
+        assert batched.accounting.forward_passes < \
+            per_flow.accounting.forward_passes / 4
+        assert batched.accounting.mean_batch_size > 4
+
+    def test_trace_request_count(self):
+        trace = synthetic_request_trace(n_flows=10, duration_s=0.2,
+                                        mtp_s=0.020)
+        assert len(trace) == 10 * 10
+
+    def test_trace_validation(self):
+        with pytest.raises(ServiceError):
+            synthetic_request_trace(0, 1.0)
+
+
+class TestAccounting:
+    def test_mean_batch_size_empty(self, bundle):
+        svc = BatchedInferenceService(bundle)
+        assert svc.accounting.mean_batch_size == 0.0
+
+    def test_flush_empty_queue_is_noop(self, bundle):
+        svc = BatchedInferenceService(bundle)
+        assert svc.flush() == {}
+        assert svc.accounting.forward_passes == 0
+
+    def test_serve_trace_empty(self, bundle):
+        assert BatchedInferenceService(bundle).serve_trace([]) == {}
+
+    def test_requests_counted(self, bundle):
+        svc = BatchedInferenceService(bundle)
+        for i in range(7):
+            svc.submit(i, np.zeros(bundle.actor.in_dim))
+        assert svc.accounting.requests == 7

@@ -1,0 +1,64 @@
+"""Terminal analysis rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import flow_timelines, sparkline, text_report
+from repro.errors import ConfigError
+
+
+class TestSparkline:
+    def test_fixed_width(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 40
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline(list(range(100)), width=10, ascii_only=True)
+        ranks = [" .:-=+*#%@".index(c) for c in line]
+        assert ranks == sorted(ranks)
+
+    def test_flat_series(self):
+        line = sparkline([5.0] * 10, width=10)
+        assert len(set(line)) == 1
+
+    def test_explicit_bounds_clip(self):
+        line = sparkline([100.0], lo=0.0, hi=1.0, width=3, ascii_only=True)
+        assert set(line) == {"@"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigError):
+            sparkline([1.0], width=0)
+
+
+class TestReport:
+    def test_flow_timelines(self, reference_three_flow_result):
+        text = flow_timelines(reference_three_flow_result, ascii_only=True)
+        lines = text.splitlines()
+        assert len(lines) == 4  # 3 flows + time axis
+        assert "astraea-ref" in text
+        assert "Mbps" in text
+
+    def test_text_report_headlines(self, reference_three_flow_result):
+        text = text_report(reference_three_flow_result, ascii_only=True)
+        for needle in ("utilization", "jain", "rtt", "conv", "flow 0"):
+            assert needle in text
+
+    def test_cli_plot_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        main(["template"])
+        data = json.loads(capsys.readouterr().out)
+        data["duration_s"] = 5.0
+        for f in data["flows"]:
+            f.update(cc="cubic", start_s=0.0, duration_s=4.0)
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(data))
+        assert main(["run", str(path), "--plot", "--ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "flow 0" in out and "|" in out

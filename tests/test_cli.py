@@ -1,0 +1,66 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import persist
+from repro.cli import build_parser, main
+
+
+class TestTemplate:
+    def test_emits_valid_scenario(self, capsys):
+        assert main(["template"]) == 0
+        out = capsys.readouterr().out
+        scenario = persist.scenario_from_dict(json.loads(out))
+        assert scenario.link.bandwidth_mbps == 100.0
+        assert len(scenario.flows) == 3
+
+
+class TestInfo:
+    def test_lists_everything(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("astraea", "cubic", "lte", "codel",
+                       "astraea_pretrained"):
+            assert needle in out
+
+
+class TestRun:
+    def test_runs_scenario_file(self, tmp_path, capsys):
+        scenario_path = tmp_path / "s.json"
+        main(["template"])
+        template = capsys.readouterr().out
+        data = json.loads(template)
+        data["duration_s"] = 6.0
+        for f in data["flows"]:
+            f["cc"] = "cubic"
+            f["duration_s"] = 5.0
+            f["start_s"] = 0.0
+        scenario_path.write_text(json.dumps(data))
+        out_path = tmp_path / "result.json"
+        assert main(["run", str(scenario_path), "--out",
+                     str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mean_jain" in out
+        assert out_path.exists()
+        loaded = persist.load_result(out_path)
+        assert len(loaded.flows) == 3
+
+
+class TestCompare:
+    def test_two_scheme_table(self, capsys):
+        assert main(["compare", "--schemes", "cubic,vegas",
+                     "--duration", "8", "--flow-duration", "6",
+                     "--interval", "1", "--flows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cubic" in out and "vegas" in out
+        assert "Jain" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

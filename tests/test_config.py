@@ -1,0 +1,109 @@
+"""Configuration dataclasses and the published constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigError
+
+
+class TestPaperConstants:
+    """Table 3 and Table 4 values must match the paper verbatim."""
+
+    def test_table4_hyperparameters(self):
+        assert config.LEARNING_RATE == 1e-3
+        assert config.HISTORY_LENGTH == 5
+        assert config.GAMMA == 0.98
+        assert config.BATCH_SIZE == 192
+        assert config.MODEL_UPDATE_INTERVAL_S == 5.0
+        assert config.MODEL_UPDATE_STEPS == 20
+        assert config.ACTION_ALPHA == 0.025
+        assert (config.REWARD_C0, config.REWARD_C1, config.REWARD_C2,
+                config.REWARD_C3, config.REWARD_C4) == (0.1, 0.02, 1.0,
+                                                        0.02, 0.01)
+        assert config.MTP_S == 0.030
+
+    def test_table3_environment_ranges(self):
+        assert config.TRAIN_BANDWIDTH_MBPS == (40.0, 160.0)
+        assert config.TRAIN_RTT_MS == (10.0, 140.0)
+        assert config.TRAIN_BUFFER_BDP == (0.1, 16.0)
+        assert config.TRAIN_FLOW_COUNT == (2, 5)
+
+    def test_network_architecture(self):
+        assert config.HIDDEN_LAYERS == (256, 128, 64)
+
+
+class TestLinkConfig:
+    def test_defaults(self):
+        link = config.LinkConfig()
+        assert link.rtt_s == pytest.approx(0.030)
+        assert link.one_way_delay_s == pytest.approx(0.015)
+        assert link.buffer_size_packets == pytest.approx(250.0)
+
+    def test_buffer_packets_override(self):
+        link = config.LinkConfig(buffer_packets=42.0)
+        assert link.buffer_size_packets == 42.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"bandwidth_mbps": 0.0},
+        {"bandwidth_mbps": -1.0},
+        {"rtt_ms": 0.0},
+        {"random_loss": 1.0},
+        {"random_loss": -0.1},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            config.LinkConfig(**kwargs)
+
+
+class TestFlowConfig:
+    def test_end_time(self):
+        assert config.FlowConfig(start_s=5.0, duration_s=10.0).end_s() == 15.0
+        assert config.FlowConfig(start_s=5.0).end_s() == float("inf")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"start_s": -1.0},
+        {"duration_s": 0.0},
+        {"extra_rtt_ms": -5.0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            config.FlowConfig(**kwargs)
+
+
+class TestScenarioConfig:
+    def test_requires_flows(self):
+        with pytest.raises(ConfigError):
+            config.ScenarioConfig(flows=())
+
+    def test_tick_must_not_exceed_mtp(self):
+        with pytest.raises(ConfigError):
+            config.ScenarioConfig(flows=(config.FlowConfig(),),
+                                  tick_s=0.1, mtp_s=0.03)
+
+    def test_valid(self):
+        sc = config.ScenarioConfig(flows=(config.FlowConfig(),))
+        assert sc.duration_s > 0
+
+
+class TestRewardAndTraining:
+    def test_reward_defaults_match_table4(self):
+        rc = config.RewardConfig()
+        assert (rc.c_thr, rc.c_lat, rc.c_loss, rc.c_fair, rc.c_stab) == \
+            (0.1, 0.02, 1.0, 0.02, 0.01)
+        assert rc.bound == 0.1
+
+    def test_reward_rejects_bad_bound(self):
+        with pytest.raises(ConfigError):
+            config.RewardConfig(bound=0.0)
+
+    def test_training_rejects_bad_gamma(self):
+        with pytest.raises(ConfigError):
+            config.TrainingConfig(gamma=1.5)
+
+    def test_replace_helper(self):
+        cfg = config.TrainingConfig()
+        cfg2 = config.replace(cfg, episodes=7)
+        assert cfg2.episodes == 7
+        assert cfg.episodes != 7 or cfg.episodes == cfg2.episodes

@@ -1,0 +1,34 @@
+"""Smoke-check that every example script at least parses and has a main.
+
+Running the examples end-to-end takes minutes each; the benchmark suite
+covers the same code paths.  Here we verify the scripts are importable
+units with docstrings and a ``main`` entry point, so bit-rot is caught.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_with_docstring_and_main(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} missing module docstring"
+    names = {node.name for node in ast.walk(tree)
+             if isinstance(node, ast.FunctionDef)}
+    assert "main" in names, f"{path.name} missing main()"
+    # Guarded entry point present.
+    has_guard = any(
+        isinstance(node, ast.If) and isinstance(node.test, ast.Compare)
+        for node in tree.body)
+    assert has_guard, f"{path.name} missing __main__ guard"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 6

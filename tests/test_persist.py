@@ -1,0 +1,75 @@
+"""Scenario/result persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import persist
+from repro.config import FlowConfig, LinkConfig, ScenarioConfig
+from repro.env import run_scenario
+from repro.errors import ConfigError
+
+
+def make_scenario():
+    return ScenarioConfig(
+        link=LinkConfig(bandwidth_mbps=50.0, rtt_ms=20.0, buffer_bdp=1.0,
+                        qdisc="red", qdisc_kwargs={"min_th_pkts": 10.0,
+                                                   "max_th_pkts": 40.0}),
+        flows=(FlowConfig(cc="cubic", start_s=0.0, duration_s=5.0),
+               FlowConfig(cc="vegas", start_s=1.0, extra_rtt_ms=10.0)),
+        duration_s=6.0,
+        trace="constant",
+        trace_kwargs={"mbps": 50.0},
+        seed=3,
+    )
+
+
+class TestScenarioRoundtrip:
+    def test_dict_roundtrip(self):
+        scenario = make_scenario()
+        rebuilt = persist.scenario_from_dict(
+            persist.scenario_to_dict(scenario))
+        assert rebuilt == scenario
+
+    def test_file_roundtrip(self, tmp_path):
+        scenario = make_scenario()
+        path = persist.save_scenario(scenario, tmp_path / "s.json")
+        assert persist.load_scenario(path) == scenario
+
+    def test_defaults_filled(self):
+        data = {"link": {"bandwidth_mbps": 10.0},
+                "flows": [{"cc": "cubic"}]}
+        scenario = persist.scenario_from_dict(data)
+        assert scenario.duration_s == 60.0
+        assert scenario.mtp_s == 0.030
+
+    def test_malformed_raises(self):
+        with pytest.raises(ConfigError):
+            persist.scenario_from_dict({"flows": [{"cc": "cubic"}]})
+        with pytest.raises(ConfigError):
+            persist.scenario_from_dict({"link": {"nope": 1},
+                                        "flows": []})
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            persist.load_scenario(tmp_path / "missing.json")
+
+
+class TestResultRoundtrip:
+    def test_metrics_survive_roundtrip(self, tmp_path):
+        scenario = ScenarioConfig(
+            link=LinkConfig(bandwidth_mbps=50.0, rtt_ms=20.0),
+            flows=(FlowConfig(cc="cubic"), FlowConfig(cc="cubic")),
+            duration_s=6.0,
+        )
+        result = run_scenario(scenario)
+        path = persist.save_result(result, tmp_path / "r.json")
+        loaded = persist.load_result(path)
+        assert loaded.mean_jain() == pytest.approx(result.mean_jain())
+        assert loaded.utilization() == pytest.approx(result.utilization())
+        assert loaded.flows[0].cc_name == "cubic"
+        assert len(loaded.flows) == 2
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            persist.load_result(tmp_path / "missing.json")

@@ -1,0 +1,39 @@
+"""Top-level package API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_run_scenario_from_top_level(self):
+        scenario = repro.ScenarioConfig(
+            link=repro.LinkConfig(bandwidth_mbps=50.0, rtt_ms=20.0),
+            flows=(repro.FlowConfig(cc="cubic"),),
+            duration_s=5.0,
+        )
+        result = repro.run_scenario(scenario)
+        assert result.utilization() > 0.5
+
+    def test_run_topology_from_top_level(self):
+        from repro.netsim import parking_lot
+
+        topo = parking_lot(n_fs1=1, n_fs2=1, cc="astraea-ref",
+                           duration_s=8.0)
+        result = repro.run_topology(topo)
+        assert len(result.flows) == 2
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.ConfigError, repro.ReproError)
+        assert issubclass(repro.SimulationError, repro.ReproError)
+        assert issubclass(repro.ModelError, repro.ReproError)
+        assert issubclass(repro.ServiceError, repro.ReproError)

@@ -1,0 +1,43 @@
+"""Unit-conversion helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_mbps_pps_roundtrip_100mbps():
+    pps = units.mbps_to_pps(100.0)
+    assert pps == pytest.approx(100e6 / (1500 * 8))
+    assert units.pps_to_mbps(pps) == pytest.approx(100.0)
+
+
+@given(st.floats(min_value=1e-3, max_value=1e6,
+                 allow_nan=False, allow_infinity=False))
+def test_mbps_pps_roundtrip(mbps):
+    assert units.pps_to_mbps(units.mbps_to_pps(mbps)) == pytest.approx(mbps)
+
+
+def test_bdp_packets_canonical():
+    # 100 Mbps x 30 ms = 3e5 bits in flight = 250 packets of 1500 B.
+    assert units.bdp_packets(100.0, 0.030) == pytest.approx(250.0)
+
+
+def test_bytes_packets_roundtrip():
+    assert units.bytes_to_packets(units.packets_to_bytes(7.0)) == 7.0
+    assert units.packets_to_bytes(1.0) == units.MSS_BYTES
+
+
+def test_ms_helper():
+    assert units.ms(30.0) == pytest.approx(0.030)
+
+
+@given(st.floats(min_value=0.1, max_value=1e4),
+       st.floats(min_value=1e-3, max_value=10.0))
+def test_bdp_positive_and_linear(bw, rtt):
+    bdp = units.bdp_packets(bw, rtt)
+    assert bdp > 0
+    assert units.bdp_packets(2 * bw, rtt) == pytest.approx(2 * bdp)
