@@ -60,14 +60,15 @@ class Aurora(CongestionController):
     def __init__(self, mtp_s: float = MTP_S, policy=None,
                  history: int = HISTORY_LENGTH, alpha: float = AURORA_ALPHA):
         super().__init__(mtp_s)
-        from ..core.policy import PolicyBundle, load_default_policy
+        from ..core.policy import resolve_policy
         from ..core.state import LocalStateBlock
 
-        if policy == "pretrained":
-            policy = load_default_policy("aurora")
-        elif isinstance(policy, str):
-            policy = PolicyBundle.load(policy)
-        self.policy = policy
+        # "pretrained" walks the default fallback chain (a corrupt shipped
+        # bundle degrades to the behavioural model with a warning); an
+        # explicit path raises typed ModelErrors; None keeps the
+        # calibrated behavioural model, the benchmark default.
+        self.policy = policy = resolve_policy(policy, "aurora",
+                                              use_default=False)
         if policy is not None:
             history = policy.history
             alpha = policy.alpha

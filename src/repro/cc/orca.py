@@ -41,14 +41,14 @@ class Orca(CongestionController):
     def __init__(self, mtp_s: float = MTP_S, policy=None,
                  history: int = HISTORY_LENGTH):
         super().__init__(mtp_s)
-        from ..core.policy import PolicyBundle, load_default_policy
+        from ..core.policy import resolve_policy
         from ..core.state import LocalStateBlock
 
-        if policy == "pretrained":
-            policy = load_default_policy("orca")
-        elif isinstance(policy, str):
-            policy = PolicyBundle.load(policy)
-        self.policy = policy
+        # "pretrained" walks the default fallback chain (no Orca bundle is
+        # shipped, so it usually resolves to None = the behavioural trim);
+        # an explicit path raises typed ModelErrors on damage.
+        self.policy = policy = resolve_policy(policy, "orca",
+                                              use_default=False)
         self.state_block = LocalStateBlock(
             history=policy.history if policy is not None else history)
         self._cubic = Cubic(mtp_s=mtp_s)

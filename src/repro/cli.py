@@ -9,6 +9,10 @@ Commands
 ``template``  emit a scenario-description JSON template to stdout.
 ``info``      list registered schemes, traces, queue disciplines and the
               shipped pretrained models.
+``models``    model-artifact integrity: ``verify`` the checksummed
+              manifest (non-zero exit on any damaged bundle — the CI
+              gate), ``info`` per-bundle status, ``regenerate`` rebuild
+              bundles deterministically from the analytic reference.
 """
 
 from __future__ import annotations
@@ -104,9 +108,93 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print("pretrained models:")
     for scheme in DEFAULT_POLICY_NAMES:
         path = default_policy_path(scheme)
-        state = "present" if path.exists() else "absent"
+        if not path.exists():
+            state = "absent"
+        else:
+            from .core.artifacts import validate_bundle_file
+            from .errors import ModelError
+
+            try:
+                validate_bundle_file(path)
+                state = "present"
+            except ModelError:
+                state = "DAMAGED — run 'repro models verify'"
         print(f"  {scheme}: {path.name} ({state})")
     return 0
+
+
+def _cmd_models_verify(args: argparse.Namespace) -> int:
+    from .core.artifacts import verify_models
+
+    report = verify_models(args.models_dir)
+    for check in report.checks:
+        line = f"  {check.name:32s} {check.status}"
+        if check.detail:
+            line += f"  ({check.detail})"
+        print(line)
+    if not report.ok:
+        names = ", ".join(c.name for c in report.failures)
+        print(f"FAILED: {len(report.failures)} artifact(s) not ok: {names}",
+              file=sys.stderr)
+        print("run 'python -m repro models regenerate' to rebuild",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {len(report.checks)} artifact(s) verified")
+    return 0
+
+
+def _cmd_models_info(args: argparse.Namespace) -> int:
+    from .core.artifacts import load_manifest, models_dir
+    from .errors import ModelError
+
+    directory = models_dir(args.models_dir)
+    print(f"models directory: {directory}")
+    try:
+        doc = load_manifest(args.models_dir)
+    except ModelError as exc:
+        print(f"manifest: unavailable ({exc})")
+        return 1
+    for name, entry in doc["artifacts"].items():
+        present = (directory / name).exists()
+        print(f"  {name}")
+        print(f"    sha256  {entry['sha256']}")
+        print(f"    size    {entry.get('size_bytes', '?')} bytes "
+              f"({'present' if present else 'MISSING'})")
+        for key in ("teacher", "samples", "epochs", "seed", "mae"):
+            if key in entry:
+                print(f"    {key:7s} {entry[key]}")
+    return 0
+
+
+def _cmd_models_regenerate(args: argparse.Namespace) -> int:
+    from .core.artifacts import manifest_entry, models_dir, update_manifest
+    from .core.distill import REGEN_RECIPES, regenerate_default_bundle
+    from .core.policy import clear_policy_cache
+    from .errors import ModelError
+
+    names = args.names or sorted(REGEN_RECIPES)
+    unknown = [n for n in names if n not in REGEN_RECIPES]
+    if unknown:
+        print(f"no regeneration recipe for: {', '.join(unknown)} "
+              f"(known: {', '.join(sorted(REGEN_RECIPES))})",
+              file=sys.stderr)
+        return 2
+    directory = models_dir(args.models_dir)
+    entries = {}
+    for name in names:
+        print(f"regenerating {name} ...", file=sys.stderr)
+        try:
+            _, report = regenerate_default_bundle(
+                name, directory / name, epochs=args.epochs, seed=args.seed)
+        except ModelError as exc:
+            print(f"failed to regenerate {name}: {exc}", file=sys.stderr)
+            return 1
+        entries[name] = manifest_entry(directory / name, **report)
+        print(f"  {report['samples']} samples, mae {report['mae']:.4f}")
+    update_manifest(entries, args.models_dir)
+    clear_policy_cache()   # repaired files must be re-resolvable at once
+    print(f"manifest updated: {len(entries)} artifact(s)")
+    return _cmd_models_verify(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,6 +228,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="list schemes/traces/models")
     p_info.set_defaults(func=_cmd_info)
+
+    p_models = sub.add_parser(
+        "models", help="model-artifact integrity (verify/info/regenerate)")
+    models_sub = p_models.add_subparsers(dest="models_command", required=True)
+
+    p_verify = models_sub.add_parser(
+        "verify", help="check every bundle against the manifest")
+    p_verify.add_argument("--models-dir", default=None,
+                          help="override the models directory")
+    p_verify.set_defaults(func=_cmd_models_verify)
+
+    p_minfo = models_sub.add_parser(
+        "info", help="per-bundle manifest details")
+    p_minfo.add_argument("--models-dir", default=None)
+    p_minfo.set_defaults(func=_cmd_models_info)
+
+    p_regen = models_sub.add_parser(
+        "regenerate",
+        help="rebuild bundles deterministically from the analytic "
+             "reference and restamp the manifest")
+    p_regen.add_argument("names", nargs="*",
+                         help="bundle filenames (default: all recipes)")
+    p_regen.add_argument("--models-dir", default=None)
+    p_regen.add_argument("--epochs", type=int, default=3000)
+    p_regen.add_argument("--seed", type=int, default=0)
+    p_regen.set_defaults(func=_cmd_models_regenerate)
     return parser
 
 

@@ -1,19 +1,31 @@
 """Astraea core: state/action/reward blocks, agents, learner, training."""
 
 from .action import apply_action, invert_action, pacing_from_cwnd
+from .artifacts import (
+    ArtifactCheck,
+    VerifyReport,
+    load_manifest,
+    update_manifest,
+    validate_bundle_file,
+    verify_models,
+)
 from .astraea import AstraeaController
 from .distill import (
+    collect_reference_dataset,
     collect_states,
     distill_policy,
     evaluate_distillation,
     parameter_count,
+    regenerate_default_bundle,
 )
 from .policy import (
     PolicyBundle,
     clear_policy_cache,
     default_policy_path,
+    fallback_policy_paths,
     load_default_policy,
     new_actor,
+    resolve_policy,
 )
 from .reference import AstraeaReference
 from .reward import FlowSnapshot, RewardBlock, RewardTerms
@@ -30,16 +42,26 @@ __all__ = [
     "invert_action",
     "pacing_from_cwnd",
     "collect_states",
+    "collect_reference_dataset",
     "distill_policy",
     "evaluate_distillation",
     "parameter_count",
+    "regenerate_default_bundle",
     "AstraeaController",
     "AstraeaReference",
+    "ArtifactCheck",
+    "VerifyReport",
+    "load_manifest",
+    "update_manifest",
+    "validate_bundle_file",
+    "verify_models",
     "PolicyBundle",
     "load_default_policy",
     "default_policy_path",
+    "fallback_policy_paths",
     "clear_policy_cache",
     "new_actor",
+    "resolve_policy",
     "RewardBlock",
     "RewardTerms",
     "FlowSnapshot",

@@ -1,0 +1,205 @@
+"""Model-artifact integrity: checksummed manifest and verification.
+
+The repo ships pretrained policy bundles (``repro/models/*.npz``) whose
+corruption is exactly the deployment-fragility failure mode experimental
+studies of learning-based CC warn about: a damaged artifact must be
+*detected* (checksums, structural validation) and *survivable* (the
+fallback chain in :func:`repro.core.policy.load_default_policy`).  This
+module is the detection half:
+
+* ``MANIFEST.json`` next to the bundles records every shipped artifact's
+  SHA-256, size and provenance.
+* :func:`verify_models` checks each manifest entry end-to-end — file
+  present, digest matches, zip container intact, bundle loads and
+  validates — and flags ``.npz`` files present on disk but absent from
+  the manifest.
+* :func:`update_manifest` re-stamps entries after regeneration
+  (``python -m repro models regenerate``).
+
+``python -m repro models verify`` exposes this as a CI gate: any status
+other than ``ok`` exits non-zero naming the offending file.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import (
+    CorruptModelError,
+    ModelError,
+    ModelValidationError,
+)
+
+
+def _persist():
+    # Imported lazily: repro.persist pulls in the whole env package, which
+    # itself imports repro.core (this package) at import time.
+    from .. import persist
+
+    return persist
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+
+def models_dir(override: str | Path | None = None) -> Path:
+    """The directory holding shipped bundles (default: the package's)."""
+    if override is not None:
+        return Path(override)
+    from .policy import MODELS_DIR
+
+    return MODELS_DIR
+
+
+def manifest_path(directory: str | Path | None = None) -> Path:
+    return models_dir(directory) / MANIFEST_NAME
+
+
+def load_manifest(directory: str | Path | None = None) -> dict:
+    """Parse ``MANIFEST.json``; raises typed errors on damage.
+
+    Returns the manifest document (``{"version": ..., "artifacts":
+    {name: entry}}``).  A missing manifest raises
+    :class:`~repro.errors.ModelError`; an unparsable or ill-formed one
+    raises :class:`~repro.errors.ModelValidationError`.
+    """
+    path = manifest_path(directory)
+    if not path.exists():
+        raise ModelError(f"no manifest at {path}")
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ModelValidationError(
+            f"{path}: manifest is not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict) or not isinstance(doc.get("artifacts"), dict):
+        raise ModelValidationError(
+            f"{path}: manifest must be an object with an 'artifacts' map")
+    for name, entry in doc["artifacts"].items():
+        if not isinstance(entry, dict) or \
+                not isinstance(entry.get("sha256"), str):
+            raise ModelValidationError(
+                f"{path}: artifact entry {name!r} lacks a sha256 digest")
+    return doc
+
+
+def manifest_entry(path: str | Path, **provenance: object) -> dict:
+    """A manifest record for one artifact file as it exists on disk."""
+    path = Path(path)
+    entry = {
+        "sha256": _persist().sha256_file(path),
+        "size_bytes": path.stat().st_size,
+    }
+    entry.update(provenance)
+    return entry
+
+
+def update_manifest(names_to_entries: dict[str, dict],
+                    directory: str | Path | None = None) -> Path:
+    """Merge entries into the manifest (creating it if absent)."""
+    try:
+        doc = load_manifest(directory)
+    except ModelError:
+        doc = {"version": MANIFEST_VERSION, "artifacts": {}}
+    doc["version"] = MANIFEST_VERSION
+    doc["artifacts"].update(names_to_entries)
+    doc["artifacts"] = dict(sorted(doc["artifacts"].items()))
+    return _persist().write_json(manifest_path(directory), doc)
+
+
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ArtifactCheck:
+    """Outcome of verifying one artifact."""
+
+    name: str
+    status: str           # ok | missing | checksum-mismatch | corrupt |
+                          # invalid | unlisted
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of verifying a whole models directory."""
+
+    checks: list[ArtifactCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def failures(self) -> list[ArtifactCheck]:
+        return [c for c in self.checks if not c.ok]
+
+
+def validate_bundle_file(path: str | Path) -> None:
+    """Structurally validate one ``.npz`` bundle; raises typed errors.
+
+    Checks the zip container first (cheap, catches truncation without
+    parsing arrays), then performs a full
+    :meth:`~repro.core.policy.PolicyBundle.load` round-trip.
+    """
+    from .policy import PolicyBundle
+
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"no policy bundle at {path}")
+    if not zipfile.is_zipfile(path):
+        raise CorruptModelError(f"{path}: not a zip container (truncated or "
+                                f"overwritten .npz)")
+    PolicyBundle.load(path)
+
+
+def verify_models(directory: str | Path | None = None) -> VerifyReport:
+    """Verify every manifest-listed artifact plus stray ``.npz`` files."""
+    directory = models_dir(directory)
+    report = VerifyReport()
+    try:
+        doc = load_manifest(directory)
+    except ModelError as exc:
+        report.checks.append(
+            ArtifactCheck(name=MANIFEST_NAME, status="invalid",
+                          detail=str(exc)))
+        doc = {"artifacts": {}}
+    listed = doc["artifacts"]
+    for name, entry in listed.items():
+        path = directory / name
+        if not path.exists():
+            report.checks.append(
+                ArtifactCheck(name=name, status="missing",
+                              detail="listed in manifest, absent on disk"))
+            continue
+        digest = _persist().sha256_file(path)
+        if digest != entry["sha256"]:
+            report.checks.append(ArtifactCheck(
+                name=name, status="checksum-mismatch",
+                detail=f"manifest {entry['sha256'][:12]}…, "
+                       f"disk {digest[:12]}…"))
+            continue
+        if path.suffix == ".npz":
+            try:
+                validate_bundle_file(path)
+            except CorruptModelError as exc:
+                report.checks.append(ArtifactCheck(
+                    name=name, status="corrupt", detail=str(exc)))
+                continue
+            except ModelError as exc:
+                report.checks.append(ArtifactCheck(
+                    name=name, status="invalid", detail=str(exc)))
+                continue
+        report.checks.append(ArtifactCheck(name=name, status="ok"))
+    for path in sorted(directory.glob("*.npz")):
+        if path.name not in listed:
+            report.checks.append(ArtifactCheck(
+                name=path.name, status="unlisted",
+                detail="on disk but not covered by the manifest"))
+    return report

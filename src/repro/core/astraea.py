@@ -6,7 +6,9 @@ statistics, the actor maps the stacked local state to an action, and the
 action block turns it into the next congestion window with pacing
 ``cwnd / sRTT``.  No global information is used at deployment (§3.1).
 
-If no trained bundle is supplied and none is shipped, the controller falls
+If no trained bundle is supplied and none shipped is usable — absent,
+corrupt, or schema-invalid, per the fallback chain of
+:func:`repro.core.policy.load_default_policy` — the controller falls
 back to the analytic reference policy (:mod:`repro.core.reference`), which
 has the same state -> action structure the trained model learns (Fig. 17);
 benchmarks report which backend was used.
@@ -18,7 +20,7 @@ from ..cc.base import CongestionController, Decision, register
 from ..config import ACTION_ALPHA, HISTORY_LENGTH, MTP_S
 from ..netsim.stats import MtpStats
 from .action import apply_action, pacing_from_cwnd
-from .policy import PolicyBundle, load_default_policy
+from .policy import PolicyBundle, resolve_policy
 from .state import LocalStateBlock
 
 
@@ -50,11 +52,11 @@ class AstraeaController(CongestionController):
         self.slow_start_enabled = slow_start
         self.probe_rtt_enabled = probe_rtt
         self.guards_enabled = guards
-        if isinstance(policy, str):
-            policy = PolicyBundle.load(policy)
-        if policy is None:
-            policy = load_default_policy("astraea")
-        self.policy = policy
+        # None resolves through the default fallback chain: shipped bundle
+        # -> shipped alternates -> the analytic reference (below).  A
+        # corrupt shipped bundle therefore degrades with a warning instead
+        # of crashing construction; an explicit path raises typed errors.
+        self.policy = policy = resolve_policy(policy, "astraea")
         if policy is not None:
             history = policy.history
             alpha = alpha if alpha is not None else policy.alpha

@@ -95,6 +95,40 @@ class AstraeaReference(CongestionController):
         diff = stats.cwnd_pkts * (1.0 - rtt_min / rtt)
         return rtt_min, rtt, diff
 
+    def policy_action(self, rtt_min: float, rtt: float, diff: float,
+                      loss_rate: float) -> float:
+        """The closed-form policy: action in [-1, 1] from the raw signals.
+
+        Pure function of its arguments — no probe/drain bookkeeping — so
+        it can label states for distillation
+        (:func:`repro.core.distill.collect_reference_dataset`) as well as
+        drive :meth:`action_for`.
+        """
+        action = self.GAIN * (self.target_pkts - diff) / self.target_pkts
+        # Loss response: tolerate stochastic loss, back off on congestion loss.
+        if loss_rate > self.LOSS_TOLERANCE:
+            backoff = min(self.LOSS_BACKOFF_GAIN * loss_rate, 1.0)
+            action = min(action, -backoff)
+        # Bufferbloat guard.
+        if rtt > self.BUFFERBLOAT_RATIO * rtt_min:
+            action = min(action, -0.5)
+        return float(np.clip(action, -1.0, 1.0))
+
+    def peek_action(self, stats: MtpStats) -> float:
+        """The policy's action for ``stats`` without mutating any state.
+
+        Unlike :meth:`action_for` this neither advances the probe-drain
+        schedule nor pushes into the sliding RTT window, so it can be
+        called alongside the live controller (the distillation recorder
+        does exactly that).
+        """
+        horizon = stats.time_s - self.RTT_WINDOW_S
+        samples = [r for t, r in self._rtt_samples if t >= horizon]
+        rtt_min = min(samples + [stats.min_rtt_s])
+        rtt = max(stats.avg_rtt_s, rtt_min)
+        diff = stats.cwnd_pkts * (1.0 - rtt_min / rtt)
+        return self.policy_action(rtt_min, rtt, diff, stats.loss_rate)
+
     def action_for(self, stats: MtpStats) -> float:
         """The policy's raw action in [-1, 1] (exposed for Fig. 17)."""
         rtt_min, rtt, diff = self._signals(stats)
@@ -112,16 +146,7 @@ class AstraeaReference(CongestionController):
             self._drain_left -= 1
             return -1.0
 
-        action = self.GAIN * (self.target_pkts - diff) / self.target_pkts
-
-        # Loss response: tolerate stochastic loss, back off on congestion loss.
-        if stats.loss_rate > self.LOSS_TOLERANCE:
-            backoff = min(self.LOSS_BACKOFF_GAIN * stats.loss_rate, 1.0)
-            action = min(action, -backoff)
-        # Bufferbloat guard.
-        if rtt > self.BUFFERBLOAT_RATIO * rtt_min:
-            action = min(action, -0.5)
-        return float(np.clip(action, -1.0, 1.0))
+        return self.policy_action(rtt_min, rtt, diff, stats.loss_rate)
 
     def on_interval(self, stats: MtpStats) -> Decision:
         if self._in_slow_start:

@@ -19,5 +19,24 @@ class ModelError(ReproError):
     """A model bundle could not be loaded or has incompatible shapes."""
 
 
+class CorruptModelError(ModelError):
+    """A bundle file exists but its bytes are damaged (truncated zip,
+    garbage payload, unreadable arrays)."""
+
+
+class ModelValidationError(ModelError):
+    """A bundle file is readable but violates the bundle contract
+    (missing/ill-typed metadata, parameter count or shape mismatch)."""
+
+
+class ModelFallbackWarning(UserWarning):
+    """A default policy bundle was unusable and a fallback was taken.
+
+    Emitted exactly once per resolution by
+    :func:`repro.core.policy.load_default_policy`; the message names the
+    offending file, the reason, and the chosen fallback.
+    """
+
+
 class ServiceError(ReproError):
     """The inference service was used incorrectly."""

@@ -7,17 +7,47 @@ Python — the CLI (`python -m repro ...`) builds on this:
   :class:`~repro.config.ScenarioConfig` through plain JSON data.
 * :func:`save_result` / :func:`load_result` — persist a
   :class:`~repro.env.multiflow.ScenarioResult`'s full per-interval logs.
+* :func:`write_json` / :func:`sha256_file` — low-level atomic-write and
+  content-hash helpers shared with the model-artifact integrity layer
+  (:mod:`repro.core.artifacts`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import asdict
 from pathlib import Path
 
 from .config import FlowConfig, LinkConfig, ScenarioConfig
 from .env.multiflow import FlowLog, ScenarioResult
 from .errors import ConfigError
+
+
+def write_json(path: str | Path, data: object, indent: int | None = 2) -> Path:
+    """Atomically write ``data`` as JSON: no torn files on interruption.
+
+    The payload lands in a sibling temp file first and is then renamed
+    over the target, so readers either see the old content or the new —
+    never a truncated document (the failure mode the model-artifact
+    integrity layer exists to catch).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(data, indent=indent, sort_keys=False) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def sha256_file(path: str | Path, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 digest of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while chunk := fh.read(chunk_size):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def scenario_to_dict(scenario: ScenarioConfig) -> dict:
@@ -55,10 +85,7 @@ def scenario_from_dict(data: dict) -> ScenarioConfig:
 
 def save_scenario(scenario: ScenarioConfig, path: str | Path) -> Path:
     """Write a scenario description to a JSON file."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(scenario_to_dict(scenario), indent=2))
-    return path
+    return write_json(path, scenario_to_dict(scenario))
 
 
 def load_scenario(path: str | Path) -> ScenarioConfig:
@@ -115,10 +142,7 @@ def result_from_dict(data: dict) -> ScenarioResult:
 
 def save_result(result: ScenarioResult, path: str | Path) -> Path:
     """Write a run's logs to a JSON file."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(result_to_dict(result)))
-    return path
+    return write_json(path, result_to_dict(result), indent=None)
 
 
 def load_result(path: str | Path) -> ScenarioResult:

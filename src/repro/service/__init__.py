@@ -4,6 +4,7 @@ from .inference import (
     BatchedInferenceService,
     PerFlowServers,
     ServiceAccounting,
+    default_service_policy,
     synthetic_request_trace,
 )
 
@@ -11,5 +12,6 @@ __all__ = [
     "BatchedInferenceService",
     "PerFlowServers",
     "ServiceAccounting",
+    "default_service_policy",
     "synthetic_request_trace",
 ]

@@ -26,6 +26,26 @@ from ..core.policy import PolicyBundle
 from ..errors import ServiceError
 
 
+def default_service_policy(scheme: str = "astraea") -> PolicyBundle:
+    """The shipped bundle for ``scheme``, as a hard service dependency.
+
+    Controllers can degrade to their analytic fallbacks, but an inference
+    *service* exists to execute a trained actor — if the fallback chain
+    resolves to nothing usable this raises
+    :class:`~repro.errors.ServiceError` with the repair command instead
+    of silently serving garbage.
+    """
+    from ..core.policy import load_default_policy
+
+    bundle = load_default_policy(scheme)
+    if bundle is None:
+        raise ServiceError(
+            f"no usable {scheme} policy bundle for the inference service; "
+            f"run 'python -m repro models regenerate' to rebuild the "
+            f"shipped artifacts")
+    return bundle
+
+
 @dataclass
 class ServiceAccounting:
     """Work counters of an inference backend."""
@@ -57,6 +77,15 @@ class BatchedInferenceService:
         self.batch_window_s = batch_window_s
         self.accounting = ServiceAccounting()
         self._queue: list[tuple[int, np.ndarray]] = []
+
+    @classmethod
+    def from_default(cls, scheme: str = "astraea",
+                     batch_window_s: float = 0.005,
+                     ) -> "BatchedInferenceService":
+        """A service over the shipped bundle (see
+        :func:`default_service_policy`)."""
+        return cls(default_service_policy(scheme),
+                   batch_window_s=batch_window_s)
 
     def submit(self, request_id: int, state: np.ndarray) -> None:
         state = np.asarray(state, dtype=float)
@@ -117,6 +146,13 @@ class PerFlowServers:
             raise ServiceError("need at least one flow")
         self._actors = [policy.actor.clone() for _ in range(n_flows)]
         self.accounting = ServiceAccounting()
+
+    @classmethod
+    def from_default(cls, n_flows: int,
+                     scheme: str = "astraea") -> "PerFlowServers":
+        """Per-flow servers over the shipped bundle (see
+        :func:`default_service_policy`)."""
+        return cls(default_service_policy(scheme), n_flows)
 
     @property
     def n_flows(self) -> int:

@@ -1,0 +1,417 @@
+"""Model-artifact integrity and graceful degradation.
+
+Regression suite for the corrupt-bundle incident: truncated/empty/
+garbage/schema-invalid ``.npz`` files must raise *typed* errors at the
+loader, degrade (with one warning) at the default-policy resolver, leave
+every controller constructible, and be caught by ``repro models verify``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.policy as policy_mod
+from repro.core.artifacts import (
+    load_manifest,
+    manifest_entry,
+    update_manifest,
+    validate_bundle_file,
+    verify_models,
+)
+from repro.core.policy import (
+    PolicyBundle,
+    clear_policy_cache,
+    load_default_policy,
+    new_actor,
+    resolve_policy,
+)
+from repro.errors import (
+    CorruptModelError,
+    ModelError,
+    ModelFallbackWarning,
+    ModelValidationError,
+)
+from repro.rl.nn import MLP
+
+
+@pytest.fixture
+def models_dir(tmp_path, monkeypatch):
+    """A scratch models directory the loader and verifier resolve to."""
+    directory = tmp_path / "models"
+    directory.mkdir()
+    monkeypatch.setattr(policy_mod, "MODELS_DIR", directory)
+    clear_policy_cache()
+    yield directory
+    clear_policy_cache()
+
+
+def make_bundle(seed: int = 0) -> PolicyBundle:
+    return PolicyBundle(actor=new_actor(seed=seed))
+
+
+def write_valid(path, seed: int = 0) -> PolicyBundle:
+    bundle = make_bundle(seed)
+    bundle.save(path)
+    return bundle
+
+
+def truncate(path, keep_fraction: float = 0.4) -> None:
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep_fraction)])
+
+
+class TestTypedLoaderErrors:
+    """Satellite 1: stdlib exceptions never leak from PolicyBundle.load."""
+
+    def test_truncated_zip_raises_corrupt(self, tmp_path):
+        path = tmp_path / "b.npz"
+        write_valid(path)
+        truncate(path)
+        with pytest.raises(CorruptModelError):
+            PolicyBundle.load(path)
+
+    def test_empty_file_raises_corrupt(self, tmp_path):
+        path = tmp_path / "b.npz"
+        path.write_bytes(b"")
+        with pytest.raises(CorruptModelError):
+            PolicyBundle.load(path)
+
+    def test_non_zip_garbage_raises_corrupt(self, tmp_path):
+        path = tmp_path / "b.npz"
+        path.write_bytes(b"definitely not a zip archive" * 64)
+        with pytest.raises(CorruptModelError):
+            PolicyBundle.load(path)
+
+    def test_corrupt_is_a_model_error(self, tmp_path):
+        path = tmp_path / "b.npz"
+        path.write_bytes(b"")
+        with pytest.raises(ModelError):
+            PolicyBundle.load(path)
+
+    def test_missing_meta_raises_validation(self, tmp_path):
+        path = tmp_path / "b.npz"
+        np.savez(path, param_0=np.zeros((3, 3)))
+        with pytest.raises(ModelValidationError):
+            PolicyBundle.load(path)
+
+    def test_unparsable_meta_raises_validation(self, tmp_path):
+        path = tmp_path / "b.npz"
+        np.savez(path, meta="{not json", param_0=np.zeros(3))
+        with pytest.raises(ModelValidationError):
+            PolicyBundle.load(path)
+
+    @pytest.mark.parametrize("patch", [
+        {"history": 0},                       # out-of-contract value
+        {"output": "sigmoid"},                # unknown activation
+        {"hidden": []},                       # empty architecture
+        {"hidden": [256, -1]},                # negative width
+        {"alpha": "fast"},                    # wrong type
+        {"in_dim": 39},                       # != features x history
+    ])
+    def test_bad_meta_field_raises_validation(self, tmp_path, patch):
+        path = tmp_path / "b.npz"
+        write_valid(path)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            arrays = {k: data[k] for k in data.files if k != "meta"}
+        meta.update(patch)
+        np.savez(path, meta=json.dumps(meta), **arrays)
+        with pytest.raises(ModelValidationError):
+            PolicyBundle.load(path)
+
+    def test_missing_meta_key_raises_validation(self, tmp_path):
+        path = tmp_path / "b.npz"
+        write_valid(path)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            arrays = {k: data[k] for k in data.files if k != "meta"}
+        del meta["hidden"]
+        np.savez(path, meta=json.dumps(meta), **arrays)
+        with pytest.raises(ModelValidationError):
+            PolicyBundle.load(path)
+
+    def test_parameter_shape_mismatch_raises_validation(self, tmp_path):
+        path = tmp_path / "b.npz"
+        write_valid(path)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            arrays = {k: data[k] for k in data.files if k != "meta"}
+        arrays["param_0"] = np.zeros((7, 7))   # wrong shape for layer 0
+        np.savez(path, meta=json.dumps(meta), **arrays)
+        with pytest.raises(ModelValidationError):
+            PolicyBundle.load(path)
+
+    def test_missing_parameter_array_raises_validation(self, tmp_path):
+        path = tmp_path / "b.npz"
+        write_valid(path)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            arrays = {k: data[k] for k in data.files if k != "meta"}
+        del arrays["param_0"]                  # non-contiguous param_i
+        np.savez(path, meta=json.dumps(meta), **arrays)
+        with pytest.raises(ModelValidationError):
+            PolicyBundle.load(path)
+
+
+class TestFallbackChain:
+    """Satellite 2: present-but-corrupt default bundles degrade, not crash."""
+
+    def test_corrupt_default_falls_back_to_alternate(self, models_dir):
+        default = models_dir / "astraea_pretrained.npz"
+        write_valid(default)
+        truncate(default)
+        write_valid(models_dir / "astraea_alt_homogeneous.npz", seed=7)
+        with pytest.warns(ModelFallbackWarning, match="astraea_pretrained"):
+            bundle = load_default_policy("astraea")
+        assert bundle is not None
+
+    def test_whole_chain_corrupt_yields_none(self, models_dir):
+        for name in ("astraea_pretrained.npz", "astraea_alt_homogeneous.npz"):
+            write_valid(models_dir / name)
+            truncate(models_dir / name)
+        with pytest.warns(ModelFallbackWarning, match="reference"):
+            assert load_default_policy("astraea") is None
+
+    def test_absent_bundles_resolve_silently(self, models_dir):
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert load_default_policy("astraea") is None
+
+    def test_warning_emitted_once_then_cached(self, models_dir):
+        path = models_dir / "astraea_pretrained.npz"
+        write_valid(path)
+        truncate(path)
+        import warnings as warnings_mod
+
+        with pytest.warns(ModelFallbackWarning):
+            load_default_policy("astraea")
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")    # cache hit: no re-warning
+            assert load_default_policy("astraea") is None
+
+    def test_repair_then_clear_cache_retries(self, models_dir):
+        path = models_dir / "astraea_pretrained.npz"
+        write_valid(path)
+        truncate(path)
+        with pytest.warns(ModelFallbackWarning):
+            assert load_default_policy("astraea") is None
+        write_valid(path)                          # repair the file
+        assert load_default_policy("astraea") is None   # still cached
+        clear_policy_cache()
+        assert load_default_policy("astraea") is not None
+
+    def test_explicit_path_still_raises(self, models_dir):
+        path = models_dir / "astraea_pretrained.npz"
+        write_valid(path)
+        truncate(path)
+        with pytest.raises(CorruptModelError):
+            resolve_policy(str(path), "astraea")
+
+
+class TestControllerDegradation:
+    """Acceptance: controllers construct and drive over corrupt artifacts."""
+
+    @pytest.fixture
+    def corrupt_default(self, models_dir):
+        path = models_dir / "astraea_pretrained.npz"
+        write_valid(path)
+        truncate(path)
+        return models_dir
+
+    def test_astraea_constructs_and_drives(self, corrupt_default):
+        from repro.config import LinkConfig, ScenarioConfig
+        from repro.core.astraea import AstraeaController
+        from repro.env import run_scenario
+        from repro.netsim import staggered_flows
+
+        with pytest.warns(ModelFallbackWarning):
+            controller = AstraeaController()
+        assert controller.backend == "reference"
+        scenario = ScenarioConfig(
+            link=LinkConfig(bandwidth_mbps=50.0, rtt_ms=20.0),
+            flows=staggered_flows(2, cc="astraea", interval_s=1.0,
+                                  duration_s=5.0),
+            duration_s=6.0,
+        )
+        controllers = [controller, AstraeaController()]
+        result = run_scenario(scenario, controllers=controllers)
+        assert result.utilization() > 0.0
+
+    def test_aurora_pretrained_degrades_to_behavioural(self, models_dir):
+        from repro.cc.aurora import Aurora
+
+        path = models_dir / "aurora_pretrained.npz"
+        write_valid(path)
+        truncate(path)
+        with pytest.warns(ModelFallbackWarning):
+            aurora = Aurora(policy="pretrained")
+        assert aurora.backend == "behavioural"
+
+    def test_orca_pretrained_degrades_to_behavioural(self, models_dir):
+        from repro.cc.orca import Orca
+
+        orca = Orca(policy="pretrained")      # no orca bundle shipped
+        assert orca.backend == "behavioural"
+
+    def test_service_refuses_to_run_without_actor(self, corrupt_default):
+        from repro.errors import ServiceError
+        from repro.service import default_service_policy
+
+        with pytest.warns(ModelFallbackWarning):
+            with pytest.raises(ServiceError, match="regenerate"):
+                default_service_policy("astraea")
+
+
+class TestManifestVerify:
+    """The checksummed manifest and the `repro models verify` gate."""
+
+    def stamp(self, models_dir, *names):
+        update_manifest(
+            {n: manifest_entry(models_dir / n) for n in names}, models_dir)
+
+    def test_manifest_roundtrip(self, models_dir):
+        write_valid(models_dir / "astraea_pretrained.npz")
+        self.stamp(models_dir, "astraea_pretrained.npz")
+        doc = load_manifest(models_dir)
+        entry = doc["artifacts"]["astraea_pretrained.npz"]
+        assert len(entry["sha256"]) == 64
+        assert entry["size_bytes"] > 0
+
+    def test_clean_state_verifies_ok(self, models_dir):
+        write_valid(models_dir / "astraea_pretrained.npz")
+        self.stamp(models_dir, "astraea_pretrained.npz")
+        report = verify_models(models_dir)
+        assert report.ok
+        assert [c.status for c in report.checks] == ["ok"]
+
+    def test_post_stamp_modification_is_checksum_mismatch(self, models_dir):
+        path = models_dir / "astraea_pretrained.npz"
+        write_valid(path)
+        self.stamp(models_dir, "astraea_pretrained.npz")
+        truncate(path)
+        report = verify_models(models_dir)
+        assert not report.ok
+        assert report.failures[0].status == "checksum-mismatch"
+        assert report.failures[0].name == "astraea_pretrained.npz"
+
+    def test_corrupt_at_stamp_time_is_detected_structurally(self, models_dir):
+        path = models_dir / "astraea_pretrained.npz"
+        write_valid(path)
+        truncate(path)
+        self.stamp(models_dir, "astraea_pretrained.npz")  # digest matches...
+        report = verify_models(models_dir)
+        assert not report.ok                              # ...bytes don't load
+        assert report.failures[0].status == "corrupt"
+
+    def test_schema_invalid_bundle_reported_invalid(self, models_dir):
+        path = models_dir / "astraea_pretrained.npz"
+        np.savez(path, meta=json.dumps({"bogus": True}), param_0=np.zeros(3))
+        self.stamp(models_dir, "astraea_pretrained.npz")
+        report = verify_models(models_dir)
+        assert report.failures[0].status == "invalid"
+
+    def test_missing_listed_file(self, models_dir):
+        path = models_dir / "astraea_pretrained.npz"
+        write_valid(path)
+        self.stamp(models_dir, "astraea_pretrained.npz")
+        path.unlink()
+        report = verify_models(models_dir)
+        assert report.failures[0].status == "missing"
+
+    def test_unlisted_npz_is_flagged(self, models_dir):
+        write_valid(models_dir / "astraea_pretrained.npz")
+        self.stamp(models_dir, "astraea_pretrained.npz")
+        write_valid(models_dir / "stray.npz")
+        report = verify_models(models_dir)
+        statuses = {c.name: c.status for c in report.checks}
+        assert statuses["stray.npz"] == "unlisted"
+        assert not report.ok
+
+    def test_missing_manifest_fails_verification(self, models_dir):
+        write_valid(models_dir / "astraea_pretrained.npz")
+        report = verify_models(models_dir)
+        assert not report.ok
+        assert report.checks[0].name == "MANIFEST.json"
+
+    def test_validate_bundle_file_on_non_zip(self, models_dir):
+        path = models_dir / "x.npz"
+        path.write_bytes(b"junk")
+        with pytest.raises(CorruptModelError):
+            validate_bundle_file(path)
+
+
+class TestShippedManifest:
+    """The real shipped artifacts must verify clean in every checkout."""
+
+    def test_shipped_models_verify_ok(self):
+        report = verify_models()
+        assert report.ok, [f"{c.name}: {c.status} {c.detail}"
+                           for c in report.failures]
+
+    def test_every_default_bundle_is_listed(self):
+        from repro.core.policy import FALLBACK_POLICY_NAMES
+
+        listed = set(load_manifest()["artifacts"])
+        for names in FALLBACK_POLICY_NAMES.values():
+            for name in names:
+                if (policy_mod.MODELS_DIR / name).exists():
+                    assert name in listed
+
+
+class TestRegeneration:
+    """`repro models regenerate` restores a manifest-clean state."""
+
+    def test_regenerated_bundle_roundtrips(self, models_dir):
+        from repro.core.distill import regenerate_default_bundle
+
+        path = models_dir / "astraea_alt_homogeneous.npz"
+        bundle, report = regenerate_default_bundle(
+            "astraea_alt_homogeneous.npz", path, epochs=5)
+        loaded = PolicyBundle.load(path)
+        x = np.random.default_rng(0).normal(size=(5, loaded.actor.in_dim))
+        assert np.array_equal(bundle.actor.forward(x),
+                              loaded.actor.forward(x))
+        assert report["samples"] > 100
+        assert loaded.scheme == "astraea"
+
+    def test_unknown_recipe_raises(self):
+        from repro.core.distill import regenerate_default_bundle
+
+        with pytest.raises(ModelError):
+            regenerate_default_bundle("carrier_pigeon.npz")
+
+    def test_regeneration_is_deterministic(self, models_dir):
+        from repro.core.distill import regenerate_default_bundle
+
+        a = models_dir / "a.npz"
+        b = models_dir / "b.npz"
+        regenerate_default_bundle("astraea_alt_homogeneous.npz", a, epochs=3)
+        regenerate_default_bundle("astraea_alt_homogeneous.npz", b, epochs=3)
+        from repro.persist import sha256_file
+
+        assert sha256_file(a) == sha256_file(b)
+
+
+class TestRoundtripProperty:
+    """Property: save -> load reproduces actor outputs bit-exactly."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_save_load_bit_exact(self, seed, tmp_path_factory):
+        actor = MLP(8, (6, 4), 1, output="tanh", seed=seed)
+        bundle = PolicyBundle(actor=actor, history=1, scheme="astraea")
+        directory = tmp_path_factory.mktemp("roundtrip")
+        path = bundle.save(directory / f"b{seed}.npz")
+        loaded = PolicyBundle.load(path)
+        x = np.random.default_rng(seed).normal(size=(16, 8))
+        assert np.array_equal(actor.forward(x), loaded.actor.forward(x))
+        assert loaded.history == bundle.history
+        assert loaded.alpha == bundle.alpha
+        assert loaded.scheme == bundle.scheme

@@ -60,6 +60,60 @@ class TestCompare:
         assert "Jain" in out
 
 
+class TestModels:
+    @pytest.fixture
+    def stamped_dir(self, tmp_path):
+        """A models dir with one valid, manifest-listed bundle."""
+        from repro.core.artifacts import manifest_entry, update_manifest
+        from repro.core.policy import PolicyBundle, new_actor
+
+        PolicyBundle(actor=new_actor(seed=1)).save(
+            tmp_path / "astraea_pretrained.npz")
+        update_manifest(
+            {"astraea_pretrained.npz":
+             manifest_entry(tmp_path / "astraea_pretrained.npz")}, tmp_path)
+        return tmp_path
+
+    def test_verify_clean_exits_zero(self, stamped_dir, capsys):
+        assert main(["models", "verify", "--models-dir",
+                     str(stamped_dir)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_verify_corrupt_exits_nonzero_naming_file(self, stamped_dir,
+                                                      capsys):
+        path = stamped_dir / "astraea_pretrained.npz"
+        path.write_bytes(path.read_bytes()[:1000])
+        assert main(["models", "verify", "--models-dir",
+                     str(stamped_dir)]) == 1
+        captured = capsys.readouterr()
+        assert "astraea_pretrained.npz" in captured.err
+        assert "regenerate" in captured.err
+
+    def test_info_prints_digests(self, stamped_dir, capsys):
+        assert main(["models", "info", "--models-dir",
+                     str(stamped_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "sha256" in out and "astraea_pretrained.npz" in out
+
+    def test_regenerate_restores_manifest_clean_state(self, tmp_path,
+                                                      capsys):
+        # Start from a *corrupt* artifact: regenerate must repair it and
+        # leave verify green.
+        (tmp_path / "astraea_alt_homogeneous.npz").write_bytes(b"garbage")
+        assert main(["models", "regenerate", "astraea_alt_homogeneous.npz",
+                     "--models-dir", str(tmp_path), "--epochs", "3"]) == 0
+        assert main(["models", "verify", "--models-dir",
+                     str(tmp_path)]) == 0
+        from repro.core.policy import PolicyBundle
+
+        bundle = PolicyBundle.load(tmp_path / "astraea_alt_homogeneous.npz")
+        assert bundle.scheme == "astraea"
+
+    def test_regenerate_unknown_name_exits_two(self, tmp_path, capsys):
+        assert main(["models", "regenerate", "nope.npz",
+                     "--models-dir", str(tmp_path)]) == 2
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
