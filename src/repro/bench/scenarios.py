@@ -170,3 +170,59 @@ def fig22_scenario(cc: str, quick: bool = False, seed: int = 0,
     flows = (FlowConfig(cc=cc, start_s=0.0),)
     return ScenarioConfig(link=link, flows=flows, duration_s=duration,
                           seed=seed, tick_s=0.001)
+
+
+#: Impairment kinds of the robustness family (see :mod:`repro.netsim.faults`).
+ROBUSTNESS_KINDS = ("blackout", "flap", "loss-burst", "delay-spike",
+                    "reorder", "mixed")
+
+
+def robustness_scenario(cc: str, kind: str = "blackout", quick: bool = False,
+                        seed: int = 0) -> ScenarioConfig:
+    """Runtime-resilience family: a mid-run link impairment on the
+    canonical 100 Mbps / 30 ms / 1 BDP bottleneck with two long flows.
+
+    ``kind`` picks one impairment primitive (placed so the run contains a
+    clean warm-up, the fault, and a recovery tail), or ``"mixed"`` for a
+    seed-determined random :meth:`FaultSchedule.sample` schedule.  The
+    schemes' throughput/latency during and after the fault window show
+    how each recovers from conditions the training envelope never
+    contains.
+    """
+    from ..netsim.faults import (
+        BandwidthFlap,
+        Blackout,
+        DelaySpike,
+        FaultSchedule,
+        LossBurst,
+        ReorderWindow,
+    )
+
+    duration = 30.0 if quick else 90.0
+    start = duration * 0.4
+    if kind == "blackout":
+        faults = FaultSchedule((Blackout(start, duration * 0.03),))
+    elif kind == "flap":
+        faults = FaultSchedule((
+            BandwidthFlap(start, duration * 0.2, factor=0.25),))
+    elif kind == "loss-burst":
+        faults = FaultSchedule((
+            LossBurst(start, duration * 0.1, loss_rate=0.05),))
+    elif kind == "delay-spike":
+        faults = FaultSchedule((
+            DelaySpike(start, duration * 0.1, extra_ms=80.0),))
+    elif kind == "reorder":
+        faults = FaultSchedule((
+            ReorderWindow(start, duration * 0.15, rate=0.02),))
+    elif kind == "mixed":
+        faults = FaultSchedule.sample(duration, seed=seed + 1)
+    else:
+        from ..errors import ConfigError
+
+        raise ConfigError(
+            f"unknown robustness kind {kind!r}; known: {ROBUSTNESS_KINDS}")
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+    flows = (FlowConfig(cc=cc, start_s=0.0),
+             FlowConfig(cc=cc, start_s=0.0))
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed, faults=faults)

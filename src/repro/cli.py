@@ -13,6 +13,12 @@ Commands
               manifest (non-zero exit on any damaged bundle — the CI
               gate), ``info`` per-bundle status, ``regenerate`` rebuild
               bundles deterministically from the analytic reference.
+``train``     run (or resume) Astraea training with periodic atomic
+              checkpoints; ``--resume DIR`` continues bit-exactly from
+              the last checkpoint in DIR.
+``faults``    inspect or exercise link-fault schedules: print a sampled
+              schedule, or run a robustness scenario under one scheme
+              and print its summary.
 """
 
 from __future__ import annotations
@@ -197,6 +203,84 @@ def _cmd_models_regenerate(args: argparse.Namespace) -> int:
     return _cmd_models_verify(args)
 
 
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .config import TrainingConfig, replace
+    from .core.train import train_astraea
+    from .errors import ReproError
+
+    cfg = TrainingConfig()
+    overrides = {}
+    for name in ("episodes", "episode_duration_s", "checkpoint_every",
+                 "fault_prob", "seed"):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    if args.small:
+        overrides.setdefault("episodes", 4)
+        overrides.update(episode_duration_s=overrides.get(
+                             "episode_duration_s", 4.0),
+                         hidden_layers=(8, 8), batch_size=16,
+                         warmup_transitions=60, update_steps=1,
+                         checkpoint_every=overrides.get(
+                             "checkpoint_every", 2))
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    try:
+        bundle, history = train_astraea(
+            cfg, eval_every=args.eval_every, verbose=True,
+            checkpoint_dir=args.checkpoint_dir, resume_from=args.resume)
+    except ReproError as exc:
+        print(f"training failed: {exc}", file=sys.stderr)
+        return 1
+    n_failed = len(history.failed_episodes)
+    print(f"trained {cfg.episodes} episode(s) in {history.wall_time_s:.1f} s"
+          f" ({n_failed} quarantined), best episode {history.best_episode}")
+    if args.out:
+        path = bundle.save(args.out)
+        print(f"policy bundle saved to {path}")
+    if args.history_out:
+        from pathlib import Path
+
+        doc = {k: v for k, v in history.__dict__.items()}
+        path = Path(args.history_out)
+        path.write_text(json.dumps(doc, indent=2))
+        print(f"training history saved to {path}")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .bench.scenarios import ROBUSTNESS_KINDS, robustness_scenario
+    from .errors import ReproError
+    from .netsim.faults import FaultSchedule
+
+    if args.kind == "sample":
+        schedule = FaultSchedule.sample(args.duration, seed=args.seed)
+        print(schedule.describe())
+        return 0
+    if args.kind not in ROBUSTNESS_KINDS:
+        print(f"unknown fault kind {args.kind!r} "
+              f"(known: sample, {', '.join(ROBUSTNESS_KINDS)})",
+              file=sys.stderr)
+        return 2
+    try:
+        scenario = robustness_scenario(args.cc, kind=args.kind,
+                                       quick=args.quick, seed=args.seed)
+    except ReproError as exc:
+        print(f"cannot build scenario: {exc}", file=sys.stderr)
+        return 1
+    print(scenario.faults.describe())
+    if args.describe_only:
+        return 0
+    from .env import run_scenario
+    from .metrics import summarize
+
+    result = run_scenario(scenario)
+    summary = summarize(result, args.cc, penalty_s=scenario.duration_s)
+    for key, value in summary.as_dict().items():
+        print(f"{key:20s} {value}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -254,6 +338,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_regen.add_argument("--epochs", type=int, default=3000)
     p_regen.add_argument("--seed", type=int, default=0)
     p_regen.set_defaults(func=_cmd_models_regenerate)
+
+    p_train = sub.add_parser(
+        "train", help="run or resume Astraea training with checkpoints")
+    p_train.add_argument("--episodes", type=int, default=None)
+    p_train.add_argument("--episode-duration-s", type=float, default=None,
+                         dest="episode_duration_s")
+    p_train.add_argument("--seed", type=int, default=None)
+    p_train.add_argument("--fault-prob", type=float, default=None,
+                         dest="fault_prob",
+                         help="probability an episode carries a sampled "
+                              "link-fault schedule")
+    p_train.add_argument("--small", action="store_true",
+                         help="tiny smoke-test configuration")
+    p_train.add_argument("--eval-every", type=int, default=25)
+    p_train.add_argument("--checkpoint-dir", default=None,
+                         help="write periodic atomic checkpoints here")
+    p_train.add_argument("--checkpoint-every", type=int, default=None,
+                         dest="checkpoint_every")
+    p_train.add_argument("--resume", default=None, metavar="DIR",
+                         help="resume bit-exactly from the checkpoint in "
+                              "DIR (also keeps checkpointing there)")
+    p_train.add_argument("--out", default=None,
+                         help="save the best policy bundle here")
+    p_train.add_argument("--history-out", default=None,
+                         help="save the training history JSON here")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_faults = sub.add_parser(
+        "faults", help="inspect or run link-fault schedules")
+    p_faults.add_argument("kind", nargs="?", default="sample",
+                          help="'sample' to print a random schedule, or a "
+                               "robustness-scenario kind (blackout, flap, "
+                               "loss-burst, delay-spike, reorder, mixed)")
+    p_faults.add_argument("--cc", default="astraea",
+                          help="scheme to run under the fault")
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument("--duration", type=float, default=90.0,
+                          help="schedule duration for 'sample'")
+    p_faults.add_argument("--quick", action="store_true",
+                          help="30 s scenario instead of 90 s")
+    p_faults.add_argument("--describe-only", action="store_true",
+                          help="print the schedule without running")
+    p_faults.set_defaults(func=_cmd_faults)
     return parser
 
 

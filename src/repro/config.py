@@ -143,7 +143,13 @@ class FlowConfig:
 
 @dataclass(frozen=True)
 class ScenarioConfig:
-    """A complete single-bottleneck experiment description."""
+    """A complete single-bottleneck experiment description.
+
+    ``faults`` optionally attaches a
+    :class:`~repro.netsim.faults.FaultSchedule` of link impairments
+    (blackouts, bandwidth flaps, loss bursts, delay spikes, reorder
+    windows); both network engines consult it every tick.
+    """
 
     link: LinkConfig = field(default_factory=LinkConfig)
     flows: tuple[FlowConfig, ...] = ()
@@ -153,6 +159,7 @@ class ScenarioConfig:
     seed: int = 0
     trace: str | None = None
     trace_kwargs: dict = field(default_factory=dict)
+    faults: "object | None" = None
 
     def __post_init__(self) -> None:
         if not self.flows:
@@ -164,6 +171,13 @@ class ScenarioConfig:
                 f"tick ({self.tick_s}) must be positive and no longer than "
                 f"one MTP ({self.mtp_s})"
             )
+        if self.faults is not None:
+            from .netsim.faults import FaultSchedule
+
+            if not isinstance(self.faults, FaultSchedule):
+                raise ConfigError(
+                    f"faults must be a FaultSchedule, "
+                    f"got {type(self.faults).__name__}")
 
 
 @dataclass(frozen=True)
@@ -211,6 +225,12 @@ class TrainingConfig:
     episodes: int = 300
     episode_duration_s: float = 24.0
     parallel_envs: int = 1
+    # --- runtime resilience -------------------------------------------
+    fault_prob: float = 0.0           # chance an episode carries link faults
+    max_consecutive_failures: int = 5  # quarantined episodes before aborting
+    rollback_budget: int = 3          # divergence rollbacks before raising
+    rollback_lr_decay: float = 0.5    # LR multiplier applied per rollback
+    checkpoint_every: int = 50        # episodes between training checkpoints
     bandwidth_mbps: tuple[float, float] = TRAIN_BANDWIDTH_MBPS
     rtt_ms: tuple[float, float] = TRAIN_RTT_MS
     buffer_bdp: tuple[float, float] = TRAIN_BUFFER_BDP
@@ -227,6 +247,16 @@ class TrainingConfig:
             raise ConfigError("history length must be positive")
         if self.parallel_envs <= 0:
             raise ConfigError("parallel env count must be positive")
+        if not 0.0 <= self.fault_prob <= 1.0:
+            raise ConfigError("fault probability must lie in [0, 1]")
+        if self.max_consecutive_failures <= 0:
+            raise ConfigError("failure budget must be positive")
+        if self.rollback_budget <= 0:
+            raise ConfigError("rollback budget must be positive")
+        if not 0.0 < self.rollback_lr_decay <= 1.0:
+            raise ConfigError("rollback LR decay must lie in (0, 1]")
+        if self.checkpoint_every <= 0:
+            raise ConfigError("checkpoint interval must be positive")
 
 
 def replace(cfg, **changes):

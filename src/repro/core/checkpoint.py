@@ -1,0 +1,248 @@
+"""Crash-safe training checkpoints with bit-exact resume.
+
+A training checkpoint captures *everything* the training loop needs to
+continue as if the process had never died: all six TD3 networks, both
+Adam optimisers (moments, step count, learning rate), the replay buffer
+contents and cursor, the best-actor-so-far snapshot, the training
+history, and the exact states of every random stream the loop consumes
+(the scenario-sampling generator, the replay sampler, and the TD3
+exploration/target-noise generator).  Together with the deterministic
+per-``(seed, episode, flow)`` exploration streams of
+:class:`~repro.env.episode.TrainFlowController`, restoring all of this
+makes a resumed run produce bit-identical ``episode_rewards`` to an
+uninterrupted one.
+
+Write protocol (no torn checkpoints):
+
+1. the array payload lands in a versioned ``state-ep*.npz`` written via
+   temp-file + ``os.replace``;
+2. the ``checkpoint.json`` manifest — naming that payload file and its
+   SHA-256 — is atomically replaced;
+3. payload files the manifest no longer references are deleted.
+
+A kill between (1) and (2) leaves the manifest pointing at the previous
+payload, which is still on disk: the resume simply continues from the
+older checkpoint.  A manifest whose payload is missing or whose digest
+does not match raises :class:`~repro.errors.CheckpointError`, as does
+resuming under a :class:`~repro.config.TrainingConfig` that differs from
+the one that produced the checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..errors import CheckpointError
+from ..persist import sha256_file, write_json
+from .learner import Learner
+
+CHECKPOINT_FORMAT = 1
+MANIFEST_NAME = "checkpoint.json"
+
+_REPLAY_ARRAYS = ("_local", "_global", "_action", "_reward",
+                  "_next_local", "_next_global", "_done")
+
+
+def config_fingerprint(cfg: TrainingConfig) -> str:
+    """Content hash of a training config; resume requires an exact match."""
+    blob = json.dumps(asdict(cfg), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class ResumeState:
+    """What :func:`load_training_checkpoint` hands back to the train loop."""
+
+    episode: int            # next episode index to run
+    noise: float            # exploration noise at that point
+    history_dict: dict      # TrainingHistory fields (loop rebuilds the object)
+    best_state: list[np.ndarray]  # best-scoring actor parameters so far
+    loop_state: dict        # extra loop counters (consecutive failures, ...)
+
+
+def _rng_state(rng: np.random.Generator) -> dict:
+    return rng.bit_generator.state
+
+
+def _set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    rng.bit_generator.state = state
+
+
+def _atomic_savez(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **arrays)
+    os.replace(tmp, path)
+
+
+def save_training_checkpoint(directory: str | Path, *, learner: Learner,
+                             rng: np.random.Generator, episode: int,
+                             noise: float, history_dict: dict,
+                             best_state: list[np.ndarray],
+                             loop_state: dict | None = None) -> Path:
+    """Write one complete checkpoint; returns the manifest path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload_name = f"state-ep{episode:06d}.npz"
+    payload = directory / payload_name
+
+    arrays: dict[str, np.ndarray] = {}
+    td3_state = learner.td3.state_dict()
+    for net_name, params in td3_state["nets"].items():
+        for i, p in enumerate(params):
+            arrays[f"net__{net_name}__{i}"] = p
+    for opt_key in ("actor_opt", "critic_opt"):
+        opt = td3_state[opt_key]
+        for i, m in enumerate(opt["m"]):
+            arrays[f"{opt_key}__m__{i}"] = m
+        for i, v in enumerate(opt["v"]):
+            arrays[f"{opt_key}__v__{i}"] = v
+    replay = learner.replay
+    size = len(replay)
+    for name in _REPLAY_ARRAYS:
+        arrays[f"replay{name}"] = getattr(replay, name)[:size]
+    for i, p in enumerate(best_state):
+        arrays[f"best__{i}"] = p
+    _atomic_savez(payload, arrays)
+
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "payload": payload_name,
+        "payload_sha256": sha256_file(payload),
+        "episode": int(episode),
+        "noise": float(noise),
+        "history": history_dict,
+        "loop_state": loop_state or {},
+        "config": asdict(learner.cfg),
+        "config_fingerprint": config_fingerprint(learner.cfg),
+        "use_global": learner.use_global,
+        "td3_updates": int(td3_state["updates"]),
+        "opt_meta": {
+            key: {"t": td3_state[key]["t"], "lr": td3_state[key]["lr"]}
+            for key in ("actor_opt", "critic_opt")
+        },
+        "replay": {"size": size, "cursor": replay._cursor},
+        "learner": {"total_updates": learner.total_updates,
+                    "total_transitions": learner.total_transitions},
+        "rng": {
+            "loop": _rng_state(rng),
+            "replay": _rng_state(replay._rng),
+            "td3": _rng_state(learner.td3._rng),
+        },
+    }
+    manifest_path = write_json(directory / MANIFEST_NAME, manifest)
+    for stale in directory.glob("state-ep*.npz"):
+        if stale.name != payload_name:
+            stale.unlink(missing_ok=True)
+    return manifest_path
+
+
+def load_training_checkpoint(directory: str | Path, learner: Learner,
+                             rng: np.random.Generator) -> ResumeState:
+    """Restore a checkpoint into ``learner`` and ``rng``; returns the
+    loop-level state the caller must adopt.
+
+    Raises :class:`CheckpointError` on a missing/damaged checkpoint or a
+    config mismatch.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CheckpointError(f"no checkpoint manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt checkpoint manifest: {exc}") from exc
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"unsupported checkpoint format {manifest.get('format')!r}")
+    if manifest.get("config_fingerprint") != config_fingerprint(learner.cfg):
+        changed = _config_diff(manifest.get("config", {}), learner.cfg)
+        raise CheckpointError(
+            "checkpoint was written under a different TrainingConfig"
+            + (f" (differs in: {', '.join(changed)})" if changed else ""))
+    if manifest.get("use_global") != learner.use_global:
+        raise CheckpointError("checkpoint critic topology (use_global) "
+                              "does not match this learner")
+
+    payload = directory / manifest["payload"]
+    if not payload.exists():
+        raise CheckpointError(f"checkpoint payload missing: {payload}")
+    if sha256_file(payload) != manifest["payload_sha256"]:
+        raise CheckpointError(
+            f"checkpoint payload {payload.name} fails its SHA-256 check "
+            "(truncated or corrupted write)")
+
+    try:
+        with np.load(payload, allow_pickle=False) as data:
+            td3_state = {
+                "nets": {}, "updates": manifest["td3_updates"],
+            }
+            for net_name in learner.td3.NETS:
+                n = len(getattr(learner.td3, net_name).get_state())
+                td3_state["nets"][net_name] = [
+                    data[f"net__{net_name}__{i}"] for i in range(n)]
+            for opt_key, opt in (("actor_opt", learner.td3.actor_opt),
+                                 ("critic_opt", learner.td3.critic_opt)):
+                n = len(opt.params)
+                td3_state[opt_key] = {
+                    "m": [data[f"{opt_key}__m__{i}"] for i in range(n)],
+                    "v": [data[f"{opt_key}__v__{i}"] for i in range(n)],
+                    "t": manifest["opt_meta"][opt_key]["t"],
+                    "lr": manifest["opt_meta"][opt_key]["lr"],
+                }
+            learner.td3.load_state_dict(td3_state)
+
+            replay = learner.replay
+            size = int(manifest["replay"]["size"])
+            if size > replay.capacity:
+                raise CheckpointError(
+                    "checkpoint replay buffer exceeds configured capacity")
+            for name in _REPLAY_ARRAYS:
+                stored = data[f"replay{name}"]
+                if stored.shape[1:] != getattr(replay, name).shape[1:]:
+                    raise CheckpointError(
+                        f"checkpoint replay array {name} has incompatible "
+                        "width for this learner")
+                getattr(replay, name)[:size] = stored
+            replay._size = size
+            replay._cursor = int(manifest["replay"]["cursor"])
+
+            n_best = sum(1 for k in data.files if k.startswith("best__"))
+            best_state = [data[f"best__{i}"] for i in range(n_best)]
+    except KeyError as exc:
+        raise CheckpointError(
+            f"checkpoint payload is missing array {exc}") from exc
+
+    learner.total_updates = int(manifest["learner"]["total_updates"])
+    learner.total_transitions = int(manifest["learner"]["total_transitions"])
+    _set_rng_state(rng, manifest["rng"]["loop"])
+    _set_rng_state(replay._rng, manifest["rng"]["replay"])
+    _set_rng_state(learner.td3._rng, manifest["rng"]["td3"])
+    learner.guard.refresh()
+
+    return ResumeState(
+        episode=int(manifest["episode"]),
+        noise=float(manifest["noise"]),
+        history_dict=manifest["history"],
+        best_state=best_state,
+        loop_state=manifest.get("loop_state", {}),
+    )
+
+
+def _config_diff(stored: dict, cfg: TrainingConfig) -> list[str]:
+    """Names of top-level config fields that differ (for error messages)."""
+    current = asdict(cfg)
+    names = []
+    for f in fields(cfg):
+        if json.dumps(stored.get(f.name), sort_keys=True, default=str) != \
+                json.dumps(current.get(f.name), sort_keys=True, default=str):
+            names.append(f.name)
+    return names

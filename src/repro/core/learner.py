@@ -16,16 +16,92 @@ docs/architecture.md §2).
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from ..config import TrainingConfig
-from ..errors import ModelError
+from ..errors import ModelError, TrainingDivergedError, TrainingInstabilityWarning
 from ..rl.replay import ReplayBuffer
 from ..rl.td3 import TD3Learner
 from .policy import PolicyBundle
 from .state import GLOBAL_FEATURES, LOCAL_FEATURES
+
+
+class DivergenceGuard:
+    """Rolls the TD3 networks back when an update burst goes non-finite.
+
+    State machine (docs/architecture.md §Runtime resilience): after every
+    healthy burst the guard snapshots all six networks plus both Adam
+    states; when a burst produces a non-finite critic loss, non-finite
+    parameters, or a non-finite probe action, it restores the snapshot and
+    decays both learning rates by ``lr_decay``.  ``budget`` *consecutive*
+    rollbacks without an intervening healthy burst raise
+    :class:`TrainingDivergedError`; any healthy burst resets the count.
+
+    The actor loss is deliberately not checked: TD3's delayed policy
+    updates report ``actor_loss = nan`` on non-actor steps as a sentinel,
+    so actor divergence is caught through the parameter and probe checks
+    instead.
+    """
+
+    def __init__(self, td3: TD3Learner, budget: int = 3,
+                 lr_decay: float = 0.5):
+        if budget < 1:
+            raise ModelError("rollback budget must be >= 1")
+        if not 0.0 < lr_decay <= 1.0:
+            raise ModelError("rollback LR decay must be in (0, 1]")
+        self.td3 = td3
+        self.budget = budget
+        self.lr_decay = lr_decay
+        self.rollbacks = 0
+        self.consecutive = 0
+        self._probe = np.zeros((1, td3.local_dim))
+        self._snapshot = td3.state_dict()
+
+    def refresh(self) -> None:
+        """Re-snapshot after an external restore (checkpoint load)."""
+        self.consecutive = 0
+        self._snapshot = self.td3.state_dict()
+
+    def healthy(self, losses: dict[str, float] | None = None) -> bool:
+        """Whether the learner state (and last losses) are all finite."""
+        if losses:
+            critic_loss = losses.get("critic_loss")
+            if critic_loss is not None and not np.isfinite(critic_loss):
+                return False
+        if not self.td3.params_finite():
+            return False
+        return bool(np.isfinite(self.td3.act(self._probe)).all())
+
+    def after_burst(self, losses: dict[str, float]) -> bool:
+        """Check one finished update burst; returns True if rolled back."""
+        if self.healthy(losses):
+            self.consecutive = 0
+            self._snapshot = self.td3.state_dict()
+            return False
+        self.rollback("non-finite losses/parameters after update burst")
+        return True
+
+    def rollback(self, reason: str) -> None:
+        """Restore the last good snapshot and decay the learning rates."""
+        self.consecutive += 1
+        self.rollbacks += 1
+        if self.consecutive > self.budget:
+            raise TrainingDivergedError(
+                f"divergence guard exhausted its rollback budget "
+                f"({self.budget}): {reason}")
+        self.td3.load_state_dict(self._snapshot)
+        self.td3.scale_learning_rates(self.lr_decay)
+        # Keep the decayed LR across further rollbacks to the same
+        # snapshot (load_state_dict restored the pre-decay value).
+        self._snapshot["actor_opt"]["lr"] = self.td3.actor_opt.lr
+        self._snapshot["critic_opt"]["lr"] = self.td3.critic_opt.lr
+        warnings.warn(
+            f"divergence rollback {self.consecutive}/{self.budget}: "
+            f"{reason}; learning rates decayed by {self.lr_decay}",
+            TrainingInstabilityWarning, stacklevel=3)
 
 
 class Learner:
@@ -42,6 +118,9 @@ class Learner:
                               cfg=self.cfg, use_global=use_global, seed=seed)
         self.replay = ReplayBuffer(self.cfg.replay_capacity, self.local_dim,
                                    self.global_dim, action_dim=1, seed=seed)
+        self.guard = DivergenceGuard(self.td3,
+                                     budget=self.cfg.rollback_budget,
+                                     lr_decay=self.cfg.rollback_lr_decay)
         self._last_update_env_s = 0.0
         self.total_updates = 0
         self.total_transitions = 0
@@ -49,8 +128,18 @@ class Learner:
     # ------------------------------------------------------------------
 
     def act(self, local_state: np.ndarray, noise_std: float = 0.0) -> float:
-        """Shared-policy action for one stacked local state."""
-        return float(self.td3.act(local_state[None, :], noise_std)[0, 0])
+        """Shared-policy action for one stacked local state.
+
+        A non-finite action triggers a guard rollback and one retry; if
+        the restored actor still emits garbage the guard's budget decides
+        whether to keep decaying or raise TrainingDivergedError.
+        """
+        action = float(self.td3.act(local_state[None, :], noise_std)[0, 0])
+        while not np.isfinite(action):
+            self.guard.rollback("non-finite action from actor")
+            action = float(self.td3.act(local_state[None, :],
+                                        noise_std)[0, 0])
+        return action
 
     def add_transition(self, global_state, local_state, action: float,
                        reward: float, next_global, next_local,
@@ -67,13 +156,23 @@ class Learner:
                                        self.cfg.batch_size)
 
     def update_burst(self) -> dict[str, float]:
-        """Run one burst of ``model_update_steps`` gradient steps."""
+        """Run one burst of ``model_update_steps`` gradient steps.
+
+        The burst runs with NumPy float warnings silenced: a blow-up mid
+        burst must reach the divergence guard as non-finite values, not
+        as a stderr warning or (under ``np.errstate`` strictness) a raw
+        FloatingPointError.  The guard then rolls back or raises a typed
+        :class:`TrainingDivergedError`.
+        """
         if not self.warm:
             return {"critic_loss": float("nan"), "actor_loss": float("nan")}
         losses = {}
-        for _ in range(self.cfg.update_steps):
-            losses = self.td3.update(self.replay.sample(self.cfg.batch_size))
-            self.total_updates += 1
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            for _ in range(self.cfg.update_steps):
+                losses = self.td3.update(
+                    self.replay.sample(self.cfg.batch_size))
+                self.total_updates += 1
+        self.guard.after_burst(losses)
         return losses
 
     def maybe_update(self, env_now_s: float) -> dict[str, float] | None:
@@ -113,6 +212,7 @@ class Learner:
                 f"local dim {self.local_dim}")
         self.td3.actor.set_state(bundle.actor.get_state())
         self.td3.actor_target.set_state(bundle.actor.get_state())
+        self.guard.refresh()
 
     # ------------------------------------------------------------------
 
@@ -158,3 +258,4 @@ class Learner:
                 state = [data[f"{net_name}__{i}"] for i in range(n)]
                 net.set_state(state)
             self.total_updates = int(meta.get("total_updates", 0))
+        self.guard.refresh()

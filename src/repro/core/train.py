@@ -17,7 +17,9 @@ competition (Fig. 1a).
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -27,6 +29,11 @@ from ..config import (
     RewardConfig,
     ScenarioConfig,
     TrainingConfig,
+)
+from ..errors import (
+    SimulationError,
+    TrainingDivergedError,
+    TrainingInstabilityWarning,
 )
 from ..netsim.flowgen import randomized_training_flows, staggered_flows
 from .learner import Learner
@@ -45,6 +52,9 @@ class TrainingHistory:
     best_score: float = float("-inf")
     best_episode: int = -1
     wall_time_s: float = 0.0
+    #: Episodes quarantined by the fault-isolation wrapper (their reward
+    #: slot holds NaN so episode indices stay aligned with the list).
+    failed_episodes: list[int] = field(default_factory=list)
 
 
 CROSS_TRAFFIC_PROB = 0.35
@@ -55,8 +65,19 @@ like a pure delay-based scheme (the TCP-friendliness property, §5.3.1)."""
 
 
 def sample_training_scenario(cfg: TrainingConfig, rng: np.random.Generator,
-                             cross_traffic: bool = True) -> ScenarioConfig:
-    """One randomised training environment from the Table 3 ranges."""
+                             cross_traffic: bool = True,
+                             fault_prob: float | None = None,
+                             ) -> ScenarioConfig:
+    """One randomised training environment from the Table 3 ranges.
+
+    ``fault_prob`` (default: ``cfg.fault_prob``) is the probability that
+    the episode carries a sampled :class:`~repro.netsim.faults.FaultSchedule`
+    — link blackouts, bandwidth flaps, loss bursts, delay spikes —
+    hardening the policy against impairments the Table 3 ranges never
+    produce.  With a probability of 0 the random stream is consumed
+    exactly as before the fault subsystem existed, so fault-free runs
+    stay bit-compatible with older ones.
+    """
     bw = float(np.exp(rng.uniform(np.log(cfg.bandwidth_mbps[0]),
                                   np.log(cfg.bandwidth_mbps[1]))))
     rtt = float(rng.uniform(*cfg.rtt_ms))
@@ -77,8 +98,16 @@ def sample_training_scenario(cfg: TrainingConfig, rng: np.random.Generator,
                 duration_s=cfg.episode_duration_s,
                 cc_kwargs={"rate_mbps": float(bw * rng.uniform(0.2, 0.5))})
         flows.append(competitor)
+    faults = None
+    fault_prob = cfg.fault_prob if fault_prob is None else fault_prob
+    if fault_prob > 0.0 and rng.random() < fault_prob:
+        from ..netsim.faults import FaultSchedule
+
+        faults = FaultSchedule.sample(cfg.episode_duration_s,
+                                      seed=int(rng.integers(0, 2 ** 31 - 1)))
     return ScenarioConfig(link=link, flows=tuple(flows),
-                          duration_s=cfg.episode_duration_s, seed=seed)
+                          duration_s=cfg.episode_duration_s, seed=seed,
+                          faults=faults)
 
 
 def _random_initial_cwnds(link: LinkConfig, n: int,
@@ -184,12 +213,28 @@ def evaluate_policy_multi(bundle: PolicyBundle) -> dict[str, float]:
 def train_astraea(cfg: TrainingConfig | None = None, use_global: bool = True,
                   eval_every: int = 25, verbose: bool = False,
                   init_policy: PolicyBundle | None = None,
+                  checkpoint_dir: str | Path | None = None,
+                  resume_from: str | Path | None = None,
                   ) -> tuple[PolicyBundle, TrainingHistory]:
     """Full offline multi-agent training; returns the best policy bundle.
 
     ``init_policy`` warm-starts the actor (fine-tuning an earlier bundle).
+
+    ``checkpoint_dir`` enables periodic crash-safe checkpoints (every
+    ``cfg.checkpoint_every`` episodes); ``resume_from`` restores one and
+    continues the run **bit-compatibly** — the resumed run's
+    ``episode_rewards`` match an uninterrupted run exactly.  When
+    resuming, new checkpoints keep landing in ``resume_from`` unless a
+    separate ``checkpoint_dir`` is given.
+
+    Episodes that die inside the simulator are quarantined: the failure
+    is logged with the scenario seed, the reward slot records NaN, and
+    training continues — until ``cfg.max_consecutive_failures`` episodes
+    fail back-to-back, which raises
+    :class:`~repro.errors.TrainingDivergedError`.
     """
     from ..env.episode import run_training_episode
+    from .checkpoint import load_training_checkpoint, save_training_checkpoint
 
     cfg = cfg or TrainingConfig()
     rng = np.random.default_rng(cfg.seed)
@@ -199,28 +244,84 @@ def train_astraea(cfg: TrainingConfig | None = None, use_global: bool = True,
     history = TrainingHistory()
     best_state = learner.td3.actor.get_state()
     noise = cfg.exploration_noise
+    first_episode = 0
+    prior_wall_s = 0.0
+    consecutive_failures = 0
+    if resume_from is not None:
+        resume = load_training_checkpoint(resume_from, learner, rng)
+        first_episode = resume.episode
+        noise = resume.noise
+        history = TrainingHistory(**resume.history_dict)
+        prior_wall_s = history.wall_time_s
+        best_state = resume.best_state or best_state
+        consecutive_failures = int(
+            resume.loop_state.get("consecutive_failures", 0))
+        if checkpoint_dir is None:
+            checkpoint_dir = resume_from
     start = time.monotonic()
 
-    for episode in range(0, cfg.episodes, cfg.parallel_envs):
+    def _maybe_checkpoint(episode: int) -> None:
+        """Checkpoint on the cfg.checkpoint_every cadence (and at the end)."""
+        if checkpoint_dir is None:
+            return
+        nxt = episode + cfg.parallel_envs
+        stride = max(cfg.checkpoint_every, cfg.parallel_envs)
+        if nxt % stride < cfg.parallel_envs or nxt >= cfg.episodes:
+            history.wall_time_s = prior_wall_s + (time.monotonic() - start)
+            save_training_checkpoint(
+                checkpoint_dir, learner=learner, rng=rng, episode=nxt,
+                noise=noise, history_dict=history.__dict__.copy(),
+                best_state=best_state,
+                loop_state={"consecutive_failures": consecutive_failures})
+    for episode in range(first_episode, cfg.episodes, cfg.parallel_envs):
+        # Draw everything random *before* running, so a quarantined
+        # episode consumes exactly the same stream as a healthy one
+        # (bit-exact resume depends on it).
         if cfg.parallel_envs == 1:
-            scenario = sample_training_scenario(cfg, rng)
-            initial = _random_initial_cwnds(scenario.link,
-                                            len(scenario.flows), rng)
-            stats = run_training_episode(learner, scenario, noise_std=noise,
-                                         initial_cwnds=initial,
-                                         reward_config=cfg.reward)
+            scenarios = [sample_training_scenario(cfg, rng)]
+            initials = [_random_initial_cwnds(scenarios[0].link,
+                                              len(scenarios[0].flows), rng)]
         else:
             # Appendix A: several environment instances share the learner.
-            from ..env.pool import EnvironmentPool
-
             scenarios = [sample_training_scenario(cfg, rng)
                          for _ in range(cfg.parallel_envs)]
             initials = [_random_initial_cwnds(sc.link, len(sc.flows), rng)
                         for sc in scenarios]
-            pool = EnvironmentPool(learner, scenarios, noise_std=noise,
-                                   initial_cwnds=initials,
-                                   reward_config=cfg.reward)
-            stats = pool.run()
+        try:
+            if cfg.parallel_envs == 1:
+                stats = run_training_episode(
+                    learner, scenarios[0], noise_std=noise,
+                    initial_cwnds=initials[0], reward_config=cfg.reward,
+                    episode=episode)
+            else:
+                from ..env.pool import EnvironmentPool
+
+                pool = EnvironmentPool(
+                    learner, scenarios, noise_std=noise,
+                    initial_cwnds=initials, reward_config=cfg.reward,
+                    episodes=[episode + i for i in range(cfg.parallel_envs)])
+                stats = pool.run()
+        except TrainingDivergedError:
+            raise  # guard exhaustion is terminal, never quarantined
+        except (SimulationError, FloatingPointError) as exc:
+            consecutive_failures += 1
+            history.failed_episodes.append(episode)
+            history.episode_rewards.append(float("nan"))
+            seeds = [sc.seed for sc in scenarios]
+            warnings.warn(
+                f"episode {episode} quarantined (scenario seeds {seeds}): "
+                f"{type(exc).__name__}: {exc}",
+                TrainingInstabilityWarning, stacklevel=2)
+            if consecutive_failures > cfg.max_consecutive_failures:
+                raise TrainingDivergedError(
+                    f"{consecutive_failures} consecutive episode failures "
+                    f"(budget {cfg.max_consecutive_failures}); last: "
+                    f"{exc}") from exc
+            noise = max(noise * cfg.exploration_decay ** cfg.parallel_envs,
+                        0.02)
+            _maybe_checkpoint(episode)
+            continue
+        consecutive_failures = 0
         history.episode_rewards.append(stats.mean_reward)
         noise = max(noise * cfg.exploration_decay ** cfg.parallel_envs, 0.02)
 
@@ -246,8 +347,9 @@ def train_astraea(cfg: TrainingConfig | None = None, use_global: bool = True,
                       f"friend={metrics.get('friendliness_ratio', 0.0):.2f} "
                       f"score={metrics['score']:.3f} noise={noise:.3f}",
                       flush=True)
+        _maybe_checkpoint(episode)
 
-    history.wall_time_s = time.monotonic() - start
+    history.wall_time_s = prior_wall_s + (time.monotonic() - start)
     learner.td3.actor.set_state(best_state)
     bundle = learner.snapshot_policy(metadata={
         "episodes": cfg.episodes,
@@ -290,7 +392,8 @@ def train_aurora(cfg: TrainingConfig | None = None, verbose: bool = False,
         initial = _random_initial_cwnds(scenario.link, 1, rng)
         stats = run_training_episode(learner, scenario, noise_std=noise,
                                      initial_cwnds=initial,
-                                     local_reward=local_reward)
+                                     local_reward=local_reward,
+                                     episode=episode)
         history.episode_rewards.append(stats.mean_reward)
         noise = max(noise * cfg.exploration_decay, 0.02)
         if verbose and episode % 25 == 24:

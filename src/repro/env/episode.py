@@ -46,11 +46,10 @@ class TrainFlowController(CongestionController):
 
     EPSILON_UNIFORM = 0.10
 
-    _instances = 0
-
     def __init__(self, learner: Learner, noise_std: float = 0.1,
                  alpha: float = ACTION_ALPHA, mtp_s: float = 0.030,
-                 initial_cwnd: float = 10.0, use_pacing: bool = True):
+                 initial_cwnd: float = 10.0, use_pacing: bool = True,
+                 episode: int = 0, flow_index: int = 0):
         super().__init__(mtp_s)
         self.learner = learner
         self.noise_std = noise_std
@@ -58,9 +57,13 @@ class TrainFlowController(CongestionController):
         self.use_pacing = use_pacing
         self._initial_cwnd = max(initial_cwnd, 2.0)
         self.state_block = LocalStateBlock(history=learner.cfg.history_length)
-        TrainFlowController._instances += 1
+        # The exploration stream is a pure function of (learner seed,
+        # episode, flow index) — NOT of how many controllers this process
+        # ever built.  A class-level counter here once made two same-seed
+        # runs in one process diverge, and would have broken bit-exact
+        # checkpoint resume.
         self._rng = np.random.default_rng(
-            learner.cfg.seed * 100_003 + TrainFlowController._instances)
+            [learner.cfg.seed, episode, flow_index])
         self.reset()
 
     @property
@@ -163,6 +166,12 @@ class Observer:
                                     self.link)
         ctl = self.controllers[idx]
         s_now, a_now = ctl.last_state, ctl.last_action
+        if s_now is None:
+            # The flow's first on_interval has not produced a state yet
+            # (e.g. a freshly reset controller observed out of band); a
+            # None here would poison a transition tuple, so skip it.
+            self._pending.pop(idx, None)
+            return
         if idx in self._pending:
             g_prev, s_prev, a_prev = self._pending[idx]
             self.learner.add_transition(g_prev, s_prev, a_prev, reward,
@@ -183,7 +192,8 @@ def run_training_episode(learner: Learner, scenario: ScenarioConfig,
                          noise_std: float, initial_cwnds: list[float],
                          reward_config: RewardConfig | None = None,
                          local_reward=None,
-                         do_updates: bool = True) -> EpisodeStats:
+                         do_updates: bool = True,
+                         episode: int = 0) -> EpisodeStats:
     """Collect one episode of experience (and update on the Table 4 cadence).
 
     ``local_reward`` switches the reward from Astraea's global objective to
@@ -193,13 +203,18 @@ def run_training_episode(learner: Learner, scenario: ScenarioConfig,
     Flows whose scheme is not ``"astraea"`` are instantiated from the
     registry and act as environment cross traffic (e.g. a CUBIC competitor
     teaching TCP friendliness); they generate no transitions.
+
+    ``episode`` seeds each flow's exploration stream (together with the
+    learner seed and the flow index), which keeps runs reproducible — and
+    checkpoint resume bit-exact — regardless of process history.
     """
     controllers: list[CongestionController | None] = []
-    for cfg_flow, cw in zip(scenario.flows, initial_cwnds):
+    for flow_index, (cfg_flow, cw) in enumerate(zip(scenario.flows,
+                                                    initial_cwnds)):
         if cfg_flow.cc == "astraea":
             controllers.append(TrainFlowController(
                 learner, noise_std=noise_std, mtp_s=scenario.mtp_s,
-                initial_cwnd=cw))
+                initial_cwnd=cw, episode=episode, flow_index=flow_index))
         else:
             controllers.append(None)
     observer_controllers = []

@@ -307,7 +307,8 @@ def build_driver(scenario: ScenarioConfig,
     if scenario.trace is not None:
         traces = {scenario.link.name: create_trace(scenario.trace,
                                                    **scenario.trace_kwargs)}
-    engine = FluidNetwork(scenario.link, traces=traces, seed=scenario.seed)
+    engine = FluidNetwork(scenario.link, traces=traces, seed=scenario.seed,
+                          faults=scenario.faults)
 
     def base_rtt(i: int) -> float:
         return scenario.link.rtt_s + scenario.flows[i].extra_rtt_ms / 1e3

@@ -24,19 +24,27 @@ class EnvironmentPool:
 
     def __init__(self, learner: Learner, scenarios: list[ScenarioConfig],
                  noise_std: float, initial_cwnds: list[list[float]],
-                 reward_config: RewardConfig | None = None):
+                 reward_config: RewardConfig | None = None,
+                 episodes: list[int] | None = None):
         if len(scenarios) != len(initial_cwnds):
             raise ValueError("need one initial-cwnd list per scenario")
+        if episodes is None:
+            episodes = list(range(len(scenarios)))
+        if len(episodes) != len(scenarios):
+            raise ValueError("need one episode id per scenario")
         self.learner = learner
         self._drivers = []
         self._observers = []
-        for scenario, cwnds in zip(scenarios, initial_cwnds):
+        for scenario, cwnds, episode in zip(scenarios, initial_cwnds,
+                                            episodes):
             controllers = []
-            for cfg_flow, cw in zip(scenario.flows, cwnds):
+            for flow_index, (cfg_flow, cw) in enumerate(zip(scenario.flows,
+                                                            cwnds)):
                 if cfg_flow.cc == "astraea":
                     controllers.append(TrainFlowController(
                         learner, noise_std=noise_std,
-                        mtp_s=scenario.mtp_s, initial_cwnd=cw))
+                        mtp_s=scenario.mtp_s, initial_cwnd=cw,
+                        episode=episode, flow_index=flow_index))
                 else:
                     from ..cc import create as create_cc
 

@@ -29,6 +29,12 @@ class ModelValidationError(ModelError):
     (missing/ill-typed metadata, parameter count or shape mismatch)."""
 
 
+class TrainingInstabilityWarning(UserWarning):
+    """A recoverable training fault was absorbed: a divergence rollback,
+    or a quarantined episode (the message carries the scenario seed so
+    the failure is reproducible in isolation)."""
+
+
 class ModelFallbackWarning(UserWarning):
     """A default policy bundle was unusable and a fallback was taken.
 
@@ -38,5 +44,26 @@ class ModelFallbackWarning(UserWarning):
     """
 
 
+class CheckpointError(ModelError):
+    """A training checkpoint is missing, damaged, or incompatible with
+    the resuming configuration."""
+
+
+class TrainingDivergedError(ReproError):
+    """Training hit non-finite losses/parameters/actions and the
+    divergence guard exhausted its rollback budget (or the training loop
+    exhausted its consecutive-episode-failure budget)."""
+
+
 class ServiceError(ReproError):
     """The inference service was used incorrectly."""
+
+
+class InvalidStateError(ServiceError):
+    """A submitted inference state is malformed (wrong shape or
+    non-finite entries) and no fallback path is configured."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request aged past the service deadline and no fallback path is
+    configured to absorb it."""

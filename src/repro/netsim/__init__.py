@@ -4,6 +4,15 @@ This package replaces the paper's Mahimahi/Pantheon-tunnel emulation stack
 (see DESIGN.md §2 for the substitution argument).
 """
 
+from .faults import (
+    BandwidthFlap,
+    Blackout,
+    DelaySpike,
+    FaultEvent,
+    FaultSchedule,
+    LossBurst,
+    ReorderWindow,
+)
 from .fluid import FluidNetwork, INITIAL_CWND_PKTS, MIN_CWND_PKTS
 from .flowgen import (
     heterogeneous_rtt_flows,
@@ -30,6 +39,13 @@ from .traces import (
 __all__ = [
     "FluidNetwork",
     "PacketNetwork",
+    "FaultEvent",
+    "FaultSchedule",
+    "Blackout",
+    "BandwidthFlap",
+    "LossBurst",
+    "DelaySpike",
+    "ReorderWindow",
     "QueueDiscipline",
     "DropTail",
     "Red",

@@ -1,0 +1,323 @@
+"""Composable link-fault injection (runtime-resilience layer).
+
+The paper's Mahimahi traces expose policies to link conditions far outside
+the tidy training envelope — cellular fades, satellite loss, bursty WAN
+cross traffic.  This module makes those conditions *injectable on
+purpose*: a :class:`FaultSchedule` attaches to a
+:class:`~repro.config.ScenarioConfig` and both network engines
+(:class:`~repro.netsim.fluid.FluidNetwork` and
+:class:`~repro.netsim.packet.PacketNetwork`) consult it every tick/event.
+
+Five impairment primitives compose freely over time windows:
+
+* :class:`Blackout` — the link delivers nothing for a while (a handover
+  gap, a tunnel, a modem retrain).  Queues keep filling and overflow.
+* :class:`BandwidthFlap` — capacity is multiplied by ``factor`` (a deep
+  fade or a sudden upgrade).
+* :class:`LossBurst` — additional non-congestion random loss.
+* :class:`DelaySpike` — extra propagation delay on the path (route flap,
+  bufferbloat upstream of the bottleneck).
+* :class:`ReorderWindow` — a fraction of deliveries is signalled to the
+  sender as lost although the data arrives (the duplicate-ACK-driven
+  spurious-retransmit signature of packet reordering).  The fluid engine
+  keeps the goodput and only inflates the *observed* loss; the
+  packet engine approximates the same signal as real loss.
+
+All queries are pure functions of simulated time, so a schedule is
+deterministic, serialisable (:meth:`FaultSchedule.to_dicts`) and cheap to
+evaluate per tick.  :meth:`FaultSchedule.sample` draws a random schedule
+from a seed — the training loop uses it to harden policies against faults
+(``sample_training_scenario(..., fault_prob=...)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Ceiling on the combined (link-configured + fault-injected) loss rate.
+MAX_FAULT_LOSS = 0.95
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one impairment active on ``[start_s, start_s + duration_s)``."""
+
+    start_s: float
+    duration_s: float
+
+    kind = "fault"
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigError(f"fault start must be >= 0, got {self.start_s}")
+        if self.duration_s <= 0:
+            raise ConfigError(
+                f"fault duration must be positive, got {self.duration_s}")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def active(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class Blackout(FaultEvent):
+    """Total outage: the link serves nothing while active."""
+
+    kind = "blackout"
+
+
+@dataclass(frozen=True)
+class BandwidthFlap(FaultEvent):
+    """Capacity multiplied by ``factor`` while active (0 < factor)."""
+
+    factor: float = 0.25
+    kind = "flap"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 0:
+            raise ConfigError(
+                f"flap factor must be positive, got {self.factor} "
+                f"(use Blackout for a total outage)")
+
+
+@dataclass(frozen=True)
+class LossBurst(FaultEvent):
+    """Extra non-congestion random loss while active."""
+
+    loss_rate: float = 0.05
+    kind = "loss-burst"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 < self.loss_rate < 1:
+            raise ConfigError(
+                f"burst loss rate must lie in (0, 1), got {self.loss_rate}")
+
+
+@dataclass(frozen=True)
+class DelaySpike(FaultEvent):
+    """Extra path propagation delay while active."""
+
+    extra_ms: float = 50.0
+    kind = "delay-spike"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.extra_ms <= 0:
+            raise ConfigError(
+                f"delay spike must be positive, got {self.extra_ms}")
+
+
+@dataclass(frozen=True)
+class ReorderWindow(FaultEvent):
+    """Spurious loss signal: ``rate`` of deliveries reported as lost."""
+
+    rate: float = 0.02
+    kind = "reorder"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 < self.rate < 1:
+            raise ConfigError(
+                f"reorder rate must lie in (0, 1), got {self.rate}")
+
+
+_EVENT_KINDS: dict[str, type[FaultEvent]] = {
+    cls.kind: cls
+    for cls in (Blackout, BandwidthFlap, LossBurst, DelaySpike, ReorderWindow)
+}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable set of fault events queried by simulated time.
+
+    Events may overlap: bandwidth multipliers compose multiplicatively,
+    loss rates add (capped), delay spikes add.  The schedule is attached
+    to a :class:`~repro.config.ScenarioConfig` and consulted by both
+    engines, so the *same* schedule produces the same impairment under
+    fluid and packet simulation.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigError(
+                    f"fault schedule entries must be FaultEvents, "
+                    f"got {type(event).__name__}")
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def end_s(self) -> float:
+        """When the last fault clears (0 for an empty schedule)."""
+        return max((e.end_s for e in self.events), default=0.0)
+
+    def active(self, t: float) -> tuple[FaultEvent, ...]:
+        """The events covering time ``t``."""
+        return tuple(e for e in self.events if e.active(t))
+
+    # ------------------------------------------------------------------
+    # Engine queries
+    # ------------------------------------------------------------------
+
+    def bandwidth_multiplier(self, t: float) -> float:
+        """Combined capacity multiplier at ``t`` (0 during a blackout)."""
+        mult = 1.0
+        for e in self.events:
+            if not e.active(t):
+                continue
+            if isinstance(e, Blackout):
+                return 0.0
+            if isinstance(e, BandwidthFlap):
+                mult *= e.factor
+        return mult
+
+    def extra_loss(self, t: float) -> float:
+        """Additional random-loss probability injected at ``t``."""
+        loss = sum(e.loss_rate for e in self.events
+                   if isinstance(e, LossBurst) and e.active(t))
+        return min(loss, MAX_FAULT_LOSS)
+
+    def spurious_loss(self, t: float) -> float:
+        """Fraction of deliveries to *report* lost at ``t`` (reordering)."""
+        rate = sum(e.rate for e in self.events
+                   if isinstance(e, ReorderWindow) and e.active(t))
+        return min(rate, MAX_FAULT_LOSS)
+
+    def extra_delay_s(self, t: float) -> float:
+        """Additional path delay (seconds) at ``t``."""
+        return sum(e.extra_ms / 1e3 for e in self.events
+                   if isinstance(e, DelaySpike) and e.active(t))
+
+    def blackout_until(self, t: float) -> float | None:
+        """End time of the blackout covering ``t``, or ``None``.
+
+        The packet engine uses this to park the server for the exact
+        outage instead of scheduling events at an infinite service time.
+        """
+        ends = [e.end_s for e in self.events
+                if isinstance(e, Blackout) and e.active(t)]
+        if not ends:
+            return None
+        # Chained blackouts: follow the resume point through any blackout
+        # that covers it, so service restarts exactly once at the true end.
+        until = max(ends)
+        while True:
+            chained = [e.end_s for e in self.events
+                       if isinstance(e, Blackout) and e.active(until)]
+            if not chained:
+                return until
+            until = max(chained)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def sample(cls, duration_s: float, seed: int,
+               kinds: Iterable[str] | None = None,
+               max_events: int = 3) -> "FaultSchedule":
+        """Draw a random schedule for an episode, deterministic per seed.
+
+        Between 1 and ``max_events`` events of the requested ``kinds``
+        (default: all five) land uniformly inside the middle 80% of the
+        episode, each lasting 2-15% of it — long enough to hurt, short
+        enough that the episode still contains recovery.
+        """
+        if duration_s <= 0:
+            raise ConfigError("episode duration must be positive")
+        if max_events <= 0:
+            raise ConfigError("need at least one event")
+        kinds = tuple(kinds) if kinds is not None else tuple(_EVENT_KINDS)
+        unknown = [k for k in kinds if k not in _EVENT_KINDS]
+        if unknown:
+            raise ConfigError(
+                f"unknown fault kinds {unknown}; known: {sorted(_EVENT_KINDS)}")
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, max_events + 1))
+        events: list[FaultEvent] = []
+        for _ in range(n):
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            start = float(rng.uniform(0.1, 0.9) * duration_s)
+            length = float(rng.uniform(0.02, 0.15) * duration_s)
+            if kind == "blackout":
+                events.append(Blackout(start, length))
+            elif kind == "flap":
+                events.append(BandwidthFlap(start, length,
+                                            factor=float(rng.uniform(0.1, 0.6))))
+            elif kind == "loss-burst":
+                events.append(LossBurst(start, length,
+                                        loss_rate=float(rng.uniform(0.02, 0.2))))
+            elif kind == "delay-spike":
+                events.append(DelaySpike(start, length,
+                                         extra_ms=float(rng.uniform(20.0, 200.0))))
+            else:
+                events.append(ReorderWindow(start, length,
+                                            rate=float(rng.uniform(0.01, 0.08))))
+        events.sort(key=lambda e: (e.start_s, e.kind))
+        return cls(events=tuple(events))
+
+    # ------------------------------------------------------------------
+    # Serialisation (scenario JSON round-trip)
+    # ------------------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-serialisable event list (see :mod:`repro.persist`)."""
+        out = []
+        for e in self.events:
+            d = {"kind": e.kind, "start_s": e.start_s,
+                 "duration_s": e.duration_s}
+            for extra in ("factor", "loss_rate", "extra_ms", "rate"):
+                if hasattr(e, extra):
+                    d[extra] = getattr(e, extra)
+            out.append(d)
+        return out
+
+    @classmethod
+    def from_dicts(cls, data: Iterable[dict]) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_dicts` output."""
+        events = []
+        for d in data:
+            d = dict(d)
+            kind = d.pop("kind", None)
+            if kind not in _EVENT_KINDS:
+                raise ConfigError(
+                    f"unknown fault kind {kind!r}; known: "
+                    f"{sorted(_EVENT_KINDS)}")
+            try:
+                events.append(_EVENT_KINDS[kind](**d))
+            except TypeError as exc:
+                raise ConfigError(f"malformed fault event: {exc}") from exc
+        return cls(events=tuple(events))
+
+    def describe(self) -> str:
+        """One line per event, in time order (the CLI fault demo)."""
+        if not self.events:
+            return "(no faults)"
+        lines = []
+        for e in sorted(self.events, key=lambda e: e.start_s):
+            extra = ""
+            if isinstance(e, BandwidthFlap):
+                extra = f" x{e.factor:.2f} capacity"
+            elif isinstance(e, LossBurst):
+                extra = f" +{e.loss_rate:.1%} loss"
+            elif isinstance(e, DelaySpike):
+                extra = f" +{e.extra_ms:.0f} ms delay"
+            elif isinstance(e, ReorderWindow):
+                extra = f" {e.rate:.1%} spurious loss"
+            lines.append(f"{e.start_s:7.2f}s - {e.end_s:7.2f}s  "
+                         f"{e.kind}{extra}")
+        return "\n".join(lines)

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..config import LinkConfig
 from ..errors import SimulationError
+from .faults import FaultSchedule
 from .qdisc import QueueDiscipline, create_qdisc
 from .stats import FlowMonitor, TickSample
 from .traces import CapacityTrace, ConstantTrace
@@ -96,11 +97,15 @@ class FluidNetwork:
     seed:
         Seeds the engine RNG (currently only used by stochastic-loss
         smoothing; the loss process itself is fluid and deterministic).
+    faults:
+        Optional :class:`~repro.netsim.faults.FaultSchedule` of link
+        impairments (blackouts, flaps, loss bursts, delay spikes, reorder
+        windows) applied to every link on each tick.
     """
 
     def __init__(self, links: list[LinkConfig] | LinkConfig,
                  traces: dict[str, CapacityTrace] | None = None,
-                 seed: int = 0):
+                 seed: int = 0, faults: FaultSchedule | None = None):
         if isinstance(links, LinkConfig):
             links = [links]
         if not links:
@@ -121,6 +126,7 @@ class FluidNetwork:
         self._flows: dict[int, _FlowState] = {}
         self._next_flow_id = 0
         self._rng = np.random.default_rng(seed)
+        self._faults = faults if faults else None
         self.now = 0.0
 
     # ------------------------------------------------------------------
@@ -219,16 +225,25 @@ class FluidNetwork:
         return self._links[idx].queue_pkts
 
     def queue_delay_s(self, link_name: str | None = None) -> float:
-        """Current queueing delay of a link in seconds."""
+        """Current queueing delay of a link in seconds.
+
+        During a blackout the drain-time estimate uses the unimpaired
+        capacity (the backlog clears at that rate once service resumes).
+        """
         idx = 0 if link_name is None else self._link_index[link_name]
         link = self._links[idx]
-        cap = link.capacity_pps(self.now)
+        cap = self.link_capacity_pps(link_name)
+        if cap <= 0:
+            cap = link.capacity_pps(self.now)
         return link.queue_pkts / cap if cap > 0 else 0.0
 
     def link_capacity_pps(self, link_name: str | None = None) -> float:
-        """Instantaneous capacity of a link (pkts/s)."""
+        """Instantaneous capacity of a link (pkts/s), faults applied."""
         idx = 0 if link_name is None else self._link_index[link_name]
-        return self._links[idx].capacity_pps(self.now)
+        cap = self._links[idx].capacity_pps(self.now)
+        if self._faults is not None:
+            cap *= self._faults.bandwidth_multiplier(self.now)
+        return cap
 
     def link_drops_pkts(self, link_name: str | None = None) -> float:
         """Cumulative packets dropped at a link."""
@@ -246,11 +261,26 @@ class FluidNetwork:
         flows = list(self._flows.values())
         t = self.now
         n_links = len(self._links)
+        # Fault impairments are uniform across links (single-bottleneck
+        # scenarios dominate; a multi-link path degrades end to end).
+        fault_mult, fault_loss = 1.0, 0.0
+        fault_spurious, fault_delay = 0.0, 0.0
+        if self._faults is not None:
+            fault_mult = self._faults.bandwidth_multiplier(t)
+            fault_loss = self._faults.extra_loss(t)
+            fault_spurious = self._faults.spurious_loss(t)
+            fault_delay = self._faults.extra_delay_s(t)
         qdelay = np.empty(n_links)
         capacity = np.empty(n_links)
         for li, link in enumerate(self._links):
-            capacity[li] = link.capacity_pps(t)
-            qdelay[li] = link.queue_pkts / capacity[li] if capacity[li] > 0 else 0.0
+            capacity[li] = link.capacity_pps(t) * fault_mult
+            if capacity[li] > 0:
+                qdelay[li] = link.queue_pkts / capacity[li]
+            else:
+                # Blackout: estimate drain time at the unimpaired rate so
+                # RTTs stay finite (service resumes at that rate).
+                nominal = link.capacity_pps(t)
+                qdelay[li] = link.queue_pkts / nominal if nominal > 0 else 0.0
 
         if not flows:
             # Queues still drain when idle.
@@ -271,7 +301,7 @@ class FluidNetwork:
         for i, f in enumerate(flows):
             for li in f.path:
                 path_delay[i] += qdelay[li]
-        rtt = base_rtt + path_delay
+        rtt = base_rtt + path_delay + fault_delay
 
         # Window-limited sending rate, optionally pacing-capped.
         rate = np.minimum(cwnd / rtt, pacing)
@@ -328,11 +358,17 @@ class FluidNetwork:
                 marked[idx] += out * mark * dt
             # Stochastic (non-congestion) loss happens on the wire after the
             # queue; it removes goodput but does not occupy the buffer.
-            p = link.config.random_loss
+            # Fault-injected loss bursts add to the configured rate.
+            p = min(link.config.random_loss + fault_loss, 0.99)
             if p > 0:
                 rand_loss = out * p
                 out = out - rand_loss
                 drop_rate = drop_rate + rand_loss
+            # Reordering: a fraction of deliveries is *signalled* lost
+            # (duplicate-ACK spurious retransmits) but still arrives, so
+            # it inflates the loss observation without touching goodput.
+            if fault_spurious > 0:
+                drop_rate = drop_rate + out * fault_spurious
             lost[idx] += drop_rate * dt
             current[idx] = out
 

@@ -30,6 +30,7 @@ import numpy as np
 from ..config import LinkConfig
 from ..errors import SimulationError
 from ..units import mbps_to_pps
+from .faults import FaultSchedule
 
 _SEND = 0
 _SERVICE_DONE = 1
@@ -76,8 +77,10 @@ class PacketNetwork:
     the window, which lets real controllers drive the packet engine.
     """
 
-    def __init__(self, link: LinkConfig, seed: int = 0, mtp_s: float = 0.030):
+    def __init__(self, link: LinkConfig, seed: int = 0, mtp_s: float = 0.030,
+                 faults: FaultSchedule | None = None):
         self._link = link
+        self._faults = faults if faults else None
         self._capacity_pps = mbps_to_pps(link.bandwidth_mbps)
         self._buffer_pkts = int(round(link.buffer_size_packets))
         self._queue: deque[tuple[int, float]] = deque()
@@ -143,9 +146,38 @@ class PacketNetwork:
         if not self._busy:
             self._start_service()
 
+    def _service_done_at(self) -> float:
+        """When the packet now entering service finishes.
+
+        Faults slow the server (bandwidth flap) or park it until the end
+        of a blackout — the queue keeps filling and tail-drops meanwhile,
+        exactly as a dead link behaves.
+        """
+        base = 1.0 / self._capacity_pps
+        if self._faults is None:
+            return self.now + base
+        until = self._faults.blackout_until(self.now)
+        if until is not None:
+            return until + base
+        mult = self._faults.bandwidth_multiplier(self.now)
+        return self.now + base / mult
+
     def _start_service(self) -> None:
         self._busy = True
-        self._push(self.now + 1.0 / self._capacity_pps, _SERVICE_DONE, -1)
+        self._push(self._service_done_at(), _SERVICE_DONE, -1)
+
+    def _loss_probability(self) -> float:
+        """Configured random loss plus any fault-injected loss.
+
+        Reorder windows contribute here too: at packet level the spurious
+        duplicate-ACK signal is approximated as loss (the fluid engine
+        keeps the goodput and only inflates the observation).
+        """
+        p = self._link.random_loss
+        if self._faults is not None:
+            p += self._faults.extra_loss(self.now)
+            p += self._faults.spurious_loss(self.now)
+        return min(p, 0.99)
 
     def _finish_service(self) -> None:
         if not self._queue:
@@ -153,15 +185,19 @@ class PacketNetwork:
             return
         fid, enq_time = self._queue.popleft()
         flow = self._flows[fid]
-        if self._link.random_loss > 0 and self._rng.random() < self._link.random_loss:
+        delay = flow.base_rtt_s
+        if self._faults is not None:
+            delay += self._faults.extra_delay_s(self.now)
+        p_loss = self._loss_probability()
+        if p_loss > 0 and self._rng.random() < p_loss:
             flow.stats.lost += 1
             flow.mtp_lost += 1
-            self._push(self.now + flow.base_rtt_s, _LOSS_NOTE, fid)
+            self._push(self.now + delay, _LOSS_NOTE, fid)
         else:
-            rtt = (self.now - enq_time) + flow.base_rtt_s
-            self._push(self.now + flow.base_rtt_s, _ACK, fid, rtt)
+            rtt = (self.now - enq_time) + delay
+            self._push(self.now + delay, _ACK, fid, rtt)
         if self._queue:
-            self._push(self.now + 1.0 / self._capacity_pps, _SERVICE_DONE, -1)
+            self._push(self._service_done_at(), _SERVICE_DONE, -1)
         else:
             self._busy = False
 

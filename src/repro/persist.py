@@ -52,7 +52,7 @@ def sha256_file(path: str | Path, chunk_size: int = 1 << 20) -> str:
 
 def scenario_to_dict(scenario: ScenarioConfig) -> dict:
     """A JSON-serialisable description of a scenario."""
-    return {
+    out = {
         "link": asdict(scenario.link),
         "flows": [asdict(f) for f in scenario.flows],
         "duration_s": scenario.duration_s,
@@ -62,15 +62,23 @@ def scenario_to_dict(scenario: ScenarioConfig) -> dict:
         "trace": scenario.trace,
         "trace_kwargs": scenario.trace_kwargs,
     }
+    if scenario.faults is not None:
+        out["faults"] = scenario.faults.to_dicts()
+    return out
 
 
 def scenario_from_dict(data: dict) -> ScenarioConfig:
     """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    from .netsim.faults import FaultSchedule
+
     try:
         link = LinkConfig(**data["link"])
         flows = tuple(FlowConfig(**f) for f in data["flows"])
     except (KeyError, TypeError) as exc:
         raise ConfigError(f"malformed scenario description: {exc}") from exc
+    faults = None
+    if data.get("faults"):
+        faults = FaultSchedule.from_dicts(data["faults"])
     return ScenarioConfig(
         link=link,
         flows=flows,
@@ -80,6 +88,7 @@ def scenario_from_dict(data: dict) -> ScenarioConfig:
         seed=data.get("seed", 0),
         trace=data.get("trace"),
         trace_kwargs=data.get("trace_kwargs", {}),
+        faults=faults,
     )
 
 

@@ -54,6 +54,36 @@ class Adam:
             v += (1.0 - self.beta2) * grad ** 2
             p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
 
+    def get_state(self) -> dict:
+        """Copies of the optimiser internals (moments, step count, LR).
+
+        Divergence rollbacks and training checkpoints must restore the
+        moments along with the parameters: a poisoned first moment would
+        re-inject the divergence on the very next step, and a reset step
+        count would silently re-warm the bias correction.
+        """
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "t": self._t,
+            "lr": self.lr,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore :meth:`get_state` output in place."""
+        if len(state["m"]) != len(self._m) or len(state["v"]) != len(self._v):
+            raise ModelError("optimizer state does not match this optimizer")
+        for dst, src in zip(self._m, state["m"]):
+            if dst.shape != src.shape:
+                raise ModelError("optimizer moment shape mismatch")
+            dst[:] = src
+        for dst, src in zip(self._v, state["v"]):
+            if dst.shape != src.shape:
+                raise ModelError("optimizer moment shape mismatch")
+            dst[:] = src
+        self._t = int(state["t"])
+        self.lr = float(state["lr"])
+
 
 class SGD:
     """Plain (optionally momentum) SGD, mainly for tests and ablations."""

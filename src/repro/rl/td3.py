@@ -143,3 +143,43 @@ class TD3Learner:
                  a: np.ndarray) -> np.ndarray:
         """Q1 estimates for inspection and tests."""
         return self.critic1.forward(self._critic_input(g, s, a))
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (divergence guard + training checkpoints)
+    # ------------------------------------------------------------------
+
+    NETS = ("actor", "critic1", "critic2", "actor_target",
+            "critic1_target", "critic2_target")
+
+    def state_dict(self) -> dict:
+        """Copies of every network and both optimiser states."""
+        return {
+            "nets": {name: getattr(self, name).get_state()
+                     for name in self.NETS},
+            "actor_opt": self.actor_opt.get_state(),
+            "critic_opt": self.critic_opt.get_state(),
+            "updates": self._updates,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        for name in self.NETS:
+            getattr(self, name).set_state(state["nets"][name])
+        self.actor_opt.set_state(state["actor_opt"])
+        self.critic_opt.set_state(state["critic_opt"])
+        self._updates = int(state["updates"])
+
+    def params_finite(self) -> bool:
+        """Whether every parameter of every network is finite."""
+        return all(
+            np.isfinite(p).all()
+            for name in self.NETS
+            for p in getattr(self, name).parameters()
+        )
+
+    def scale_learning_rates(self, factor: float) -> None:
+        """Multiply both optimiser learning rates (divergence backoff)."""
+        if factor <= 0:
+            raise ModelError("LR scale factor must be positive")
+        self.actor_opt.lr *= factor
+        self.critic_opt.lr *= factor

@@ -4,6 +4,7 @@ from .inference import (
     BatchedInferenceService,
     PerFlowServers,
     ServiceAccounting,
+    analytic_fallback_action,
     default_service_policy,
     synthetic_request_trace,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "BatchedInferenceService",
     "PerFlowServers",
     "ServiceAccounting",
+    "analytic_fallback_action",
     "default_service_policy",
     "synthetic_request_trace",
 ]

@@ -19,11 +19,42 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..core.policy import PolicyBundle
-from ..errors import ServiceError
+from ..core.state import LOCAL_FEATURES
+from ..errors import DeadlineExceededError, InvalidStateError, ServiceError
+
+
+def analytic_fallback_action(state: np.ndarray) -> float:
+    """Conservative closed-form action from the newest feature frame.
+
+    The degraded-mode path when the learned actor cannot (or must not)
+    serve a request: non-finite state entries, or a request that aged
+    past the service deadline.  It rebuilds the reference policy's raw
+    signals from the normalised §3.3 features of the most recent history
+    frame — the latency ratio (feature 2) plays rtt/rtt_min directly,
+    the loss ratio (feature 5) approximates the loss rate, and the
+    queued-packet estimate ``diff = cwnd * (1 - rtt_min/rtt)`` is
+    reconstructed from the relative cwnd (feature 4) scaled by a nominal
+    BDP of ten reference target-queue lengths.  Non-finite entries are
+    zeroed first, so the result is always finite and in (-1, 1).
+    """
+    from ..core.reference import AstraeaReference
+
+    frame = np.asarray(state, dtype=float).ravel()[-LOCAL_FEATURES:]
+    frame = np.clip(np.nan_to_num(frame, nan=0.0, posinf=6.0, neginf=0.0),
+                    0.0, 6.0)
+    ref = AstraeaReference()
+    rtt = max(float(frame[2]), 1.0)
+    loss = float(frame[5])
+    cwnd_pkts = float(frame[4]) * 10.0 * ref.target_pkts
+    diff = cwnd_pkts * (1.0 - 1.0 / rtt)
+    action = ref.policy_action(rtt_min=1.0, rtt=rtt, diff=diff,
+                               loss_rate=loss)
+    return float(np.clip(action, -0.999, 0.999))
 
 
 def default_service_policy(scheme: str = "astraea") -> PolicyBundle:
@@ -48,16 +79,29 @@ def default_service_policy(scheme: str = "astraea") -> PolicyBundle:
 
 @dataclass
 class ServiceAccounting:
-    """Work counters of an inference backend."""
+    """Work and health counters of an inference backend."""
 
     requests: int = 0
     forward_passes: int = 0
     batch_sizes: list[int] = field(default_factory=list)
     cpu_time_s: float = 0.0
+    #: Requests refused outright with a typed error (malformed input).
+    rejected: int = 0
+    #: Requests answered by the analytic fallback instead of the actor.
+    fallbacks: int = 0
+    #: Requests that aged past the service deadline before being served.
+    deadline_misses: int = 0
+    #: Health flag: True once any request was served degraded (fallback
+    #: or deadline miss).  Monitoring reads this; the service never
+    #: clears it by itself.
+    degraded: bool = False
 
     @property
     def mean_batch_size(self) -> float:
         return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    def mark_degraded(self) -> None:
+        self.degraded = True
 
 
 class BatchedInferenceService:
@@ -68,47 +112,125 @@ class BatchedInferenceService:
     and returns ``{request_id: action}``.  ``serve_trace`` drives a whole
     request timeline through the service, which is what the overhead
     benchmark uses.
+
+    Hardening (the service is long-lived; one bad client must not take
+    it down):
+
+    * Submitted states are validated for shape and finiteness.  A wrong
+      shape always raises :class:`~repro.errors.InvalidStateError`; a
+      right-shaped state with NaN/inf entries raises too — unless a
+      ``fallback`` is configured, in which case the request is answered
+      by the analytic policy instead of the actor.
+    * ``deadline_s`` bounds how long a request may sit in the queue
+      (simulated arrival time vs. flush time).  Overdue requests go to
+      the fallback when one is configured, else raise
+      :class:`~repro.errors.DeadlineExceededError`.
+    * Every degraded answer sets ``accounting.degraded`` and bumps the
+      ``fallbacks`` / ``deadline_misses`` counters.
     """
 
-    def __init__(self, policy: PolicyBundle, batch_window_s: float = 0.005):
+    def __init__(self, policy: PolicyBundle, batch_window_s: float = 0.005,
+                 deadline_s: float | None = None,
+                 fallback: str | Callable[[np.ndarray], float] | None = None):
         if batch_window_s <= 0:
             raise ServiceError("batch window must be positive")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServiceError("deadline must be positive")
+        if fallback is None or callable(fallback):
+            self._fallback = fallback
+        elif fallback == "analytic":
+            self._fallback = analytic_fallback_action
+        else:
+            raise ServiceError(
+                f"unknown fallback {fallback!r}; use 'analytic', a "
+                f"callable, or None")
         self.policy = policy
         self.batch_window_s = batch_window_s
+        self.deadline_s = deadline_s
         self.accounting = ServiceAccounting()
-        self._queue: list[tuple[int, np.ndarray]] = []
+        # (request_id, state, arrival_s, use_fallback)
+        self._queue: list[tuple[int, np.ndarray, float | None, bool]] = []
 
     @classmethod
     def from_default(cls, scheme: str = "astraea",
                      batch_window_s: float = 0.005,
-                     ) -> "BatchedInferenceService":
+                     deadline_s: float | None = None,
+                     fallback: str | Callable[[np.ndarray], float] | None
+                     = None) -> "BatchedInferenceService":
         """A service over the shipped bundle (see
         :func:`default_service_policy`)."""
         return cls(default_service_policy(scheme),
-                   batch_window_s=batch_window_s)
+                   batch_window_s=batch_window_s, deadline_s=deadline_s,
+                   fallback=fallback)
 
-    def submit(self, request_id: int, state: np.ndarray) -> None:
+    def submit(self, request_id: int, state: np.ndarray,
+               arrival_s: float | None = None) -> None:
+        """Enqueue one request; validates the state before it is accepted.
+
+        ``arrival_s`` is the request's (simulated) arrival time; it only
+        matters when the service has a ``deadline_s``.
+        """
         state = np.asarray(state, dtype=float)
         if state.ndim != 1 or state.shape[0] != self.policy.actor.in_dim:
-            raise ServiceError(
-                f"state must be a vector of dim {self.policy.actor.in_dim}")
-        self._queue.append((request_id, state))
+            self.accounting.rejected += 1
+            raise InvalidStateError(
+                f"state must be a vector of dim {self.policy.actor.in_dim}, "
+                f"got shape {state.shape}")
+        use_fallback = False
+        if not np.isfinite(state).all():
+            if self._fallback is None:
+                self.accounting.rejected += 1
+                raise InvalidStateError(
+                    f"state for request {request_id} contains non-finite "
+                    f"entries and the service has no fallback")
+            use_fallback = True
+        self._queue.append((request_id, state, arrival_s, use_fallback))
         self.accounting.requests += 1
 
-    def flush(self) -> dict[int, float]:
-        """Serve everything queued in the current window with one pass."""
+    def _deadline_missed(self, arrival_s: float | None,
+                         now_s: float | None) -> bool:
+        return (self.deadline_s is not None and arrival_s is not None
+                and now_s is not None
+                and now_s - arrival_s > self.deadline_s)
+
+    def flush(self, now_s: float | None = None) -> dict[int, float]:
+        """Serve everything queued in the current window.
+
+        One batched forward pass covers the healthy requests; requests
+        flagged for fallback — non-finite state at submit, or older than
+        ``deadline_s`` relative to ``now_s`` — are answered analytically.
+        """
         if not self._queue:
             return {}
-        ids = [rid for rid, _ in self._queue]
-        states = np.vstack([s for _, s in self._queue])
-        self._queue.clear()
-        t0 = time.process_time()
-        actions = self.policy.actor.forward(states)[:, 0]
-        self.accounting.cpu_time_s += time.process_time() - t0
-        self.accounting.forward_passes += 1
-        self.accounting.batch_sizes.append(len(ids))
-        return {rid: float(np.clip(a, -0.999, 0.999))
-                for rid, a in zip(ids, actions)}
+        queue, self._queue = self._queue, []
+        out: dict[int, float] = {}
+        healthy: list[tuple[int, np.ndarray]] = []
+        for rid, state, arrival_s, use_fallback in queue:
+            missed = self._deadline_missed(arrival_s, now_s)
+            if missed:
+                self.accounting.deadline_misses += 1
+                if self._fallback is None:
+                    self.accounting.mark_degraded()
+                    raise DeadlineExceededError(
+                        f"request {rid} aged {now_s - arrival_s:.4f}s in "
+                        f"queue (deadline {self.deadline_s}s) and the "
+                        f"service has no fallback")
+            if use_fallback or missed:
+                out[rid] = float(self._fallback(state))
+                self.accounting.fallbacks += 1
+                self.accounting.mark_degraded()
+            else:
+                healthy.append((rid, state))
+        if healthy:
+            states = np.vstack([s for _, s in healthy])
+            t0 = time.process_time()
+            actions = self.policy.actor.forward(states)[:, 0]
+            self.accounting.cpu_time_s += time.process_time() - t0
+            self.accounting.forward_passes += 1
+            self.accounting.batch_sizes.append(len(healthy))
+            for (rid, _), a in zip(healthy, actions):
+                out[rid] = float(np.clip(a, -0.999, 0.999))
+        return out
 
     def serve_trace(self, arrivals: list[tuple[float, int, np.ndarray]],
                     ) -> dict[int, list[float]]:
@@ -124,11 +246,11 @@ class BatchedInferenceService:
         window_end = arrivals[0][0] + self.batch_window_s
         for t, fid, state in arrivals:
             if t >= window_end:
-                for rid, action in self.flush().items():
+                for rid, action in self.flush(now_s=window_end).items():
                     out.setdefault(rid, []).append(action)
                 window_end = t + self.batch_window_s
-            self.submit(fid, state)
-        for rid, action in self.flush().items():
+            self.submit(fid, state, arrival_s=t)
+        for rid, action in self.flush(now_s=window_end).items():
             out.setdefault(rid, []).append(action)
         return out
 
@@ -161,6 +283,16 @@ class PerFlowServers:
     def serve(self, flow_id: int, state: np.ndarray) -> float:
         if not 0 <= flow_id < len(self._actors):
             raise ServiceError(f"unknown flow {flow_id}")
+        state = np.asarray(state, dtype=float)
+        if state.ndim != 1 or state.shape[0] != self._actors[flow_id].in_dim:
+            self.accounting.rejected += 1
+            raise InvalidStateError(
+                f"state must be a vector of dim "
+                f"{self._actors[flow_id].in_dim}, got shape {state.shape}")
+        if not np.isfinite(state).all():
+            self.accounting.rejected += 1
+            raise InvalidStateError(
+                f"state for flow {flow_id} contains non-finite entries")
         self.accounting.requests += 1
         t0 = time.process_time()
         action = self._actors[flow_id].forward(state[None, :])[0, 0]

@@ -1,0 +1,147 @@
+"""Divergence guard: rollback, LR decay, budget exhaustion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig, replace
+from repro.core.learner import DivergenceGuard, Learner
+from repro.errors import (
+    ModelError,
+    TrainingDivergedError,
+    TrainingInstabilityWarning,
+)
+
+SMALL = replace(TrainingConfig(), hidden_layers=(16, 16), batch_size=16,
+                warmup_transitions=20, update_steps=3,
+                rollback_budget=3, rollback_lr_decay=0.5)
+
+
+def fill(learner, n, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        learner.add_transition(rng.normal(size=learner.global_dim),
+                               rng.normal(size=learner.local_dim),
+                               0.1, 0.05,
+                               rng.normal(size=learner.global_dim),
+                               rng.normal(size=learner.local_dim))
+
+
+def poison_critic(learner):
+    learner.td3.critic1.parameters()[0][0, 0] = np.nan
+
+
+class TestGuardUnit:
+    def test_validation(self):
+        learner = Learner(SMALL)
+        with pytest.raises(ModelError):
+            DivergenceGuard(learner.td3, budget=0)
+        with pytest.raises(ModelError):
+            DivergenceGuard(learner.td3, lr_decay=1.5)
+
+    def test_healthy_ignores_nan_actor_loss_sentinel(self):
+        learner = Learner(SMALL)
+        guard = learner.guard
+        # TD3 reports actor_loss=nan on non-actor-update steps; that is a
+        # sentinel, not divergence.
+        assert guard.healthy({"critic_loss": 0.5,
+                              "actor_loss": float("nan")})
+        assert not guard.healthy({"critic_loss": float("nan")})
+
+    def test_rollback_restores_params_and_decays_lr(self):
+        learner = Learner(SMALL)
+        guard = learner.guard
+        lr0_actor = learner.td3.actor_opt.lr
+        lr0_critic = learner.td3.critic_opt.lr
+        clean = learner.td3.critic1.parameters()[0].copy()
+        poison_critic(learner)
+        assert not guard.healthy()
+        with pytest.warns(TrainingInstabilityWarning):
+            guard.rollback("test poison")
+        np.testing.assert_array_equal(learner.td3.critic1.parameters()[0],
+                                      clean)
+        assert learner.td3.actor_opt.lr == pytest.approx(0.5 * lr0_actor)
+        assert learner.td3.critic_opt.lr == pytest.approx(0.5 * lr0_critic)
+        assert guard.rollbacks == 1 and guard.consecutive == 1
+
+    def test_lr_decay_compounds_across_consecutive_rollbacks(self):
+        learner = Learner(SMALL)
+        guard = learner.guard
+        lr0 = learner.td3.actor_opt.lr
+        with pytest.warns(TrainingInstabilityWarning):
+            guard.rollback("one")
+            guard.rollback("two")
+        assert learner.td3.actor_opt.lr == pytest.approx(0.25 * lr0)
+
+    def test_budget_exhaustion_raises_typed_error(self):
+        learner = Learner(SMALL)
+        guard = learner.guard
+        with pytest.warns(TrainingInstabilityWarning):
+            for _ in range(SMALL.rollback_budget):
+                guard.rollback("persistent")
+        with pytest.raises(TrainingDivergedError):
+            guard.rollback("persistent")
+
+    def test_healthy_burst_resets_consecutive_count(self):
+        learner = Learner(SMALL)
+        guard = learner.guard
+        with pytest.warns(TrainingInstabilityWarning):
+            guard.rollback("blip")
+        assert guard.consecutive == 1
+        assert not guard.after_burst({"critic_loss": 0.1})
+        assert guard.consecutive == 0
+
+
+class TestLearnerIntegration:
+    def test_update_burst_recovers_from_poisoned_critic(self):
+        learner = Learner(SMALL)
+        fill(learner, 40)
+        learner.update_burst()  # healthy burst refreshes the snapshot
+        lr0 = learner.td3.critic_opt.lr
+        poison_critic(learner)
+        with pytest.warns(TrainingInstabilityWarning):
+            learner.update_burst()  # NaN spreads; guard must roll back
+        assert learner.td3.params_finite()
+        assert learner.td3.critic_opt.lr == pytest.approx(0.5 * lr0)
+        assert np.isfinite(learner.act(np.zeros(learner.local_dim)))
+        # Subsequent healthy bursts run normally and reset the counter.
+        losses = learner.update_burst()
+        assert np.isfinite(losses["critic_loss"])
+        assert learner.guard.consecutive == 0
+
+    def test_repeated_divergence_exhausts_budget(self, monkeypatch):
+        learner = Learner(SMALL)
+        fill(learner, 40)
+        learner.update_burst()
+        monkeypatch.setattr(learner.td3, "params_finite", lambda: False)
+        with pytest.warns(TrainingInstabilityWarning), \
+                pytest.raises(TrainingDivergedError):
+            for _ in range(SMALL.rollback_budget + 1):
+                learner.update_burst()
+
+    def test_act_rolls_back_on_non_finite_action(self):
+        learner = Learner(SMALL)
+        fill(learner, 40)
+        learner.update_burst()  # snapshot a healthy state
+        for p in learner.td3.actor.parameters():
+            p[:] = np.nan
+        with pytest.warns(TrainingInstabilityWarning):
+            a = learner.act(np.zeros(learner.local_dim))
+        assert np.isfinite(a) and -1.0 < a < 1.0
+
+    def test_checkpoint_load_refreshes_guard_snapshot(self, tmp_path):
+        learner = Learner(SMALL)
+        fill(learner, 40)
+        learner.update_burst()
+        path = learner.save_checkpoint(tmp_path / "ck.npz")
+        other = Learner(replace(SMALL, seed=99))
+        other.load_checkpoint(path)
+        # The guard snapshot must reflect the loaded weights, not the
+        # random initialisation: a rollback right after loading restores
+        # the checkpointed actor.
+        before = other.td3.actor.parameters()[0].copy()
+        with pytest.warns(TrainingInstabilityWarning):
+            other.guard.rollback("post-load blip")
+        np.testing.assert_array_equal(other.td3.actor.parameters()[0],
+                                      before)

@@ -7,6 +7,7 @@ import pytest
 
 from repro.config import TrainingConfig, replace
 from repro.core.policy import PolicyBundle, new_actor
+from repro.errors import SimulationError
 from repro.core.train import (
     CROSS_TRAFFIC_PROB,
     EVAL_SCENARIOS,
@@ -97,3 +98,57 @@ class TestEndToEnd:
     def test_local_critic_ablation_runs(self):
         bundle, _ = train_astraea(FAST, use_global=False, eval_every=10)
         assert bundle.metadata["use_global"] is False
+
+
+class TestQuarantine:
+    def test_failed_episode_is_quarantined_and_training_continues(
+            self, monkeypatch):
+        import repro.env.episode as episode_mod
+        from repro.errors import TrainingInstabilityWarning
+
+        cfg = replace(FAST, episodes=3)
+        real = episode_mod.run_training_episode
+
+        def flaky(*args, **kwargs):
+            if kwargs.get("episode") == 1:
+                raise SimulationError("injected mid-episode blow-up")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(episode_mod, "run_training_episode", flaky)
+        with pytest.warns(TrainingInstabilityWarning, match="seeds"):
+            _, history = train_astraea(cfg, eval_every=100)
+        assert history.failed_episodes == [1]
+        assert len(history.episode_rewards) == 3
+        assert np.isnan(history.episode_rewards[1])
+        assert np.isfinite(history.episode_rewards[0])
+        assert np.isfinite(history.episode_rewards[2])
+
+    def test_consecutive_failure_budget_raises(self, monkeypatch):
+        import repro.env.episode as episode_mod
+        from repro.errors import (
+            TrainingDivergedError,
+            TrainingInstabilityWarning,
+        )
+
+        cfg = replace(FAST, episodes=10, max_consecutive_failures=2)
+
+        def always_dies(*args, **kwargs):
+            raise SimulationError("permanently broken environment")
+
+        monkeypatch.setattr(episode_mod, "run_training_episode", always_dies)
+        with pytest.warns(TrainingInstabilityWarning), \
+                pytest.raises(TrainingDivergedError):
+            train_astraea(cfg, eval_every=100)
+
+    def test_fault_prob_zero_keeps_legacy_stream(self):
+        cfg = replace(FAST, fault_prob=0.0)
+        a = sample_training_scenario(cfg, np.random.default_rng(3))
+        b = sample_training_scenario(FAST, np.random.default_rng(3))
+        assert a.link == b.link and a.flows == b.flows
+        assert a.faults is None
+
+    def test_fault_prob_one_attaches_schedule(self):
+        cfg = replace(FAST, fault_prob=1.0)
+        sc = sample_training_scenario(cfg, np.random.default_rng(3))
+        assert sc.faults is not None and sc.faults
+        assert sc.faults.end_s <= cfg.episode_duration_s

@@ -123,3 +123,81 @@ class TestEpisode:
             learner, fair, noise_std=0.0, initial_cwnds=[450.0, 2.0],
             do_updates=False)
         assert fair_stats.mean_reward > starved_stats.mean_reward
+
+
+class TestDeterminism:
+    def test_back_to_back_same_seed_runs_are_bit_identical(self):
+        """Regression: the exploration RNG must derive from (seed, episode,
+        flow index), not from a process-global controller counter — the
+        second same-seed run in one process used to diverge from the first,
+        which also broke bit-exact checkpoint resume."""
+
+        def run_once():
+            learner = Learner(SMALL)
+            run_training_episode(learner, episode_scenario(), noise_std=0.1,
+                                 initial_cwnds=[30.0, 30.0], episode=0)
+            return learner
+
+        a = run_once()
+        b = run_once()
+        n = len(a.replay)
+        assert n == len(b.replay) > 0
+        np.testing.assert_array_equal(a.replay._local[:n],
+                                      b.replay._local[:n])
+        np.testing.assert_array_equal(a.replay._action[:n],
+                                      b.replay._action[:n])
+        for x, y in zip(a.td3.actor.parameters(), b.td3.actor.parameters()):
+            np.testing.assert_array_equal(x, y)
+
+    def test_distinct_episode_and_flow_ids_decorrelate_exploration(self):
+        learner = Learner(SMALL)
+        base = TrainFlowController(learner, episode=0, flow_index=0)
+        other_ep = TrainFlowController(learner, episode=1, flow_index=0)
+        other_flow = TrainFlowController(learner, episode=0, flow_index=1)
+        draws = {c._rng.random() for c in (base, other_ep, other_flow)}
+        assert len(draws) == 3
+
+
+class TestObserverGuards:
+    def test_skips_controller_that_has_no_state_yet(self):
+        """A controller observed before its first on_interval has
+        ``last_state is None``; the Observer must skip it rather than
+        poison a transition tuple."""
+        from repro.env.episode import Observer
+        from tests.cc.test_base import make_stats
+
+        learner = Learner(SMALL)
+        ctl = TrainFlowController(learner, initial_cwnd=30.0)
+        flows = (FlowConfig(cc="astraea", duration_s=100.0),)
+        obs = Observer(learner, LINK, flows, [ctl])
+
+        obs(1.0, 0, make_stats(time_s=1.0), ctl)  # last_state is None
+        assert obs.stats.transitions == 0
+        assert len(learner.replay) == 0
+
+        # Once the controller produces states, transitions resume.
+        ctl.on_interval(make_stats(time_s=1.03))
+        obs(1.03, 0, make_stats(time_s=1.03), ctl)
+        ctl.on_interval(make_stats(time_s=1.06))
+        obs(1.06, 0, make_stats(time_s=1.06), ctl)
+        assert obs.stats.transitions == 1
+        assert len(learner.replay) == 1
+
+    def test_reset_mid_episode_drops_stale_pending_pair(self):
+        from repro.env.episode import Observer
+        from tests.cc.test_base import make_stats
+
+        learner = Learner(SMALL)
+        ctl = TrainFlowController(learner, initial_cwnd=30.0)
+        flows = (FlowConfig(cc="astraea", duration_s=100.0),)
+        obs = Observer(learner, LINK, flows, [ctl])
+
+        ctl.on_interval(make_stats(time_s=1.0))
+        obs(1.0, 0, make_stats(time_s=1.0), ctl)      # seeds pending
+        ctl.reset()                                   # last_state -> None
+        obs(1.03, 0, make_stats(time_s=1.03), ctl)    # must drop pending
+        assert obs.stats.transitions == 0
+
+        ctl.on_interval(make_stats(time_s=1.06))
+        obs(1.06, 0, make_stats(time_s=1.06), ctl)
+        assert obs.stats.transitions == 0  # pending re-seeded, not paired

@@ -85,3 +85,55 @@ class TestEnvironmentPool:
                                initial_cwnds=[[30.0, 10.0]])
         stats = pool.run()
         assert stats.transitions > 0
+
+
+class TestPoolRobustness:
+    def test_stats_aggregate_across_observers(self):
+        learner = Learner(SMALL)
+        pool = EnvironmentPool(
+            learner, [scenario(100.0), scenario(50.0)], noise_std=0.1,
+            initial_cwnds=[[30.0, 30.0], [30.0, 30.0]])
+        combined = pool.run()
+        per = [o.stats for o in pool._observers]
+        assert combined.transitions == sum(s.transitions for s in per)
+        assert combined.reward_count == sum(s.reward_count for s in per)
+        assert combined.reward_sum == pytest.approx(
+            sum(s.reward_sum for s in per))
+        assert combined.mean_reward == pytest.approx(
+            combined.reward_sum / combined.reward_count)
+
+    def test_rejects_mismatched_episode_ids(self):
+        learner = Learner(SMALL)
+        with pytest.raises(ValueError):
+            EnvironmentPool(learner, [scenario(), scenario(50.0)],
+                            noise_std=0.1,
+                            initial_cwnds=[[30.0, 30.0], [30.0, 30.0]],
+                            episodes=[0])
+
+    def test_controller_exception_propagates(self, monkeypatch):
+        """The pool must not swallow failures — train_astraea's quarantine
+        layer is responsible for containment, and it can only react if the
+        error surfaces."""
+        from repro.env.episode import TrainFlowController
+        from repro.errors import SimulationError
+
+        learner = Learner(SMALL)
+        pool = EnvironmentPool(learner, [scenario()], noise_std=0.1,
+                               initial_cwnds=[[30.0, 30.0]])
+
+        def boom(self, stats):
+            raise SimulationError("controller blew up mid-episode")
+
+        monkeypatch.setattr(TrainFlowController, "on_interval", boom)
+        with pytest.raises(SimulationError):
+            pool.run()
+
+    def test_episode_ids_seed_exploration_per_instance(self):
+        learner = Learner(SMALL)
+        pool = EnvironmentPool(
+            learner, [scenario(), scenario()], noise_std=0.1,
+            initial_cwnds=[[30.0, 30.0], [30.0, 30.0]],
+            episodes=[4, 5])
+        ctls = [d for obs in pool._observers for d in obs.controllers]
+        draws = [c._rng.random() for c in ctls]
+        assert len(set(draws)) == len(draws)

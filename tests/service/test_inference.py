@@ -4,12 +4,19 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.policy import PolicyBundle, new_actor
-from repro.errors import ServiceError
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidStateError,
+    ServiceError,
+)
 from repro.service import (
     BatchedInferenceService,
     PerFlowServers,
+    analytic_fallback_action,
     synthetic_request_trace,
 )
 
@@ -129,3 +136,125 @@ class TestAccounting:
         for i in range(7):
             svc.submit(i, np.zeros(bundle.actor.in_dim))
         assert svc.accounting.requests == 7
+
+
+class TestHardening:
+    def test_wrong_shape_raises_typed_even_with_fallback(self, bundle):
+        svc = BatchedInferenceService(bundle, fallback="analytic")
+        with pytest.raises(InvalidStateError):
+            svc.submit(0, np.zeros(3))
+        with pytest.raises(InvalidStateError):
+            svc.submit(0, np.zeros((2, bundle.actor.in_dim)))
+        assert svc.accounting.rejected == 2
+        assert not svc.accounting.degraded
+
+    def test_nan_without_fallback_raises(self, bundle):
+        svc = BatchedInferenceService(bundle)
+        state = np.zeros(bundle.actor.in_dim)
+        state[5] = np.nan
+        with pytest.raises(InvalidStateError):
+            svc.submit(0, state)
+        assert svc.accounting.rejected == 1
+
+    def test_nan_with_fallback_served_analytically(self, bundle):
+        svc = BatchedInferenceService(bundle, fallback="analytic")
+        bad = np.full(bundle.actor.in_dim, np.nan)
+        good = np.zeros(bundle.actor.in_dim)
+        svc.submit(0, bad)
+        svc.submit(1, good)
+        out = svc.flush()
+        assert np.isfinite(out[0]) and -1.0 < out[0] < 1.0
+        assert out[1] == pytest.approx(bundle.act(good), abs=1e-9)
+        assert svc.accounting.fallbacks == 1
+        assert svc.accounting.degraded
+        assert svc.accounting.batch_sizes == [1]  # only the healthy one
+
+    def test_deadline_miss_routes_to_fallback(self, bundle):
+        svc = BatchedInferenceService(bundle, deadline_s=0.010,
+                                      fallback="analytic")
+        svc.submit(0, np.zeros(bundle.actor.in_dim), arrival_s=0.0)
+        svc.submit(1, np.zeros(bundle.actor.in_dim), arrival_s=0.0995)
+        out = svc.flush(now_s=0.100)
+        assert np.isfinite(out[0])
+        assert svc.accounting.deadline_misses == 1
+        assert svc.accounting.fallbacks == 1
+        assert svc.accounting.degraded
+
+    def test_deadline_miss_without_fallback_raises(self, bundle):
+        svc = BatchedInferenceService(bundle, deadline_s=0.010)
+        svc.submit(0, np.zeros(bundle.actor.in_dim), arrival_s=0.0)
+        with pytest.raises(DeadlineExceededError):
+            svc.flush(now_s=1.0)
+        assert svc.accounting.deadline_misses == 1
+        assert svc.accounting.degraded
+
+    def test_no_deadline_means_no_misses(self, bundle):
+        svc = BatchedInferenceService(bundle)
+        svc.submit(0, np.zeros(bundle.actor.in_dim), arrival_s=0.0)
+        out = svc.flush(now_s=99.0)
+        assert 0 in out
+        assert svc.accounting.deadline_misses == 0
+
+    def test_custom_callable_fallback(self, bundle):
+        svc = BatchedInferenceService(bundle, fallback=lambda s: 0.123)
+        bad = np.full(bundle.actor.in_dim, np.inf)
+        svc.submit(7, bad)
+        assert svc.flush() == {7: 0.123}
+
+    def test_constructor_validation(self, bundle):
+        with pytest.raises(ServiceError):
+            BatchedInferenceService(bundle, deadline_s=0.0)
+        with pytest.raises(ServiceError):
+            BatchedInferenceService(bundle, fallback="magic")
+
+    def test_per_flow_rejects_nonfinite_and_wrong_shape(self, bundle):
+        servers = PerFlowServers(bundle, n_flows=1)
+        state = np.zeros(bundle.actor.in_dim)
+        state[0] = np.inf
+        with pytest.raises(InvalidStateError):
+            servers.serve(0, state)
+        with pytest.raises(InvalidStateError):
+            servers.serve(0, np.zeros(3))
+        assert servers.accounting.rejected == 2
+
+    def test_serve_trace_with_deadline_and_fallback_stays_healthy(
+            self, bundle):
+        # Requests are served at their window end, so a deadline longer
+        # than the batching window never fires.
+        svc = BatchedInferenceService(bundle, batch_window_s=0.005,
+                                      deadline_s=0.050, fallback="analytic")
+        trace = synthetic_request_trace(n_flows=5, duration_s=0.2,
+                                        state_dim=bundle.actor.in_dim)
+        svc.serve_trace(trace)
+        assert svc.accounting.deadline_misses == 0
+        assert not svc.accounting.degraded
+
+
+FINITE_OR_NOT = st.floats(allow_nan=True, allow_infinity=True,
+                          width=64)
+
+
+class TestHardeningProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(FINITE_OR_NOT, min_size=40, max_size=40))
+    def test_submit_with_fallback_never_raises(self, bundle, values):
+        svc = BatchedInferenceService(bundle, fallback="analytic")
+        svc.submit(0, np.array(values))
+        out = svc.flush()
+        assert set(out) == {0}
+        assert np.isfinite(out[0])
+        assert -1.0 < out[0] < 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(FINITE_OR_NOT, min_size=40, max_size=40))
+    def test_analytic_fallback_always_bounded(self, values):
+        a = analytic_fallback_action(np.array(values))
+        assert np.isfinite(a)
+        assert -1.0 < a < 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=200).filter(lambda n: n != 40))
+    def test_wrong_dim_always_typed_error(self, bundle, dim):
+        svc = BatchedInferenceService(bundle, fallback="analytic")
+        with pytest.raises(InvalidStateError):
+            svc.submit(0, np.zeros(dim))
