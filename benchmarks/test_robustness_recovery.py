@@ -1,0 +1,136 @@
+"""Robustness report — per-fault recovery metrics across CC schemes.
+
+The ROADMAP's "bench robustness report": every scheme runs the
+``robustness_scenario`` family under each fault primitive on both network
+engines, and the table records how fast (and whether) each recovers —
+time back to 90% of the pre-fault steady state, Jain re-convergence,
+latency overshoot and goodput lost.  Astraea's claim under test is that
+its convergence properties (fairness, speed, stability) survive
+disturbances the training envelope never contained.
+
+The default (quick) campaign covers a representative scheme subset so the
+suite stays runnable per-commit; the full 12-scheme x 5-fault x 2-engine
+cross product — which doubles as a broad correctness sweep of the fault
+layer — is marked ``slow`` (run with ``-m slow``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table, save_markdown, save_results
+from repro.bench.robustness import (
+    ALL_SCHEMES,
+    ENGINES,
+    FAULT_KINDS,
+    TABLE_HEADERS,
+    markdown_report,
+    run_robustness_sweep,
+    table_rows,
+)
+from benchmarks.conftest import TRIALS, QUICK, run_once
+
+QUICK_SCHEMES = ("astraea", "cubic", "bbr", "vivace")
+QUICK_KINDS = ("blackout", "flap", "loss-burst")
+
+_CACHE: dict = {}
+
+
+def campaign():
+    if "payload" not in _CACHE:
+        _CACHE["payload"] = run_robustness_sweep(
+            schemes=QUICK_SCHEMES, kinds=QUICK_KINDS, engines=ENGINES,
+            trials=TRIALS, quick=QUICK)
+    return _CACHE["payload"]
+
+
+def _cells(payload, **match):
+    return [c for c in payload["cells"]
+            if all(c[k] == v for k, v in match.items())]
+
+
+def test_robustness_recovery_table(benchmark):
+    payload = run_once(benchmark, campaign)
+    print_table("Robustness — post-fault recovery", TABLE_HEADERS,
+                table_rows(payload))
+    save_results("robustness_bench", payload)
+    save_markdown("robustness_bench", markdown_report(payload))
+
+    # Full coverage: every (scheme, kind, engine) cell ran every trial.
+    assert len(payload["cells"]) == \
+        len(QUICK_SCHEMES) * len(QUICK_KINDS) * len(ENGINES)
+    for cell in payload["cells"]:
+        assert cell["trials"] == TRIALS
+        assert cell["baseline_mbps"] > 0
+        assert cell["peak_rtt_overshoot_ms"] >= 0
+        assert cell["goodput_lost_mbit"] >= 0
+
+    # Macro semantics: every scheme recovers from a short blackout on
+    # both engines — the link comes back, so must the throughput.
+    for cell in _cells(payload, kind="blackout"):
+        assert cell["recovered"] == cell["trials"], \
+            f"{cell['scheme']}/{cell['engine']} never recovered"
+        assert np.isfinite(cell["recovery_time_s"])
+
+    # A blackout (total outage) costs goodput; the fault layer must not
+    # report a free lunch.
+    for cell in _cells(payload, kind="blackout", engine="fluid"):
+        assert cell["goodput_lost_mbit"] > 1.0, cell["scheme"]
+
+
+def test_robustness_fault_kinds_are_distinguishable(benchmark):
+    """Different fault kinds leave different recovery signatures."""
+
+    def analyse():
+        payload = campaign()
+        out = {}
+        for kind in QUICK_KINDS:
+            cells = _cells(payload, kind=kind, engine="fluid")
+            out[kind] = {
+                "mean_lost_mbit": float(np.mean(
+                    [c["goodput_lost_mbit"] for c in cells])),
+                "mean_overshoot_ms": float(np.mean(
+                    [c["peak_rtt_overshoot_ms"] for c in cells])),
+            }
+        return out
+
+    data = run_once(benchmark, analyse)
+    print_table(
+        "Robustness — fault-kind signatures (fluid engine)",
+        ["fault", "mean goodput lost (Mbit)", "mean RTT overshoot (ms)"],
+        [[k, v["mean_lost_mbit"], v["mean_overshoot_ms"]]
+         for k, v in data.items()],
+    )
+    save_results("robustness_kinds", data)
+    # A capacity flap (several seconds at 25%) starves flows for longer
+    # than the sub-second blackout, so it costs more goodput.
+    assert data["flap"]["mean_lost_mbit"] > data["blackout"]["mean_lost_mbit"]
+    # Loss bursts hurt goodput without the queue-drain latency spike a
+    # capacity fault causes.
+    assert data["loss-burst"]["mean_overshoot_ms"] < \
+        data["flap"]["mean_overshoot_ms"]
+
+
+@pytest.mark.slow
+def test_robustness_full_sweep(benchmark):
+    """All registered schemes x all 5 fault kinds x both engines."""
+
+    def full():
+        return run_robustness_sweep(schemes=ALL_SCHEMES, kinds=FAULT_KINDS,
+                                    engines=ENGINES, trials=TRIALS,
+                                    quick=QUICK)
+
+    payload = run_once(benchmark, full)
+    print_table("Robustness — full sweep", TABLE_HEADERS,
+                table_rows(payload))
+    save_results("robustness_full", payload)
+    save_markdown("robustness_full", markdown_report(payload))
+    assert len(payload["cells"]) == \
+        len(ALL_SCHEMES) * len(FAULT_KINDS) * len(ENGINES)
+    # Non-destructive faults (the link itself survives): most cells must
+    # re-attain steady state inside the episode on the fluid engine.
+    fluid = _cells(payload, engine="fluid")
+    recovered = sum(c["recovered"] for c in fluid)
+    total = sum(c["trials"] for c in fluid)
+    assert recovered / total > 0.7, f"only {recovered}/{total} recovered"

@@ -4,7 +4,9 @@ from .runners import run_scheme_trials, run_trials, summarize_trials
 from .reporting import (
     format_table,
     load_results,
+    markdown_table,
     print_table,
+    save_markdown,
     save_results,
 )
 from . import scenarios
@@ -15,7 +17,9 @@ __all__ = [
     "run_scheme_trials",
     "summarize_trials",
     "format_table",
+    "markdown_table",
     "print_table",
     "save_results",
+    "save_markdown",
     "load_results",
 ]

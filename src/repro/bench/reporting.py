@@ -46,6 +46,25 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     print(format_table(title, headers, rows))
 
 
+def markdown_table(headers: list[str], rows: list[list]) -> str:
+    """GitHub-flavoured markdown table (README / report artifacts)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines += ["| " + " | ".join(row) + " |" for row in cells]
+    return "\n".join(lines)
+
+
+def save_markdown(experiment_id: str, text: str) -> Path:
+    """Persist a markdown report next to the JSON results."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.md"
+    path.write_text(text if text.endswith("\n") else text + "\n")
+    return path
+
+
 def save_results(experiment_id: str, payload: dict) -> Path:
     """Persist a benchmark's measured values for EXPERIMENTS.md."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

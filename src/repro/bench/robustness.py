@@ -1,0 +1,201 @@
+"""Robustness benchmark: per-fault recovery metrics across all CC schemes.
+
+The ROADMAP's "bench robustness report": sweep the
+:func:`~repro.bench.scenarios.robustness_scenario` family over every
+registered congestion-control scheme x each fault kind x both network
+engines, measure post-fault recovery with
+:mod:`repro.metrics.recovery`, aggregate across seeds, and emit a JSON
+artifact plus a markdown table.  Because every scheme runs under every
+fault on both substrates, the sweep doubles as a broad correctness check
+of the fault-injection layer.
+
+Entry points: :func:`run_robustness_sweep` (the full cross product,
+programmable subset), :func:`markdown_report` (the human-readable table)
+and the ``repro bench robustness`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ScenarioConfig
+from ..env import run_scenario
+from ..env.packetrun import run_scenario_packet
+from ..errors import ConfigError
+from ..metrics.recovery import RecoveryReport, recovery_report
+from .reporting import markdown_table
+from .scenarios import robustness_scenario
+
+#: Fault kinds of the sweep (the five primitives; "mixed" is excluded
+#: because its random composite has no single window to recover from).
+FAULT_KINDS = ("blackout", "flap", "loss-burst", "delay-spike", "reorder")
+
+#: Every registered scheme the report compares.
+ALL_SCHEMES = ("astraea", "aurora", "orca", "vivace", "remy", "bbr",
+               "copa", "cubic", "newreno", "reno", "vegas", "compound")
+
+ENGINES = ("fluid", "packet")
+
+#: The CI smoke subset: 2 schemes x 2 fault kinds, fluid engine only.
+SMALL_SCHEMES = ("cubic", "bbr")
+SMALL_KINDS = ("blackout", "flap")
+
+
+@dataclass(frozen=True)
+class RecoveryCell:
+    """Aggregated recovery stats of one (scheme, fault, engine) cell.
+
+    Means are taken over the trials in which the respective metric was
+    finite; ``recovered`` counts trials whose throughput re-attained the
+    recovery threshold, so a cell with ``recovered < trials`` flags a
+    scheme the fault left (partially) broken rather than hiding it inside
+    an averaged sentinel.
+    """
+
+    scheme: str
+    kind: str
+    engine: str
+    trials: int
+    recovered: int
+    recovery_time_s: float
+    jain_reconvergence_s: float
+    peak_rtt_overshoot_ms: float
+    goodput_lost_mbit: float
+    baseline_mbps: float
+
+    def as_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "kind": self.kind,
+            "engine": self.engine,
+            "trials": self.trials,
+            "recovered": self.recovered,
+            "recovery_time_s": self.recovery_time_s,
+            "jain_reconvergence_s": self.jain_reconvergence_s,
+            "peak_rtt_overshoot_ms": self.peak_rtt_overshoot_ms,
+            "goodput_lost_mbit": self.goodput_lost_mbit,
+            "baseline_mbps": self.baseline_mbps,
+        }
+
+
+def run_engine_scenario(scenario: ScenarioConfig, engine: str):
+    """Dispatch one scenario to the requested simulation engine."""
+    if engine == "fluid":
+        return run_scenario(scenario)
+    if engine == "packet":
+        return run_scenario_packet(scenario)
+    raise ConfigError(f"unknown engine {engine!r}; known: {ENGINES}")
+
+
+def _finite_mean(values) -> float:
+    finite = [v for v in values if np.isfinite(v)]
+    return float(np.mean(finite)) if finite else float("nan")
+
+
+def aggregate_reports(scheme: str, kind: str, engine: str,
+                      reports: list[RecoveryReport]) -> RecoveryCell:
+    """Collapse per-seed recovery reports into one table cell."""
+    if not reports:
+        raise ConfigError("cannot aggregate zero recovery reports")
+    return RecoveryCell(
+        scheme=scheme,
+        kind=kind,
+        engine=engine,
+        trials=len(reports),
+        recovered=sum(1 for r in reports if r.recovered),
+        recovery_time_s=_finite_mean([r.recovery_time_s for r in reports]),
+        jain_reconvergence_s=_finite_mean(
+            [r.jain_reconvergence_s for r in reports]),
+        peak_rtt_overshoot_ms=_finite_mean(
+            [r.peak_rtt_overshoot_ms for r in reports]),
+        goodput_lost_mbit=_finite_mean(
+            [r.goodput_lost_mbit for r in reports]),
+        baseline_mbps=_finite_mean([r.baseline_mbps for r in reports]),
+    )
+
+
+def run_cell(scheme: str, kind: str, engine: str, trials: int = 2,
+             quick: bool = True, threshold: float = 0.9) -> RecoveryCell:
+    """Run one (scheme, fault kind, engine) cell across ``trials`` seeds."""
+    reports = []
+    for seed in range(trials):
+        scenario = robustness_scenario(scheme, kind=kind, quick=quick,
+                                       seed=seed)
+        result = run_engine_scenario(scenario, engine)
+        reports.append(recovery_report(result, scenario.faults,
+                                       threshold=threshold))
+    return aggregate_reports(scheme, kind, engine, reports)
+
+
+def run_robustness_sweep(schemes=ALL_SCHEMES, kinds=FAULT_KINDS,
+                         engines=ENGINES, trials: int = 2,
+                         quick: bool = True, threshold: float = 0.9,
+                         progress=None) -> dict:
+    """The full sweep: every scheme x fault kind x engine.
+
+    Returns a JSON-serialisable payload with one entry per cell.
+    ``progress`` is an optional callback ``(done, total, cell)`` invoked
+    after each cell (the CLI uses it for stderr progress lines).
+    """
+    unknown = [k for k in kinds if k not in FAULT_KINDS]
+    if unknown:
+        raise ConfigError(
+            f"unknown fault kinds {unknown}; known: {list(FAULT_KINDS)}")
+    cells = []
+    combos = [(s, k, e) for e in engines for s in schemes for k in kinds]
+    for i, (scheme, kind, engine) in enumerate(combos):
+        cell = run_cell(scheme, kind, engine, trials=trials, quick=quick,
+                        threshold=threshold)
+        cells.append(cell)
+        if progress is not None:
+            progress(i + 1, len(combos), cell)
+    return {
+        "schemes": list(schemes),
+        "kinds": list(kinds),
+        "engines": list(engines),
+        "trials": trials,
+        "quick": quick,
+        "threshold": threshold,
+        "cells": [c.as_dict() for c in cells],
+    }
+
+
+TABLE_HEADERS = ["scheme", "fault", "engine", "recovered",
+                 "t_recover (s)", "t_jain (s)", "rtt overshoot (ms)",
+                 "goodput lost (Mbit)"]
+
+
+def table_rows(payload: dict) -> list[list]:
+    """Rows of the report table, scheme-major then fault then engine."""
+    rows = []
+    cells = sorted(payload["cells"],
+                   key=lambda c: (c["scheme"], c["kind"], c["engine"]))
+    for c in cells:
+        rows.append([
+            c["scheme"], c["kind"], c["engine"],
+            f"{c['recovered']}/{c['trials']}",
+            c["recovery_time_s"], c["jain_reconvergence_s"],
+            c["peak_rtt_overshoot_ms"], c["goodput_lost_mbit"],
+        ])
+    return rows
+
+
+def markdown_report(payload: dict) -> str:
+    """The robustness report as a markdown document."""
+    mode = "quick" if payload.get("quick") else "full"
+    lines = [
+        "# Robustness report — post-fault recovery",
+        "",
+        f"Recovery threshold: {payload['threshold']:.0%} of pre-fault "
+        f"steady state; {payload['trials']} trial(s) per cell; "
+        f"{mode}-mode scenarios.",
+        "",
+        markdown_table(TABLE_HEADERS, table_rows(payload)),
+        "",
+        "`t_recover` / `t_jain` average the trials that recovered; "
+        "`recovered` counts how many did (never-recovered runs carry the "
+        "sentinel and are excluded from the means).",
+    ]
+    return "\n".join(lines)

@@ -19,6 +19,10 @@ Commands
 ``faults``    inspect or exercise link-fault schedules: print a sampled
               schedule, or run a robustness scenario under one scheme
               and print its summary.
+``bench``     benchmark sweeps; ``bench robustness`` runs the
+              scheme x fault-kind x engine recovery sweep and writes the
+              JSON artifact plus markdown table under
+              ``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -281,6 +285,65 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_robustness(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import reporting
+    from .bench.robustness import (
+        ALL_SCHEMES,
+        ENGINES,
+        FAULT_KINDS,
+        SMALL_KINDS,
+        SMALL_SCHEMES,
+        markdown_report,
+        run_robustness_sweep,
+    )
+    from .errors import ReproError
+
+    def split(value, default):
+        if value is None or value == "all":
+            return default
+        return tuple(v.strip() for v in value.split(",") if v.strip())
+
+    if args.small:
+        schemes, kinds, engines = SMALL_SCHEMES, SMALL_KINDS, ("fluid",)
+        trials = 1
+    else:
+        schemes = split(args.schemes, ALL_SCHEMES)
+        kinds = split(args.kinds, FAULT_KINDS)
+        engines = split(args.engines, ENGINES)
+        trials = args.trials
+
+    def progress(done, total, cell):
+        print(f"[{done}/{total}] {cell.engine}/{cell.scheme}/{cell.kind}: "
+              f"recovered {cell.recovered}/{cell.trials}", file=sys.stderr)
+
+    try:
+        payload = run_robustness_sweep(
+            schemes=schemes, kinds=kinds, engines=engines, trials=trials,
+            quick=not args.full, threshold=args.threshold,
+            progress=progress)
+    except ReproError as exc:
+        print(f"robustness sweep failed: {exc}", file=sys.stderr)
+        return 1
+    report = markdown_report(payload)
+    exp_id = "robustness_small" if args.small else "robustness"
+    if args.out_dir:
+        out = Path(args.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        json_path = out / f"{exp_id}.json"
+        json_path.write_text(json.dumps(payload, indent=2))
+        md_path = out / f"{exp_id}.md"
+        md_path.write_text(report + "\n")
+    else:
+        json_path = reporting.save_results(exp_id, payload)
+        md_path = reporting.save_markdown(exp_id, report)
+    print(report)
+    print(f"\nJSON artifact: {json_path}\nmarkdown table: {md_path}",
+          file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -381,6 +444,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--describe-only", action="store_true",
                           help="print the schedule without running")
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark sweeps (robustness report)")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_rob = bench_sub.add_parser(
+        "robustness",
+        help="recovery metrics per (scheme, fault kind, engine)")
+    p_rob.add_argument("--schemes", default=None,
+                       help="comma-separated scheme names (default: all)")
+    p_rob.add_argument("--kinds", default=None,
+                       help="comma-separated fault kinds (default: all 5)")
+    p_rob.add_argument("--engines", default=None,
+                       help="comma-separated engines (default: fluid,packet)")
+    p_rob.add_argument("--trials", type=int, default=2,
+                       help="seeds per (scheme, fault, engine) cell")
+    p_rob.add_argument("--threshold", type=float, default=0.9,
+                       help="recovered = throughput back at this fraction "
+                            "of the pre-fault steady state")
+    p_rob.add_argument("--small", action="store_true",
+                       help="CI smoke subset: 2 schemes x 2 faults, fluid "
+                            "engine, 1 trial")
+    p_rob.add_argument("--full", action="store_true",
+                       help="full 90 s scenarios instead of quick 30 s")
+    p_rob.add_argument("--out-dir", default=None,
+                       help="write artifacts here instead of "
+                            "benchmarks/results/")
+    p_rob.set_defaults(func=_cmd_bench_robustness)
     return parser
 
 

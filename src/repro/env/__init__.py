@@ -14,6 +14,7 @@ from .multiflow import (
     run_scenario,
     run_topology,
 )
+from .packetrun import run_scenario_packet
 from .pool import EnvironmentPool
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "ScenarioDriver",
     "build_driver",
     "run_scenario",
+    "run_scenario_packet",
     "run_topology",
     "TrainFlowController",
     "Observer",

@@ -11,9 +11,21 @@ from .convergence import (
     mean_stability,
 )
 from .fairness import astraea_fairness_metric, jain_index, max_min_fair_shares
+from .recovery import (
+    NEVER_RECOVERED,
+    RecoveryReport,
+    recovery_report,
+    recovery_time_s,
+    steady_state_mbps,
+)
 from .summary import RunSummary, cdf, percentile_summary, summarize
 
 __all__ = [
+    "NEVER_RECOVERED",
+    "RecoveryReport",
+    "recovery_report",
+    "recovery_time_s",
+    "steady_state_mbps",
     "jain_index",
     "astraea_fairness_metric",
     "max_min_fair_shares",

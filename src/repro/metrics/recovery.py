@@ -1,0 +1,235 @@
+"""Post-fault recovery metrics (the robustness report's measurement core).
+
+PR 2 made link impairments injectable (:mod:`repro.netsim.faults`); this
+module measures how a congestion-control scheme *recovers* from them.  All
+metrics are computed from the per-MTP flow traces of a
+:class:`~repro.env.multiflow.ScenarioResult`, so they work identically for
+fluid-engine and packet-engine runs:
+
+* **recovery time** — seconds from the instant the fault clears until the
+  aggregate delivered throughput re-attains ``threshold`` x the pre-fault
+  steady state (and holds it for ``hold_s``);
+* **Jain re-convergence time** — seconds from fault clearance until the
+  active flows' Jain index again sustains ``jain_threshold``;
+* **peak RTT overshoot** — how far latency spiked above the pre-fault mean
+  during or after the fault (queue drain after a blackout, the delay spike
+  itself, loss-recovery dips);
+* **goodput lost** — the integral of throughput shortfall against the
+  pre-fault baseline from fault onset until recovery (or trace end);
+* a **never-recovered sentinel** — :data:`NEVER_RECOVERED` (``inf``) when
+  the threshold is never re-attained inside the trace, so aggregation can
+  count failures instead of averaging a bogus number.
+
+Edge windows are well-defined by construction: a fault at ``t = 0`` has no
+pre-fault window, so the baseline falls back to the link capacity; a fault
+extending past the episode end has no post-fault window and yields the
+sentinel; a fault shorter than one MTP may cover no trace sample at all and
+simply measures (near-)instant recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..env.multiflow import ScenarioResult
+from ..errors import ConfigError
+from .convergence import _smooth
+
+#: Sentinel recovery time: the trace never re-attained the target.
+NEVER_RECOVERED = float("inf")
+
+#: Default fraction of the pre-fault steady state that counts as recovered.
+DEFAULT_THRESHOLD = 0.9
+
+#: Default Jain-index level that counts as re-converged.
+DEFAULT_JAIN_THRESHOLD = 0.9
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Recovery outcome of one scenario run under one fault window.
+
+    ``recovery_time_s`` and ``jain_reconvergence_s`` are
+    :data:`NEVER_RECOVERED` when the respective criterion was never met;
+    ``jain_reconvergence_s`` is ``nan`` for single-flow runs (no fairness
+    to re-converge).  All other fields are always finite.
+    """
+
+    fault_start_s: float
+    fault_end_s: float
+    baseline_mbps: float
+    threshold: float
+    recovery_time_s: float
+    jain_reconvergence_s: float
+    peak_rtt_overshoot_ms: float
+    goodput_lost_mbit: float
+
+    @property
+    def recovered(self) -> bool:
+        return np.isfinite(self.recovery_time_s)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "fault_start_s": self.fault_start_s,
+            "fault_end_s": self.fault_end_s,
+            "baseline_mbps": self.baseline_mbps,
+            "threshold": self.threshold,
+            "recovery_time_s": self.recovery_time_s,
+            "jain_reconvergence_s": self.jain_reconvergence_s,
+            "peak_rtt_overshoot_ms": self.peak_rtt_overshoot_ms,
+            "goodput_lost_mbit": self.goodput_lost_mbit,
+            "recovered": bool(self.recovered),
+        }
+
+
+# ----------------------------------------------------------------------
+# Pure trace functions (property-tested in tests/metrics/test_recovery.py)
+# ----------------------------------------------------------------------
+
+def recovery_time_s(times, values, fault_end_s: float, target: float,
+                    hold_s: float = 0.0) -> float:
+    """Seconds after ``fault_end_s`` until ``values`` re-attains ``target``.
+
+    Scans the samples at or after the fault clears and returns the offset
+    of the first one at which ``values >= target`` holds continuously for
+    ``hold_s`` seconds (every sample inside the hold window must qualify;
+    the last qualifying sample's window is allowed to run off the end of
+    the trace).  Returns :data:`NEVER_RECOVERED` when no such sample
+    exists — including when the fault outlives the trace entirely.
+
+    The function is a pure function of ``(times - fault_end_s, values)``,
+    so it is invariant under a uniform time shift of the trace, and it is
+    monotone (non-decreasing) in ``target``: asking for a fuller recovery
+    can never make recovery look faster.
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape:
+        raise ConfigError("times and values must have matching shapes")
+    if hold_s < 0:
+        raise ConfigError("hold window must be >= 0")
+    if t.size == 0:
+        return NEVER_RECOVERED
+    post = np.where(t >= fault_end_s)[0]
+    if post.size == 0:
+        return NEVER_RECOVERED
+    ok = v >= target
+    for j in post:
+        if not ok[j]:
+            continue
+        window = (t >= t[j]) & (t <= t[j] + hold_s)
+        if ok[window].all():
+            return float(t[j] - fault_end_s)
+    return NEVER_RECOVERED
+
+
+def steady_state_mbps(times, values, fault_start_s: float,
+                      warmup_s: float = 2.0,
+                      fallback: float = float("nan")) -> float:
+    """Mean of ``values`` over the pre-fault window ``[warmup_s, start)``.
+
+    Drops the first ``warmup_s`` seconds (slow start / ramp-up).  When the
+    fault begins before any usable sample — a fault scheduled at ``t = 0``
+    — the whole pre-fault window is empty and ``fallback`` is returned, so
+    callers can substitute a capacity-derived baseline instead of dividing
+    by an empty mean.
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    keep = (t >= warmup_s) & (t < fault_start_s)
+    if not keep.any():
+        # Relax the warmup before giving up: a fault early in the run
+        # should still measure against whatever clean samples exist.
+        keep = t < fault_start_s
+    if not keep.any():
+        return float(fallback)
+    return float(np.mean(v[keep]))
+
+
+# ----------------------------------------------------------------------
+# Scenario-level report
+# ----------------------------------------------------------------------
+
+def _fault_window(faults) -> tuple[float, float]:
+    events = getattr(faults, "events", None)
+    if not events:
+        raise ConfigError("recovery metrics need a non-empty fault schedule")
+    return min(e.start_s for e in events), max(e.end_s for e in events)
+
+
+def recovery_report(result: ScenarioResult, faults,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    jain_threshold: float = DEFAULT_JAIN_THRESHOLD,
+                    grid_s: float = 0.1, warmup_s: float = 2.0,
+                    hold_s: float = 0.5,
+                    smooth_s: float = 0.3) -> RecoveryReport:
+    """Measure one run's recovery from the faults it ran under.
+
+    ``faults`` is the :class:`~repro.netsim.faults.FaultSchedule` the
+    scenario was executed with; the fault window spans from the first
+    event's start to the last event's end (composite schedules are judged
+    as one disturbance).
+    """
+    if not 0 < threshold <= 1:
+        raise ConfigError("recovery threshold must lie in (0, 1]")
+    if not 0 < jain_threshold <= 1:
+        raise ConfigError("jain threshold must lie in (0, 1]")
+    fault_start, fault_end = _fault_window(faults)
+
+    times, matrix, active = result.throughput_matrix(grid_s)
+    total = (matrix * active).sum(axis=0)
+    width = max(int(round(smooth_s / grid_s)), 1)
+    smoothed = _smooth(total, width)
+
+    baseline = steady_state_mbps(times, smoothed, fault_start,
+                                 warmup_s=warmup_s,
+                                 fallback=result.bottleneck_mbps)
+    target = threshold * baseline
+    t_rec = recovery_time_s(times, smoothed, fault_end, target,
+                            hold_s=hold_s)
+
+    jt, jv = result.jain_series(grid_s)
+    if jt.size == 0:
+        t_jain = float("nan")  # single-flow run: nothing to re-converge
+    else:
+        t_jain = recovery_time_s(jt, _smooth(jv, width), fault_end,
+                                 jain_threshold, hold_s=hold_s)
+
+    # Latency overshoot: worst RTT seen from fault onset onwards, against
+    # the pre-fault mean (base RTT when the fault starts at t=0).
+    pre_rtts, post_peak = [], 0.0
+    for flow in result.flows:
+        ft = np.asarray(flow.times, dtype=float)
+        fr = np.asarray(flow.rtt_s, dtype=float)
+        pre = fr[(ft >= min(warmup_s, fault_start / 2.0))
+                 & (ft < fault_start)]
+        if pre.size:
+            pre_rtts.append(float(np.mean(pre)))
+        after = fr[ft >= fault_start]
+        if after.size:
+            post_peak = max(post_peak, float(np.max(after)))
+    pre_rtt = float(np.mean(pre_rtts)) if pre_rtts else result.base_rtt_s
+    overshoot_ms = max(post_peak - pre_rtt, 0.0) * 1e3 if post_peak else 0.0
+
+    # Goodput shortfall against the baseline, from fault onset until the
+    # recovery instant (or trace end when the run never recovered).
+    if np.isfinite(t_rec):
+        lost_until = fault_end + t_rec
+    else:
+        lost_until = result.duration_s
+    in_window = (times >= fault_start) & (times <= lost_until)
+    shortfall = np.clip(baseline - total[in_window], 0.0, None)
+    goodput_lost = float(shortfall.sum() * grid_s)  # Mbps x s = Mbit
+
+    return RecoveryReport(
+        fault_start_s=fault_start,
+        fault_end_s=fault_end,
+        baseline_mbps=baseline,
+        threshold=threshold,
+        recovery_time_s=t_rec,
+        jain_reconvergence_s=t_jain,
+        peak_rtt_overshoot_ms=overshoot_ms,
+        goodput_lost_mbit=goodput_lost,
+    )

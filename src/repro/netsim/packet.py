@@ -58,9 +58,11 @@ class _Flow:
     fid: int
     cwnd: float
     base_rtt_s: float
+    max_cwnd: float = float("inf")
     pacing_pps: float | None = None
     inflight: int = 0
     next_send_ok: float = 0.0
+    send_event_at: float = -1.0
     stats: PacketFlowStats = field(default_factory=PacketFlowStats)
     # Per-MTP accumulators.
     mtp_delivered: int = 0
@@ -102,7 +104,16 @@ class PacketNetwork:
         if base_rtt_s <= 0:
             raise SimulationError("base rtt must be positive")
         fid = len(self._flows)
-        self._flows[fid] = _Flow(fid=fid, cwnd=cwnd, base_rtt_s=base_rtt_s,
+        # Cap the acceptable window at the pipe limit (buffer plus a few
+        # bandwidth-delay products).  Every packet beyond it is an
+        # immediate, guaranteed tail drop: simulating each one costs an
+        # event while telling the sender nothing it does not already see
+        # at the cap, and rate-based schemes (BBR, Vivace, Astraea) can
+        # otherwise push cwnd so high during a blackout that the event
+        # queue grows without bound.
+        max_cwnd = self._buffer_pkts + 4.0 * self._capacity_pps * base_rtt_s
+        self._flows[fid] = _Flow(fid=fid, cwnd=min(cwnd, max_cwnd),
+                                 base_rtt_s=base_rtt_s, max_cwnd=max_cwnd,
                                  pacing_pps=pacing_pps)
         if on_mtp is not None:
             self._callbacks[fid] = on_mtp
@@ -111,7 +122,7 @@ class PacketNetwork:
     def set_cwnd(self, fid: int, cwnd: float,
                  pacing_pps: float | None = None) -> None:
         flow = self._flows[fid]
-        flow.cwnd = max(cwnd, 1.0)
+        flow.cwnd = min(max(cwnd, 1.0), flow.max_cwnd)
         flow.pacing_pps = pacing_pps
 
     def stats(self, fid: int) -> PacketFlowStats:
@@ -126,7 +137,12 @@ class PacketNetwork:
         """Send as permitted by cwnd and pacing; schedules follow-ups."""
         while flow.inflight < int(flow.cwnd):
             if flow.pacing_pps is not None and self.now < flow.next_send_ok:
-                self._push(flow.next_send_ok, _SEND, flow.fid)
+                # One pending wake-up per flow: every ACK retries the send,
+                # and re-pushing an identical event per attempt floods the
+                # heap at high ACK rates.
+                if flow.send_event_at < flow.next_send_ok:
+                    self._push(flow.next_send_ok, _SEND, flow.fid)
+                    flow.send_event_at = flow.next_send_ok
                 return
             flow.inflight += 1
             flow.stats.sent += 1
@@ -254,7 +270,9 @@ class PacketNetwork:
                 flow.inflight = max(flow.inflight - 1, 0)
                 self._try_send(flow)
             elif kind == _SEND:
-                self._try_send(self._flows[fid])
+                flow = self._flows[fid]
+                flow.send_event_at = -1.0
+                self._try_send(flow)
             elif kind == _MTP:
                 self._fire_mtp(fid)
         self.now = end

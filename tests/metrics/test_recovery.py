@@ -1,0 +1,237 @@
+"""Recovery metrics: hypothesis properties and scenario-level behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.env.multiflow import FlowLog, ScenarioResult
+from repro.errors import ConfigError
+from repro.metrics.recovery import (
+    NEVER_RECOVERED,
+    recovery_report,
+    recovery_time_s,
+    steady_state_mbps,
+)
+from repro.netsim.faults import Blackout, FaultSchedule, LossBurst
+
+
+# ----------------------------------------------------------------------
+# Strategies: a monotone time axis with one throughput value per sample.
+# ----------------------------------------------------------------------
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    steps = draw(hnp.arrays(np.float64, n,
+                            elements=st.floats(0.01, 2.0)))
+    times = np.cumsum(steps)
+    values = draw(hnp.arrays(np.float64, n,
+                             elements=st.floats(0.0, 100.0)))
+    # A fault that clears somewhere inside (or slightly past) the trace.
+    fault_end = draw(st.floats(min_value=float(times[0]),
+                               max_value=float(times[-1]) * 1.2))
+    return times, values, fault_end
+
+
+class TestRecoveryTimeProperties:
+    @given(traces(), st.floats(0.0, 120.0))
+    @settings(max_examples=150, deadline=None)
+    def test_non_negative_and_bounded_by_trace(self, trace, target):
+        times, values, fault_end = trace
+        t = recovery_time_s(times, values, fault_end, target)
+        if np.isfinite(t):
+            assert t >= 0.0
+            assert t <= float(times[-1] - times[0]) + 1e-9
+
+    @given(traces(), st.floats(0.0, 60.0), st.floats(0.0, 60.0))
+    @settings(max_examples=150, deadline=None)
+    def test_monotone_in_target(self, trace, a, b):
+        times, values, fault_end = trace
+        lo, hi = min(a, b), max(a, b)
+        assert recovery_time_s(times, values, fault_end, lo) <= \
+            recovery_time_s(times, values, fault_end, hi)
+
+    @given(traces(), st.floats(0.0, 60.0), st.floats(-100.0, 100.0))
+    @settings(max_examples=150, deadline=None)
+    def test_invariant_under_time_shift(self, trace, target, shift):
+        times, values, fault_end = trace
+        # A fault boundary within one ulp of a sample time can flip the
+        # `t >= fault_end` comparison once the shift re-rounds both
+        # sides; that is float arithmetic, not the metric.  Skip draws
+        # that sit on the knife edge.
+        assume(float(np.abs(times - fault_end).min()) > 1e-7)
+        base = recovery_time_s(times, values, fault_end, target)
+        shifted = recovery_time_s(times + shift, values,
+                                  fault_end + shift, target)
+        if np.isfinite(base):
+            assert shifted == pytest.approx(base, abs=1e-9)
+        else:
+            assert shifted == NEVER_RECOVERED
+
+    @given(traces())
+    @settings(max_examples=150, deadline=None)
+    def test_sentinel_when_never_reattained(self, trace):
+        times, values, fault_end = trace
+        post = values[times >= fault_end]
+        unreachable = (float(post.max()) if post.size else 0.0) + 1.0
+        assert recovery_time_s(times, values, fault_end,
+                               unreachable) == NEVER_RECOVERED
+
+    @given(traces(), st.floats(0.0, 60.0), st.floats(0.0, 5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_hold_window_never_speeds_recovery(self, trace, target, hold):
+        times, values, fault_end = trace
+        assert recovery_time_s(times, values, fault_end, target,
+                               hold_s=hold) >= \
+            recovery_time_s(times, values, fault_end, target)
+
+
+class TestRecoveryTimeUnits:
+    def test_immediate_recovery_is_zero(self):
+        t = recovery_time_s([0.0, 1.0, 2.0], [10.0, 10.0, 10.0],
+                            fault_end_s=1.0, target=5.0)
+        assert t == 0.0
+
+    def test_finds_first_sustained_crossing(self):
+        times = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        values = [10.0, 0.0, 8.0, 2.0, 9.0, 9.0]
+        # At t=2 throughput pops above target but drops again within the
+        # 2 s hold; the sustained crossing is t=4.
+        t = recovery_time_s(times, values, fault_end_s=1.0, target=5.0,
+                            hold_s=2.0)
+        assert t == pytest.approx(3.0)
+
+    def test_fault_past_trace_end_is_sentinel(self):
+        assert recovery_time_s([0.0, 1.0], [5.0, 5.0], fault_end_s=2.0,
+                               target=1.0) == NEVER_RECOVERED
+
+    def test_empty_trace_is_sentinel(self):
+        assert recovery_time_s([], [], 0.0, 1.0) == NEVER_RECOVERED
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            recovery_time_s([0.0, 1.0], [1.0], 0.0, 1.0)
+        with pytest.raises(ConfigError):
+            recovery_time_s([0.0], [1.0], 0.0, 1.0, hold_s=-1.0)
+
+
+class TestSteadyState:
+    def test_pre_fault_mean_after_warmup(self):
+        times = np.arange(0.0, 10.0, 0.5)
+        values = np.where(times < 2.0, 0.0, 50.0)
+        assert steady_state_mbps(times, values, fault_start_s=8.0,
+                                 warmup_s=2.0) == pytest.approx(50.0)
+
+    def test_early_fault_relaxes_warmup(self):
+        # Fault at t=1 with a 2 s warmup: fall back to every pre-fault
+        # sample rather than returning the fallback.
+        times = np.array([0.25, 0.5, 0.75, 1.5])
+        values = np.array([10.0, 20.0, 30.0, 99.0])
+        assert steady_state_mbps(times, values, fault_start_s=1.0,
+                                 warmup_s=2.0) == pytest.approx(20.0)
+
+    def test_fault_at_zero_uses_fallback(self):
+        assert steady_state_mbps([1.0, 2.0], [5.0, 5.0],
+                                 fault_start_s=0.0, warmup_s=2.0,
+                                 fallback=123.0) == 123.0
+
+
+# ----------------------------------------------------------------------
+# Scenario-level report on synthetic results (no simulation needed).
+# ----------------------------------------------------------------------
+
+def synthetic_result(duration=20.0, dip=(8.0, 10.0), level=40.0,
+                     recover_at=None, n_flows=2, rtt=0.03):
+    """Flows at ``level`` Mbps each, zeroed inside ``dip``; recovery at
+    ``recover_at`` (default: end of the dip)."""
+    recover_at = dip[1] if recover_at is None else recover_at
+    flows = []
+    for _ in range(n_flows):
+        log = FlowLog(cc_name="synthetic", start_s=0.0, end_s=duration)
+        t = 0.05
+        while t < duration:
+            log.times.append(t)
+            in_dip = dip[0] <= t < recover_at
+            log.throughput_mbps.append(0.0 if in_dip else level)
+            log.rtt_s.append(rtt * (2.0 if in_dip else 1.0))
+            log.loss_rate.append(0.0)
+            log.cwnd_pkts.append(10.0)
+            log.send_rate_mbps.append(level)
+            t += 0.1
+        flows.append(log)
+    return ScenarioResult(flows=flows, duration_s=duration,
+                          bottleneck_mbps=level * n_flows, base_rtt_s=rtt)
+
+
+class TestRecoveryReport:
+    def test_clean_recovery_measured(self):
+        faults = FaultSchedule((Blackout(8.0, 2.0),))
+        result = synthetic_result(recover_at=12.0)
+        rep = recovery_report(result, faults)
+        assert rep.recovered
+        # Dip ends at t=12, fault cleared at t=10: ~2 s to recover.
+        assert rep.recovery_time_s == pytest.approx(2.0, abs=0.5)
+        assert rep.baseline_mbps == pytest.approx(80.0, rel=0.05)
+        assert rep.peak_rtt_overshoot_ms == pytest.approx(30.0, abs=5.0)
+        assert rep.goodput_lost_mbit == pytest.approx(4.0 * 80.0, rel=0.2)
+
+    def test_never_recovered_sentinel(self):
+        faults = FaultSchedule((Blackout(8.0, 2.0),))
+        result = synthetic_result(recover_at=1e9)  # throughput never back
+        rep = recovery_report(result, faults)
+        assert not rep.recovered
+        assert rep.recovery_time_s == NEVER_RECOVERED
+
+    def test_fault_at_zero_uses_capacity_baseline(self):
+        faults = FaultSchedule((Blackout(0.0, 1.0),))
+        result = synthetic_result(dip=(0.0, 1.0))
+        rep = recovery_report(result, faults)
+        assert rep.baseline_mbps == result.bottleneck_mbps
+        assert np.isfinite(rep.recovery_time_s)
+        assert rep.goodput_lost_mbit >= 0.0
+
+    def test_fault_past_episode_end_is_sentinel(self):
+        faults = FaultSchedule((Blackout(18.0, 50.0),))
+        result = synthetic_result(dip=(18.0, 20.0))
+        rep = recovery_report(result, faults)
+        assert not rep.recovered
+        assert rep.goodput_lost_mbit >= 0.0
+        assert np.isfinite(rep.peak_rtt_overshoot_ms)
+
+    def test_sub_mtp_fault_is_well_defined(self):
+        # 10 ms fault, shorter than both the MTP and the metric grid.
+        faults = FaultSchedule((LossBurst(8.0, 0.01, loss_rate=0.5),))
+        result = synthetic_result(dip=(8.0, 8.0))  # no visible dip at all
+        rep = recovery_report(result, faults)
+        assert rep.recovered
+        assert rep.recovery_time_s == pytest.approx(0.0, abs=0.2)
+        assert rep.goodput_lost_mbit == pytest.approx(0.0, abs=1.0)
+
+    def test_single_flow_jain_is_nan(self):
+        faults = FaultSchedule((Blackout(8.0, 2.0),))
+        rep = recovery_report(synthetic_result(n_flows=1), faults)
+        assert np.isnan(rep.jain_reconvergence_s)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ConfigError):
+            recovery_report(synthetic_result(), FaultSchedule())
+
+    def test_threshold_validation(self):
+        faults = FaultSchedule((Blackout(8.0, 2.0),))
+        with pytest.raises(ConfigError):
+            recovery_report(synthetic_result(), faults, threshold=0.0)
+        with pytest.raises(ConfigError):
+            recovery_report(synthetic_result(), faults, jain_threshold=1.5)
+
+    def test_as_dict_round_trips_all_fields(self):
+        faults = FaultSchedule((Blackout(8.0, 2.0),))
+        doc = recovery_report(synthetic_result(), faults).as_dict()
+        assert doc["recovered"] is True
+        assert set(doc) >= {"fault_start_s", "fault_end_s",
+                            "baseline_mbps", "recovery_time_s",
+                            "jain_reconvergence_s",
+                            "peak_rtt_overshoot_ms", "goodput_lost_mbit"}

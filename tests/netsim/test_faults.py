@@ -286,3 +286,100 @@ class TestScenarioIntegration:
         sc = robustness_scenario("cubic", kind="mixed", quick=True, seed=5)
         again = scenario_from_dict(scenario_to_dict(sc))
         assert again.faults == sc.faults
+
+
+class TestEdgeWindows:
+    """Faults at t=0, faults outliving the episode, sub-MTP windows.
+
+    Every edge placement must yield well-defined, finite statistics on
+    BOTH engines — and a well-defined recovery report downstream.
+    """
+
+    def _run_packet(self, faults, seconds=4.0, cwnd=100.0, seed=0):
+        net = PacketNetwork(LINK, seed=seed, faults=faults)
+        fid = net.add_flow(base_rtt_s=0.030, cwnd=cwnd)
+        net.run(seconds)
+        return net.stats(fid)
+
+    # -- fault starting at t = 0 ------------------------------------
+
+    def test_blackout_at_zero_fluid(self):
+        faults = FaultSchedule((Blackout(0.0, 0.5),))
+        net, fid, samples = _run_fluid(faults)
+        during = [g for t, g, _, _ in samples if t < 0.5]
+        after = [g for t, g, _, _ in samples if t >= 2.0]
+        assert max(during) == pytest.approx(0.0, abs=1e-9)
+        assert np.mean(after) > 100.0
+        assert np.isfinite([r for _, _, r, _ in samples]).all()
+
+    def test_blackout_at_zero_packet(self):
+        stats = self._run_packet(FaultSchedule((Blackout(0.0, 0.5),)))
+        assert stats.delivered > 0          # service resumed after t=0.5
+        assert np.isfinite(stats.avg_rtt_s)
+        assert stats.sent >= stats.delivered
+
+    # -- fault extending past the episode end -----------------------
+
+    def test_fault_outliving_run_fluid(self):
+        faults = FaultSchedule((Blackout(3.0, 10.0),))
+        net, fid, samples = _run_fluid(faults)  # 4 s run, fault to t=13
+        tail = [g for t, g, _, _ in samples if t >= 3.2]
+        head = [g for t, g, _, _ in samples if 1.0 <= t < 3.0]
+        assert max(tail) == pytest.approx(0.0, abs=1e-9)
+        assert np.mean(head) > 100.0
+        assert np.isfinite([r for _, _, r, _ in samples]).all()
+
+    def test_fault_outliving_run_packet(self):
+        faulted = self._run_packet(FaultSchedule((Blackout(3.0, 10.0),)))
+        clean = self._run_packet(None)
+        # The last quarter of service is gone, nothing else breaks.
+        assert 0 < faulted.delivered < 0.85 * clean.delivered
+        assert np.isfinite(faulted.avg_rtt_s)
+
+    # -- fault window shorter than one MTP --------------------------
+
+    def test_sub_mtp_fault_fluid(self):
+        # 10 ms burst < 30 ms MTP: still visible as loss, nothing NaN.
+        faults = FaultSchedule((LossBurst(1.0, 0.010, loss_rate=0.5),))
+        net, fid, samples = _run_fluid(faults, cwnd=40.0)
+        assert net._flows[fid].total_lost_pkts > 0
+        assert np.isfinite([g for _, g, _, _ in samples]).all()
+
+    def test_sub_mtp_fault_packet(self):
+        faulted = self._run_packet(
+            FaultSchedule((LossBurst(1.0, 0.010, loss_rate=0.5),)),
+            cwnd=20.0)
+        clean = self._run_packet(None, cwnd=20.0)
+        assert faulted.lost >= clean.lost
+        assert faulted.delivered > 0
+        assert np.isfinite(faulted.avg_rtt_s)
+
+    # -- downstream: recovery reports stay well-defined --------------
+
+    @pytest.mark.parametrize("engine", ["fluid", "packet"])
+    @pytest.mark.parametrize("faults", [
+        FaultSchedule((Blackout(0.0, 0.9),)),
+        FaultSchedule((Blackout(25.0, 30.0),)),
+        FaultSchedule((LossBurst(12.0, 0.010, loss_rate=0.5),)),
+    ], ids=["at-zero", "past-end", "sub-mtp"])
+    def test_recovery_report_well_defined(self, engine, faults):
+        from dataclasses import replace
+
+        from repro.bench.robustness import run_engine_scenario
+        from repro.bench.scenarios import robustness_scenario
+        from repro.metrics.recovery import recovery_report
+
+        sc = replace(robustness_scenario("cubic", kind="blackout",
+                                         quick=True), faults=faults)
+        rep = recovery_report(run_engine_scenario(sc, engine), faults)
+        # Finite where promised; the sentinel (inf) only for recovery
+        # times, never NaN leaking out of edge windows.
+        assert np.isfinite(rep.baseline_mbps)
+        assert np.isfinite(rep.peak_rtt_overshoot_ms)
+        assert np.isfinite(rep.goodput_lost_mbit)
+        assert rep.goodput_lost_mbit >= 0.0
+        assert not np.isnan(rep.recovery_time_s)
+        if faults.events[0].end_s >= sc.duration_s:
+            assert not rep.recovered  # no post-fault window to recover in
+        else:
+            assert rep.recovered
