@@ -33,7 +33,9 @@ from .errors import (
     ReproError,
     ServiceError,
     SimulationError,
+    TaskError,
 )
+from .parallel import parallel_map, resolve_workers
 
 __version__ = "1.0.0"
 
@@ -48,6 +50,9 @@ __all__ = [
     "SimulationError",
     "ModelError",
     "ServiceError",
+    "TaskError",
+    "parallel_map",
+    "resolve_workers",
     "run_scenario",
     "run_topology",
     "__version__",

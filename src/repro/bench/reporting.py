@@ -3,12 +3,24 @@
 Every benchmark prints an aligned table (the "rows/series the paper
 reports") and writes its measured values to ``benchmarks/results/<id>.json``
 so that EXPERIMENTS.md can be assembled from the actual numbers.
+
+Artifacts are *strict* JSON: non-finite floats (the per-cell sentinel
+means of all-never-recovered sweeps, for instance) serialise as
+``null`` rather than the bare ``NaN``/``Infinity`` tokens Python's
+encoder emits by default — which no strict parser (``jq``, JavaScript
+``JSON.parse``) accepts.  Writes are atomic (serialise first, then
+temp-file + ``os.replace``), so a crash or a second concurrent writer
+can never tear a half-written artifact.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
+
+from ..errors import ConfigError
+from ..persist import write_text_atomic
 
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
 
@@ -58,34 +70,73 @@ def markdown_table(headers: list[str], rows: list[list]) -> str:
 
 
 def save_markdown(experiment_id: str, text: str) -> Path:
-    """Persist a markdown report next to the JSON results."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    """Persist a markdown report next to the JSON results (atomically)."""
     path = RESULTS_DIR / f"{experiment_id}.md"
-    path.write_text(text if text.endswith("\n") else text + "\n")
-    return path
+    return write_text_atomic(path,
+                             text if text.endswith("\n") else text + "\n")
+
+
+def sanitize_payload(obj):
+    """A copy of ``obj`` that strict JSON can represent.
+
+    NumPy scalars/arrays become native types, and non-finite floats
+    (``nan``, ``±inf``) become ``None`` — the lossy-but-honest encoding
+    of "no finite value" that every JSON parser understands.
+    """
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {k: sanitize_payload(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize_payload(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return sanitize_payload(obj.tolist())
+    if isinstance(obj, (np.floating, np.integer)):
+        obj = obj.item()
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    return obj
+
+
+def encode_results(payload: dict) -> str:
+    """Serialise a benchmark payload as strict JSON text."""
+    return json.dumps(sanitize_payload(payload), indent=2,
+                      allow_nan=False) + "\n"
+
+
+def write_results_file(path: str | Path, payload: dict) -> Path:
+    """Strictly encode ``payload`` and atomically write it to ``path``.
+
+    Serialisation happens before the file is touched, so an
+    unserialisable payload leaves any previous artifact intact.
+    """
+    return write_text_atomic(path, encode_results(payload))
 
 
 def save_results(experiment_id: str, payload: dict) -> Path:
     """Persist a benchmark's measured values for EXPERIMENTS.md."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"{experiment_id}.json"
-    path.write_text(json.dumps(payload, indent=2, default=_jsonify))
-    return path
+    return write_results_file(RESULTS_DIR / f"{experiment_id}.json", payload)
 
 
-def _jsonify(obj):
-    import numpy as np
+def _reject_constant(name: str):
+    raise ConfigError(
+        f"artifact contains non-strict JSON token {name!r}; regenerate it "
+        "with save_results (non-finite floats must serialise as null)")
 
-    if isinstance(obj, (np.floating, np.integer)):
-        return obj.item()
-    if isinstance(obj, np.ndarray):
-        return obj.tolist()
-    raise TypeError(f"not JSON-serialisable: {type(obj)}")
+
+def loads_strict(text: str):
+    """Parse JSON, rejecting the bare ``NaN``/``Infinity`` extensions."""
+    return json.loads(text, parse_constant=_reject_constant)
 
 
 def load_results(experiment_id: str) -> dict | None:
-    """Read back a previously saved benchmark record, if any."""
+    """Read back a previously saved benchmark record, if any.
+
+    Parsing is strict: a legacy artifact carrying bare ``NaN`` tokens
+    raises :class:`~repro.errors.ConfigError` instead of silently
+    round-tripping a document no other tool can read.
+    """
     path = RESULTS_DIR / f"{experiment_id}.json"
     if not path.exists():
         return None
-    return json.loads(path.read_text())
+    return loads_strict(path.read_text())

@@ -16,7 +16,8 @@ and the ``repro bench robustness`` CLI subcommand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace as dc_replace
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from ..env import run_scenario
 from ..env.packetrun import run_scenario_packet
 from ..errors import ConfigError
 from ..metrics.recovery import RecoveryReport, recovery_report
+from ..parallel import parallel_map, resolve_workers
 from .reporting import markdown_table
 from .scenarios import robustness_scenario
 
@@ -64,6 +66,9 @@ class RecoveryCell:
     peak_rtt_overshoot_ms: float
     goodput_lost_mbit: float
     baseline_mbps: float
+    #: Wall-clock spent running this cell (a timing field — excluded
+    #: from determinism comparisons, see :func:`strip_timing_fields`).
+    elapsed_s: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -77,6 +82,7 @@ class RecoveryCell:
             "peak_rtt_overshoot_ms": self.peak_rtt_overshoot_ms,
             "goodput_lost_mbit": self.goodput_lost_mbit,
             "baseline_mbps": self.baseline_mbps,
+            "elapsed_s": self.elapsed_s,
         }
 
 
@@ -117,40 +123,91 @@ def aggregate_reports(scheme: str, kind: str, engine: str,
 
 
 def run_cell(scheme: str, kind: str, engine: str, trials: int = 2,
-             quick: bool = True, threshold: float = 0.9) -> RecoveryCell:
-    """Run one (scheme, fault kind, engine) cell across ``trials`` seeds."""
+             quick: bool = True, threshold: float = 0.9,
+             seeds=None) -> RecoveryCell:
+    """Run one (scheme, fault kind, engine) cell across its seeds.
+
+    ``seeds`` defaults to ``range(trials)``; passing it explicitly lets
+    a task payload carry its own seeds (the parallel-layer contract).
+    The returned cell records the wall-clock it took (``elapsed_s``).
+    """
+    start = time.perf_counter()
+    if seeds is None:
+        seeds = range(trials)
     reports = []
-    for seed in range(trials):
+    for seed in seeds:
         scenario = robustness_scenario(scheme, kind=kind, quick=quick,
                                        seed=seed)
         result = run_engine_scenario(scenario, engine)
         reports.append(recovery_report(result, scenario.faults,
                                        threshold=threshold))
-    return aggregate_reports(scheme, kind, engine, reports)
+    cell = aggregate_reports(scheme, kind, engine, reports)
+    return dc_replace(cell, elapsed_s=time.perf_counter() - start)
+
+
+def _run_cell_task(task: dict) -> RecoveryCell:
+    """Module-level worker for :func:`parallel_map` (spawn-picklable)."""
+    return run_cell(task["scheme"], task["kind"], task["engine"],
+                    trials=len(task["seeds"]), quick=task["quick"],
+                    threshold=task["threshold"], seeds=task["seeds"])
+
+
+def _describe_cell_task(task: dict) -> str:
+    return f"cell {task['engine']}/{task['scheme']}/{task['kind']}"
+
+
+def validate_sweep_axes(schemes, kinds, engines) -> None:
+    """Reject unknown axis values *before* any cell burns sweep time.
+
+    A typo like ``--schemes cubci`` used to die minutes into the sweep,
+    inside ``cc.create`` of the first affected cell; now every axis is
+    checked up front with a :class:`~repro.errors.ConfigError` listing
+    the known values.
+    """
+    from ..cc import available
+
+    unknown = [k for k in kinds if k not in FAULT_KINDS]
+    if unknown:
+        raise ConfigError(
+            f"unknown fault kinds {unknown}; known: {list(FAULT_KINDS)}")
+    known_schemes = set(available())
+    unknown = [s for s in schemes if s not in known_schemes]
+    if unknown:
+        raise ConfigError(
+            f"unknown schemes {unknown}; known: {sorted(known_schemes)}")
+    unknown = [e for e in engines if e not in ENGINES]
+    if unknown:
+        raise ConfigError(
+            f"unknown engines {unknown}; known: {list(ENGINES)}")
 
 
 def run_robustness_sweep(schemes=ALL_SCHEMES, kinds=FAULT_KINDS,
                          engines=ENGINES, trials: int = 2,
                          quick: bool = True, threshold: float = 0.9,
-                         progress=None) -> dict:
+                         progress=None, workers: int | None = None) -> dict:
     """The full sweep: every scheme x fault kind x engine.
 
     Returns a JSON-serialisable payload with one entry per cell.
     ``progress`` is an optional callback ``(done, total, cell)`` invoked
-    after each cell (the CLI uses it for stderr progress lines).
+    as cells complete (the CLI uses it for stderr progress lines); with
+    ``workers > 1`` it fires in completion order with a monotone done
+    count.  The payload is identical for any worker count except for
+    the timing fields (``elapsed_s``, ``workers``) — asserted by test.
     """
-    unknown = [k for k in kinds if k not in FAULT_KINDS]
-    if unknown:
-        raise ConfigError(
-            f"unknown fault kinds {unknown}; known: {list(FAULT_KINDS)}")
-    cells = []
-    combos = [(s, k, e) for e in engines for s in schemes for k in kinds]
-    for i, (scheme, kind, engine) in enumerate(combos):
-        cell = run_cell(scheme, kind, engine, trials=trials, quick=quick,
-                        threshold=threshold)
-        cells.append(cell)
-        if progress is not None:
-            progress(i + 1, len(combos), cell)
+    validate_sweep_axes(schemes, kinds, engines)
+    start = time.perf_counter()
+    n_workers = resolve_workers(workers)
+    tasks = [
+        {"scheme": s, "kind": k, "engine": e, "seeds": list(range(trials)),
+         "quick": quick, "threshold": threshold}
+        for e in engines for s in schemes for k in kinds
+    ]
+    cells = parallel_map(
+        _run_cell_task, tasks, workers=n_workers,
+        describe=_describe_cell_task,
+        progress=(None if progress is None else
+                  lambda done, total, index, cell: progress(done, total,
+                                                            cell)))
     return {
         "schemes": list(schemes),
         "kinds": list(kinds),
@@ -158,8 +215,27 @@ def run_robustness_sweep(schemes=ALL_SCHEMES, kinds=FAULT_KINDS,
         "trials": trials,
         "quick": quick,
         "threshold": threshold,
+        "workers": n_workers,
+        "elapsed_s": time.perf_counter() - start,
         "cells": [c.as_dict() for c in cells],
     }
+
+
+#: Payload keys that legitimately differ between two runs of the same
+#: sweep (wall-clock instrumentation and pool sizing).
+TIMING_FIELDS = ("elapsed_s", "workers")
+
+
+def strip_timing_fields(payload: dict) -> dict:
+    """The payload with wall-clock instrumentation removed.
+
+    Two sweeps of identical inputs must agree exactly on this view, at
+    any worker count — the determinism contract of the parallel layer.
+    """
+    out = {k: v for k, v in payload.items() if k not in TIMING_FIELDS}
+    out["cells"] = [{k: v for k, v in cell.items() if k not in TIMING_FIELDS}
+                    for cell in payload["cells"]]
+    return out
 
 
 TABLE_HEADERS = ["scheme", "fault", "engine", "recovered",

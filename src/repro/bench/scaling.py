@@ -1,0 +1,78 @@
+"""Parallel-scaling microbenchmark: serial vs pooled sweep wall time.
+
+``repro bench scaling`` runs the same small robustness sweep twice —
+once on the serial in-process path and once on a process pool — and
+records both wall times, the speedup, and whether the two payloads
+agreed exactly (timing fields excluded).  The result is persisted as
+``benchmarks/results/BENCH_parallel.json``: the first point of the
+repository's performance trajectory, and the artifact CI uploads from
+its non-gating scaling step.
+
+Speedup on a single-core runner can legitimately be < 1 (spawn overhead
+with no parallel hardware to amortise it); the artifact records
+``cpu_count`` so downstream comparisons can tell those runs apart.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..parallel import resolve_workers
+from .robustness import (
+    SMALL_KINDS,
+    SMALL_SCHEMES,
+    run_robustness_sweep,
+    strip_timing_fields,
+)
+
+BENCH_ID = "BENCH_parallel"
+
+
+def run_scaling_benchmark(workers: int | None = None,
+                          schemes=SMALL_SCHEMES, kinds=SMALL_KINDS,
+                          engines=("fluid",), trials: int = 1,
+                          quick: bool = True, progress=None) -> dict:
+    """Measure serial-vs-parallel speedup on a small sweep.
+
+    ``workers`` is the pool size for the parallel leg (default: the
+    ``REPRO_WORKERS`` environment value, or 2 if unset — a pool of 1
+    would measure nothing).
+    """
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1:
+        n_workers = 2
+
+    start = time.perf_counter()
+    serial = run_robustness_sweep(schemes=schemes, kinds=kinds,
+                                  engines=engines, trials=trials,
+                                  quick=quick, workers=0, progress=progress)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = run_robustness_sweep(schemes=schemes, kinds=kinds,
+                                  engines=engines, trials=trials,
+                                  quick=quick, workers=n_workers,
+                                  progress=progress)
+    parallel_s = time.perf_counter() - start
+
+    return {
+        "bench": BENCH_ID,
+        "workers": n_workers,
+        "cpu_count": os.cpu_count(),
+        "cells": len(serial["cells"]),
+        "trials": trials,
+        "schemes": list(schemes),
+        "kinds": list(kinds),
+        "engines": list(engines),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else None,
+        # The parallel payload must match the serial one bit-for-bit
+        # outside the timing fields; recorded so a regression is visible
+        # in the artifact itself, not only in the test suite.
+        "deterministic": strip_timing_fields(pooled) ==
+        strip_timing_fields(serial),
+        "cell_elapsed_serial_s": [c["elapsed_s"] for c in serial["cells"]],
+        "cell_elapsed_parallel_s": [c["elapsed_s"] for c in pooled["cells"]],
+    }

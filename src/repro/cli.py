@@ -22,7 +22,14 @@ Commands
 ``bench``     benchmark sweeps; ``bench robustness`` runs the
               scheme x fault-kind x engine recovery sweep and writes the
               JSON artifact plus markdown table under
-              ``benchmarks/results/``.
+              ``benchmarks/results/``; ``bench scaling`` measures the
+              serial-vs-parallel speedup of the small sweep and writes
+              ``BENCH_parallel.json``.
+
+Sweep-shaped commands accept ``--workers N`` (default: the
+``REPRO_WORKERS`` environment variable, else serial) to fan tasks out
+over a spawn-context process pool; results are bit-identical to the
+serial path at any worker count.
 """
 
 from __future__ import annotations
@@ -71,7 +78,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                                 duration_s=args.flow_duration)
         scenario = ScenarioConfig(link=link, flows=flows,
                                   duration_s=args.duration)
-        results = run_scheme_trials(scenario, args.trials)
+        results = run_scheme_trials(scenario, args.trials,
+                                    workers=args.workers)
         s = summarize_trials(results, cc, penalty_s=args.duration)
         rows.append([s.scheme, s.utilization, s.mean_jain, s.mean_rtt_ms,
                      s.mean_loss_rate, s.convergence_time_s,
@@ -232,7 +240,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     try:
         bundle, history = train_astraea(
             cfg, eval_every=args.eval_every, verbose=True,
-            checkpoint_dir=args.checkpoint_dir, resume_from=args.resume)
+            checkpoint_dir=args.checkpoint_dir, resume_from=args.resume,
+            checkpoint_keep=args.checkpoint_keep, workers=args.workers)
     except ReproError as exc:
         print(f"training failed: {exc}", file=sys.stderr)
         return 1
@@ -322,25 +331,71 @@ def _cmd_bench_robustness(args: argparse.Namespace) -> int:
         payload = run_robustness_sweep(
             schemes=schemes, kinds=kinds, engines=engines, trials=trials,
             quick=not args.full, threshold=args.threshold,
-            progress=progress)
+            progress=progress, workers=args.workers)
     except ReproError as exc:
         print(f"robustness sweep failed: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # No partial artifacts: the sweep either completes and writes
+        # both files, or leaves the output directory untouched.
+        print("robustness sweep interrupted; no artifacts written",
+              file=sys.stderr)
+        return 130
     report = markdown_report(payload)
     exp_id = "robustness_small" if args.small else "robustness"
     if args.out_dir:
         out = Path(args.out_dir)
-        out.mkdir(parents=True, exist_ok=True)
-        json_path = out / f"{exp_id}.json"
-        json_path.write_text(json.dumps(payload, indent=2))
-        md_path = out / f"{exp_id}.md"
-        md_path.write_text(report + "\n")
+        json_path = reporting.write_results_file(out / f"{exp_id}.json",
+                                                 payload)
+        md_path = persist.write_text_atomic(out / f"{exp_id}.md",
+                                            report + "\n")
     else:
         json_path = reporting.save_results(exp_id, payload)
         md_path = reporting.save_markdown(exp_id, report)
     print(report)
     print(f"\nJSON artifact: {json_path}\nmarkdown table: {md_path}",
           file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_scaling(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import reporting
+    from .bench.robustness import SMALL_KINDS, SMALL_SCHEMES
+    from .bench.scaling import BENCH_ID, run_scaling_benchmark
+    from .errors import ReproError
+
+    def split(value, default):
+        if value is None or value == "all":
+            return default
+        return tuple(v.strip() for v in value.split(",") if v.strip())
+
+    try:
+        payload = run_scaling_benchmark(
+            workers=args.workers,
+            schemes=split(args.schemes, SMALL_SCHEMES),
+            kinds=split(args.kinds, SMALL_KINDS),
+            engines=split(args.engines, ("fluid",)),
+            trials=args.trials)
+    except ReproError as exc:
+        print(f"scaling benchmark failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("scaling benchmark interrupted; no artifacts written",
+              file=sys.stderr)
+        return 130
+    if args.out_dir:
+        path = reporting.write_results_file(
+            Path(args.out_dir) / f"{BENCH_ID}.json", payload)
+    else:
+        path = reporting.save_results(BENCH_ID, payload)
+    print(f"{payload['cells']} cell(s), {payload['workers']} worker(s) on "
+          f"{payload['cpu_count']} CPU(s): serial {payload['serial_s']:.2f}s"
+          f" vs parallel {payload['parallel_s']:.2f}s "
+          f"(speedup {payload['speedup']:.2f}x, deterministic="
+          f"{payload['deterministic']})")
+    print(f"JSON artifact: {path}", file=sys.stderr)
     return 0
 
 
@@ -368,6 +423,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--flow-duration", type=float, default=60.0)
     p_cmp.add_argument("--duration", type=float, default=100.0)
     p_cmp.add_argument("--trials", type=int, default=1)
+    p_cmp.add_argument("--workers", type=int, default=None,
+                       help="process-pool size for the trials "
+                            "(default: $REPRO_WORKERS, else serial)")
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_tpl = sub.add_parser("template", help="print a scenario template")
@@ -419,6 +477,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write periodic atomic checkpoints here")
     p_train.add_argument("--checkpoint-every", type=int, default=None,
                          dest="checkpoint_every")
+    p_train.add_argument("--checkpoint-keep", type=int, default=1,
+                         dest="checkpoint_keep",
+                         help="retain the last N checkpoint payloads "
+                              "(rotation; default 1)")
+    p_train.add_argument("--workers", type=int, default=None,
+                         help="process-pool size for the periodic eval "
+                              "pass (default: $REPRO_WORKERS, else serial)")
     p_train.add_argument("--resume", default=None, metavar="DIR",
                          help="resume bit-exactly from the checkpoint in "
                               "DIR (also keeps checkpointing there)")
@@ -470,7 +535,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_rob.add_argument("--out-dir", default=None,
                        help="write artifacts here instead of "
                             "benchmarks/results/")
+    p_rob.add_argument("--workers", type=int, default=None,
+                       help="process-pool size for the sweep cells "
+                            "(default: $REPRO_WORKERS, else serial)")
     p_rob.set_defaults(func=_cmd_bench_robustness)
+
+    p_scale = bench_sub.add_parser(
+        "scaling",
+        help="serial-vs-parallel speedup of the small robustness sweep "
+             "(writes BENCH_parallel.json)")
+    p_scale.add_argument("--schemes", default=None,
+                         help="comma-separated scheme names "
+                              "(default: the CI smoke subset)")
+    p_scale.add_argument("--kinds", default=None,
+                         help="comma-separated fault kinds "
+                              "(default: the CI smoke subset)")
+    p_scale.add_argument("--engines", default=None,
+                         help="comma-separated engines (default: fluid)")
+    p_scale.add_argument("--trials", type=int, default=1)
+    p_scale.add_argument("--workers", type=int, default=None,
+                         help="pool size of the parallel leg "
+                              "(default: $REPRO_WORKERS, else 2)")
+    p_scale.add_argument("--out-dir", default=None,
+                         help="write the artifact here instead of "
+                              "benchmarks/results/")
+    p_scale.set_defaults(func=_cmd_bench_scaling)
     return parser
 
 

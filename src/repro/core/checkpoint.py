@@ -16,16 +16,20 @@ Write protocol (no torn checkpoints):
 
 1. the array payload lands in a versioned ``state-ep*.npz`` written via
    temp-file + ``os.replace``;
-2. the ``checkpoint.json`` manifest — naming that payload file and its
-   SHA-256 — is atomically replaced;
+2. the ``checkpoint.json`` manifest — naming the retained payload set
+   (newest first, up to ``keep_last``) with per-payload SHA-256 and
+   loop state — is atomically replaced;
 3. payload files the manifest no longer references are deleted.
 
 A kill between (1) and (2) leaves the manifest pointing at the previous
-payload, which is still on disk: the resume simply continues from the
-older checkpoint.  A manifest whose payload is missing or whose digest
-does not match raises :class:`~repro.errors.CheckpointError`, as does
-resuming under a :class:`~repro.config.TrainingConfig` that differs from
-the one that produced the checkpoint.
+payload set, which is still on disk: the resume simply continues from
+the older checkpoint.  Rotation (``keep_last > 1``) keeps the last N
+payloads, each with its full loop state, and the resume loads the
+*newest valid* one — a damaged or missing newest payload falls back to
+the next-newest instead of failing the run.  Only when no retained
+payload survives does :class:`~repro.errors.CheckpointError` rise, as
+it does when resuming under a :class:`~repro.config.TrainingConfig`
+that differs from the one that produced the checkpoint.
 """
 
 from __future__ import annotations
@@ -43,7 +47,9 @@ from ..errors import CheckpointError
 from ..persist import sha256_file, write_json
 from .learner import Learner
 
-CHECKPOINT_FORMAT = 1
+CHECKPOINT_FORMAT = 2
+#: Formats this module can still resume from (1 = single-payload).
+READABLE_FORMATS = (1, 2)
 MANIFEST_NAME = "checkpoint.json"
 
 _REPLAY_ARRAYS = ("_local", "_global", "_action", "_reward",
@@ -82,12 +88,57 @@ def _atomic_savez(path: Path, arrays: dict[str, np.ndarray]) -> None:
     os.replace(tmp, path)
 
 
+def _prior_entries(directory: Path, fingerprint: str,
+                   use_global: bool) -> list[dict]:
+    """Entries of an existing manifest this run can legitimately extend.
+
+    A manifest from a different config/topology (or a damaged one) is
+    ignored: its payloads belong to another run and will be pruned.
+    """
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        return []
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return []
+    if manifest.get("format") not in READABLE_FORMATS:
+        return []
+    if manifest.get("config_fingerprint") != fingerprint or \
+            manifest.get("use_global") != use_global:
+        return []
+    return _manifest_entries(manifest)
+
+
+def _manifest_entries(manifest: dict) -> list[dict]:
+    """The checkpoint entries of a manifest, newest first.
+
+    Format 2 stores them under ``checkpoints``; a format-1 manifest is a
+    single entry spread over the top level.
+    """
+    if manifest.get("format") == 1:
+        keys = ("payload", "payload_sha256", "episode", "noise", "history",
+                "loop_state", "td3_updates", "opt_meta", "replay", "learner",
+                "rng")
+        return [{k: manifest[k] for k in keys if k in manifest}]
+    return list(manifest.get("checkpoints", []))
+
+
 def save_training_checkpoint(directory: str | Path, *, learner: Learner,
                              rng: np.random.Generator, episode: int,
                              noise: float, history_dict: dict,
                              best_state: list[np.ndarray],
-                             loop_state: dict | None = None) -> Path:
-    """Write one complete checkpoint; returns the manifest path."""
+                             loop_state: dict | None = None,
+                             keep_last: int = 1) -> Path:
+    """Write one complete checkpoint; returns the manifest path.
+
+    ``keep_last`` rotates payload files: the manifest names the retained
+    set (this checkpoint plus up to ``keep_last - 1`` predecessors, each
+    with its own loop state and SHA-256) and any older payloads are
+    pruned from disk.
+    """
+    if keep_last < 1:
+        raise CheckpointError(f"keep_last must be >= 1, got {keep_last}")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     payload_name = f"state-ep{episode:06d}.npz"
@@ -110,19 +161,18 @@ def save_training_checkpoint(directory: str | Path, *, learner: Learner,
         arrays[f"replay{name}"] = getattr(replay, name)[:size]
     for i, p in enumerate(best_state):
         arrays[f"best__{i}"] = p
+
+    fingerprint = config_fingerprint(learner.cfg)
+    prior = _prior_entries(directory, fingerprint, learner.use_global)
     _atomic_savez(payload, arrays)
 
-    manifest = {
-        "format": CHECKPOINT_FORMAT,
+    entry = {
         "payload": payload_name,
         "payload_sha256": sha256_file(payload),
         "episode": int(episode),
         "noise": float(noise),
         "history": history_dict,
         "loop_state": loop_state or {},
-        "config": asdict(learner.cfg),
-        "config_fingerprint": config_fingerprint(learner.cfg),
-        "use_global": learner.use_global,
         "td3_updates": int(td3_state["updates"]),
         "opt_meta": {
             key: {"t": td3_state[key]["t"], "lr": td3_state[key]["lr"]}
@@ -137,11 +187,49 @@ def save_training_checkpoint(directory: str | Path, *, learner: Learner,
             "td3": _rng_state(learner.td3._rng),
         },
     }
+    entries = [entry] + [e for e in prior
+                         if e.get("payload") != payload_name]
+    entries = entries[:keep_last]
+    retained = {e["payload"] for e in entries}
+
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "config": asdict(learner.cfg),
+        "config_fingerprint": fingerprint,
+        "use_global": learner.use_global,
+        # Mirror of the newest entry's identity, for humans and tools.
+        "payload": payload_name,
+        "episode": int(episode),
+        "checkpoints": entries,
+    }
     manifest_path = write_json(directory / MANIFEST_NAME, manifest)
     for stale in directory.glob("state-ep*.npz"):
-        if stale.name != payload_name:
+        if stale.name not in retained:
             stale.unlink(missing_ok=True)
     return manifest_path
+
+
+def _select_entry(directory: Path, entries: list[dict]) -> dict:
+    """The newest entry whose payload exists and passes its digest.
+
+    Rotation keeps several payloads precisely so that a damaged newest
+    one degrades to the next-newest instead of killing the resume; the
+    exhausted case reports every candidate's failure.
+    """
+    failures = []
+    for entry in entries:
+        payload = directory / entry["payload"]
+        if not payload.exists():
+            failures.append(f"{entry['payload']}: missing")
+            continue
+        if sha256_file(payload) != entry["payload_sha256"]:
+            failures.append(f"{entry['payload']}: SHA-256 mismatch "
+                            "(truncated or corrupted write)")
+            continue
+        return entry
+    raise CheckpointError(
+        "no retained checkpoint payload is loadable: " + "; ".join(failures)
+        if failures else "checkpoint manifest names no payloads")
 
 
 def load_training_checkpoint(directory: str | Path, learner: Learner,
@@ -149,8 +237,9 @@ def load_training_checkpoint(directory: str | Path, learner: Learner,
     """Restore a checkpoint into ``learner`` and ``rng``; returns the
     loop-level state the caller must adopt.
 
-    Raises :class:`CheckpointError` on a missing/damaged checkpoint or a
-    config mismatch.
+    Loads the newest *valid* retained payload (rotation keeps up to
+    ``keep_last``).  Raises :class:`CheckpointError` when none is
+    loadable, the manifest is damaged, or the config does not match.
     """
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
@@ -160,7 +249,7 @@ def load_training_checkpoint(directory: str | Path, learner: Learner,
         manifest = json.loads(manifest_path.read_text())
     except json.JSONDecodeError as exc:
         raise CheckpointError(f"corrupt checkpoint manifest: {exc}") from exc
-    if manifest.get("format") != CHECKPOINT_FORMAT:
+    if manifest.get("format") not in READABLE_FORMATS:
         raise CheckpointError(
             f"unsupported checkpoint format {manifest.get('format')!r}")
     if manifest.get("config_fingerprint") != config_fingerprint(learner.cfg):
@@ -172,18 +261,13 @@ def load_training_checkpoint(directory: str | Path, learner: Learner,
         raise CheckpointError("checkpoint critic topology (use_global) "
                               "does not match this learner")
 
-    payload = directory / manifest["payload"]
-    if not payload.exists():
-        raise CheckpointError(f"checkpoint payload missing: {payload}")
-    if sha256_file(payload) != manifest["payload_sha256"]:
-        raise CheckpointError(
-            f"checkpoint payload {payload.name} fails its SHA-256 check "
-            "(truncated or corrupted write)")
+    entry = _select_entry(directory, _manifest_entries(manifest))
+    payload = directory / entry["payload"]
 
     try:
         with np.load(payload, allow_pickle=False) as data:
             td3_state = {
-                "nets": {}, "updates": manifest["td3_updates"],
+                "nets": {}, "updates": entry["td3_updates"],
             }
             for net_name in learner.td3.NETS:
                 n = len(getattr(learner.td3, net_name).get_state())
@@ -195,13 +279,13 @@ def load_training_checkpoint(directory: str | Path, learner: Learner,
                 td3_state[opt_key] = {
                     "m": [data[f"{opt_key}__m__{i}"] for i in range(n)],
                     "v": [data[f"{opt_key}__v__{i}"] for i in range(n)],
-                    "t": manifest["opt_meta"][opt_key]["t"],
-                    "lr": manifest["opt_meta"][opt_key]["lr"],
+                    "t": entry["opt_meta"][opt_key]["t"],
+                    "lr": entry["opt_meta"][opt_key]["lr"],
                 }
             learner.td3.load_state_dict(td3_state)
 
             replay = learner.replay
-            size = int(manifest["replay"]["size"])
+            size = int(entry["replay"]["size"])
             if size > replay.capacity:
                 raise CheckpointError(
                     "checkpoint replay buffer exceeds configured capacity")
@@ -213,7 +297,7 @@ def load_training_checkpoint(directory: str | Path, learner: Learner,
                         "width for this learner")
                 getattr(replay, name)[:size] = stored
             replay._size = size
-            replay._cursor = int(manifest["replay"]["cursor"])
+            replay._cursor = int(entry["replay"]["cursor"])
 
             n_best = sum(1 for k in data.files if k.startswith("best__"))
             best_state = [data[f"best__{i}"] for i in range(n_best)]
@@ -221,19 +305,19 @@ def load_training_checkpoint(directory: str | Path, learner: Learner,
         raise CheckpointError(
             f"checkpoint payload is missing array {exc}") from exc
 
-    learner.total_updates = int(manifest["learner"]["total_updates"])
-    learner.total_transitions = int(manifest["learner"]["total_transitions"])
-    _set_rng_state(rng, manifest["rng"]["loop"])
-    _set_rng_state(replay._rng, manifest["rng"]["replay"])
-    _set_rng_state(learner.td3._rng, manifest["rng"]["td3"])
+    learner.total_updates = int(entry["learner"]["total_updates"])
+    learner.total_transitions = int(entry["learner"]["total_transitions"])
+    _set_rng_state(rng, entry["rng"]["loop"])
+    _set_rng_state(replay._rng, entry["rng"]["replay"])
+    _set_rng_state(learner.td3._rng, entry["rng"]["td3"])
     learner.guard.refresh()
 
     return ResumeState(
-        episode=int(manifest["episode"]),
-        noise=float(manifest["noise"]),
-        history_dict=manifest["history"],
+        episode=int(entry["episode"]),
+        noise=float(entry["noise"]),
+        history_dict=entry["history"],
         best_state=best_state,
-        loop_state=manifest.get("loop_state", {}),
+        loop_state=entry.get("loop_state", {}),
     )
 
 

@@ -196,12 +196,43 @@ def evaluate_friendliness(bundle: PolicyBundle,
     return float(mine / max(cubic, 1e-6))
 
 
-def evaluate_policy_multi(bundle: PolicyBundle) -> dict[str, float]:
+def _eval_task(payload) -> dict[str, float] | float:
+    """Module-level evaluation worker (spawn-picklable for parallel_map).
+
+    Each payload carries the policy bundle plus either one held-out
+    scenario spec or the friendliness probe — fully self-contained, so
+    evaluations run identically in-process or on a pool worker.
+    """
+    bundle, kind, spec = payload
+    if kind == "policy":
+        return evaluate_policy(bundle, **spec)
+    return evaluate_friendliness(bundle)
+
+
+def _describe_eval(payload) -> str:
+    _, kind, spec = payload
+    return f"eval {kind}" + (f" {spec}" if spec else "")
+
+
+def evaluate_policy_multi(bundle: PolicyBundle,
+                          workers: int | None = None) -> dict[str, float]:
     """Average :func:`evaluate_policy` over the held-out scenario set, plus
-    a TCP-friendliness term in the selection score."""
-    rows = [evaluate_policy(bundle, **spec) for spec in EVAL_SCENARIOS]
+    a TCP-friendliness term in the selection score.
+
+    ``workers`` parallelises the (independent, internally seeded)
+    evaluation scenarios through :func:`repro.parallel.parallel_map`;
+    results are order-stable, so the averaged metrics — and therefore
+    best-checkpoint selection — are identical at any worker count.
+    """
+    from ..parallel import parallel_map
+
+    payloads = [(bundle, "policy", spec) for spec in EVAL_SCENARIOS]
+    payloads.append((bundle, "friendliness", None))
+    results = parallel_map(_eval_task, payloads, workers=workers,
+                           describe=_describe_eval)
+    rows = results[:-1]
     out = {key: float(np.mean([r[key] for r in rows])) for key in rows[0]}
-    ratio = evaluate_friendliness(bundle)
+    ratio = results[-1]
     # Friendly in [0, 1]: 1 at parity, decaying towards starving or bullying.
     friendliness = min(ratio, 1.0) if ratio <= 1.0 else max(0.0,
                                                             2.0 - ratio / 2.0)
@@ -215,10 +246,17 @@ def train_astraea(cfg: TrainingConfig | None = None, use_global: bool = True,
                   init_policy: PolicyBundle | None = None,
                   checkpoint_dir: str | Path | None = None,
                   resume_from: str | Path | None = None,
+                  checkpoint_keep: int = 1,
+                  workers: int | None = None,
                   ) -> tuple[PolicyBundle, TrainingHistory]:
     """Full offline multi-agent training; returns the best policy bundle.
 
     ``init_policy`` warm-starts the actor (fine-tuning an earlier bundle).
+
+    ``workers`` parallelises the periodic held-out evaluation pass (the
+    training loop itself stays serial — its RNG stream ordering is what
+    bit-exact resume depends on); ``checkpoint_keep`` retains the last N
+    checkpoint payloads for rollback instead of exactly one.
 
     ``checkpoint_dir`` enables periodic crash-safe checkpoints (every
     ``cfg.checkpoint_every`` episodes); ``resume_from`` restores one and
@@ -272,7 +310,8 @@ def train_astraea(cfg: TrainingConfig | None = None, use_global: bool = True,
                 checkpoint_dir, learner=learner, rng=rng, episode=nxt,
                 noise=noise, history_dict=history.__dict__.copy(),
                 best_state=best_state,
-                loop_state={"consecutive_failures": consecutive_failures})
+                loop_state={"consecutive_failures": consecutive_failures},
+                keep_last=checkpoint_keep)
     for episode in range(first_episode, cfg.episodes, cfg.parallel_envs):
         # Draw everything random *before* running, so a quarantined
         # episode consumes exactly the same stream as a healthy one
@@ -330,7 +369,7 @@ def train_astraea(cfg: TrainingConfig | None = None, use_global: bool = True,
         due = (episode + cfg.parallel_envs) % eval_stride < cfg.parallel_envs
         if learner.warm and (due or last):
             bundle = learner.snapshot_policy()
-            metrics = evaluate_policy_multi(bundle)
+            metrics = evaluate_policy_multi(bundle, workers=workers)
             history.eval_episodes.append(episode)
             history.eval_jain.append(metrics["jain"])
             history.eval_utilization.append(metrics["utilization"])

@@ -15,6 +15,26 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent state."""
 
 
+class TaskError(ReproError):
+    """A parallel-map worker failed.
+
+    Carries the originating task's context so a failure deep inside a
+    sweep names the exact cell that died: ``index`` is the task's
+    position in the submitted sequence, ``context`` a human-readable
+    description of its payload (e.g. ``"cell fluid/cubic/blackout"``),
+    and ``cause_type`` the exception class name raised in the worker.
+    The original traceback rides along as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, index: int | None = None,
+                 context: str | None = None,
+                 cause_type: str | None = None) -> None:
+        super().__init__(message)
+        self.index = index
+        self.context = context
+        self.cause_type = cause_type
+
+
 class ModelError(ReproError):
     """A model bundle could not be loaded or has incompatible shapes."""
 

@@ -1,0 +1,172 @@
+"""Deterministic process-pool map: the parallel execution layer.
+
+Every sweep in this repository is an embarrassingly parallel cross
+product — (scheme x fault x engine) cells, per-seed benchmark trials,
+held-out evaluation scenarios — whose tasks each carry their own seed
+and share no mutable state.  :func:`parallel_map` runs such a task list
+on a spawn-context process pool while keeping the *results* in
+submission order, so a parallel run is bit-identical to the serial one
+(modulo wall-clock instrumentation) and golden/regression tests hold at
+any worker count.
+
+Determinism contract
+--------------------
+* ``fn`` must be a module-level callable and every payload must carry
+  everything the task needs — including its seed.  Workers never share
+  RNG streams, caches or open files with the parent.
+* Results are returned ordered by payload index regardless of which
+  worker finished first; downstream aggregation therefore sees the same
+  sequence the serial path produces.
+* ``workers <= 1`` short-circuits to a plain in-process loop: no
+  subprocesses, no pickling, bit-identical results — the path coverage
+  tools and debuggers should use.
+* ``progress`` fires in *completion* order with a monotone done-count
+  (1, 2, ..., total); under the serial path completion order equals
+  submission order.
+
+Failure semantics
+-----------------
+A worker exception is wrapped in :class:`~repro.errors.TaskError`
+naming the failing task (index + ``describe(payload)``), with the
+original exception chained as ``__cause__``.  ``KeyboardInterrupt`` is
+never wrapped: pending tasks are cancelled, the pool is shut down
+without waiting, and the interrupt propagates so callers can avoid
+writing partial artifacts.
+
+Worker counts resolve as ``workers`` argument > ``REPRO_WORKERS``
+environment variable > 1 (serial).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from .errors import ConfigError, TaskError
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """The effective worker count: argument > ``REPRO_WORKERS`` env > 1.
+
+    ``0`` and ``1`` both mean "serial, in-process".  Negative counts are
+    rejected; so is a non-integer environment value.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{WORKERS_ENV}={raw!r} is not an integer") from None
+    workers = int(workers)
+    if workers < 0:
+        raise ConfigError(f"worker count must be >= 0, got {workers}")
+    return workers
+
+
+def _describe(payload: object, describe: Callable[[object], str] | None,
+              index: int) -> str:
+    if describe is not None:
+        return describe(payload)
+    text = repr(payload)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+def _wrap_failure(exc: BaseException, index: int, payload: object,
+                  describe: Callable[[object], str] | None) -> TaskError:
+    context = _describe(payload, describe, index)
+    return TaskError(
+        f"task {index} ({context}) failed: "
+        f"{type(exc).__name__}: {exc}",
+        index=index, context=context, cause_type=type(exc).__name__)
+
+
+def _serial_map(fn, payloads, progress, describe):
+    results = []
+    total = len(payloads)
+    for index, payload in enumerate(payloads):
+        try:
+            result = fn(payload)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            raise _wrap_failure(exc, index, payload, describe) from exc
+        results.append(result)
+        if progress is not None:
+            progress(index + 1, total, index, result)
+    return results
+
+
+def parallel_map(fn: Callable, payloads: Sequence, *,
+                 workers: int | None = None,
+                 progress: Callable[[int, int, int, object], None]
+                 | None = None,
+                 describe: Callable[[object], str] | None = None) -> list:
+    """Map ``fn`` over ``payloads`` on a process pool; ordered results.
+
+    Parameters
+    ----------
+    fn:
+        A picklable module-level callable of one argument.  Each call
+        must be self-contained and deterministic given its payload.
+    payloads:
+        The task payloads, each carrying its own seed/configuration.
+    workers:
+        Process count; ``None`` defers to ``REPRO_WORKERS`` (default 1).
+        ``0``/``1`` run serially in-process.
+    progress:
+        Optional ``(done, total, index, result)`` callback, fired in
+        completion order with ``done`` counting monotonically up.
+    describe:
+        Optional ``payload -> str`` used in :class:`TaskError` messages.
+
+    Returns the results ordered by payload index.  Raises
+    :class:`~repro.errors.TaskError` on the first worker failure and
+    re-raises ``KeyboardInterrupt`` after cancelling pending work.
+    """
+    payloads = list(payloads)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(payloads) <= 1:
+        return _serial_map(fn, payloads, progress, describe)
+
+    total = len(payloads)
+    results: list = [None] * total
+    n_workers = min(n_workers, total)
+    context = multiprocessing.get_context("spawn")
+    executor = ProcessPoolExecutor(max_workers=n_workers,
+                                   mp_context=context)
+    try:
+        index_of = {executor.submit(fn, payload): i
+                    for i, payload in enumerate(payloads)}
+        pending = set(index_of)
+        done_count = 0
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index = index_of[future]
+                try:
+                    result = future.result()
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    raise _wrap_failure(exc, index, payloads[index],
+                                        describe) from exc
+                results[index] = result
+                done_count += 1
+                if progress is not None:
+                    progress(done_count, total, index, result)
+        executor.shutdown(wait=True)
+    except BaseException:
+        # Graceful interrupt/failure shutdown: drop queued tasks, do not
+        # block on in-flight ones, and let the exception propagate so the
+        # caller can skip writing partial artifacts.
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    return results

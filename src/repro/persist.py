@@ -25,20 +25,28 @@ from .env.multiflow import FlowLog, ScenarioResult
 from .errors import ConfigError
 
 
-def write_json(path: str | Path, data: object, indent: int | None = 2) -> Path:
-    """Atomically write ``data`` as JSON: no torn files on interruption.
+def write_text_atomic(path: str | Path, text: str) -> Path:
+    """Atomically write ``text``: no torn files on interruption.
 
     The payload lands in a sibling temp file first and is then renamed
     over the target, so readers either see the old content or the new —
     never a truncated document (the failure mode the model-artifact
-    integrity layer exists to catch).
+    integrity layer exists to catch).  Because the caller serialises
+    *before* this runs, a serialisation failure leaves the previous
+    file untouched.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(data, indent=indent, sort_keys=False) + "\n")
+    tmp.write_text(text)
     os.replace(tmp, path)
     return path
+
+
+def write_json(path: str | Path, data: object, indent: int | None = 2) -> Path:
+    """Atomically write ``data`` as JSON via :func:`write_text_atomic`."""
+    return write_text_atomic(
+        path, json.dumps(data, indent=indent, sort_keys=False) + "\n")
 
 
 def sha256_file(path: str | Path, chunk_size: int = 1 << 20) -> str:

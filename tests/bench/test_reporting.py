@@ -40,3 +40,64 @@ class TestPersistence:
     def test_load_missing_returns_none(self, tmp_path, monkeypatch):
         monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
         assert reporting.load_results("missing") is None
+
+
+class TestStrictJson:
+    """Artifacts must parse under every strict JSON parser (jq, JS)."""
+
+    def test_non_finite_floats_serialise_as_null(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        payload = {"nan": float("nan"), "inf": float("inf"),
+                   "ninf": float("-inf"),
+                   "np_nan": np.float64("nan"),
+                   "nested": {"cells": [float("nan"), 1.0]},
+                   "arr": np.array([np.nan, 2.0])}
+        path = reporting.save_results("exp", payload)
+        text = path.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        loaded = reporting.load_results("exp")
+        assert loaded["nan"] is None
+        assert loaded["inf"] is None and loaded["ninf"] is None
+        assert loaded["nested"]["cells"] == [None, 1.0]
+        assert loaded["arr"] == [None, 2.0]
+
+    def test_load_rejects_legacy_nan_artifacts(self, tmp_path, monkeypatch):
+        from repro.errors import ConfigError
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        (tmp_path / "legacy.json").write_text('{"v": NaN}')
+        with pytest.raises(ConfigError, match="NaN"):
+            reporting.load_results("legacy")
+
+    def test_every_checked_in_artifact_is_strict(self):
+        # The enforcement sweep: everything save_results has ever written
+        # under benchmarks/results/ must parse with the constant-token
+        # extensions disabled.
+        paths = sorted(reporting.RESULTS_DIR.glob("*.json"))
+        assert paths, "results directory unexpectedly empty"
+        for path in paths:
+            reporting.loads_strict(path.read_text())  # raises on NaN/Inf
+
+    def test_finite_values_survive_sanitising(self):
+        doc = reporting.sanitize_payload(
+            {"a": [1, 2.5, "x", True, None], "b": np.int64(7)})
+        assert doc == {"a": [1, 2.5, "x", True, None], "b": 7}
+
+
+class TestAtomicWrites:
+    def test_failed_serialisation_leaves_previous_artifact_intact(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        reporting.save_results("exp", {"ok": 1})
+        with pytest.raises(TypeError):
+            reporting.save_results("exp", {"bad": object()})
+        assert reporting.load_results("exp") == {"ok": 1}
+        assert not list(tmp_path.glob("*.tmp"))  # no stray temp files
+
+    def test_markdown_write_is_atomic_replace(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        reporting.save_markdown("exp", "old")
+        path = reporting.save_markdown("exp", "new report")
+        assert path.read_text() == "new report\n"
+        assert not list(tmp_path.glob("*.tmp"))

@@ -7,6 +7,7 @@ import json
 import numpy as np
 import pytest
 
+import repro.bench.robustness as robustness_mod
 from repro.bench.robustness import (
     ALL_SCHEMES,
     FAULT_KINDS,
@@ -17,7 +18,9 @@ from repro.bench.robustness import (
     run_cell,
     run_engine_scenario,
     run_robustness_sweep,
+    strip_timing_fields,
     table_rows,
+    validate_sweep_axes,
 )
 from repro.bench.scenarios import robustness_scenario
 from repro.cc import available
@@ -71,6 +74,22 @@ class TestSweepPlumbing:
         with pytest.raises(ConfigError):
             run_engine_scenario(sc, "quantum")
 
+    def test_unknown_scheme_rejected_before_any_cell_runs(self):
+        # A typo must die up front listing the known values, not minutes
+        # into the sweep inside cc.create of the first affected cell.
+        with pytest.raises(ConfigError, match=r"cubci.*known.*cubic"):
+            run_robustness_sweep(schemes=("cubic", "cubci"),
+                                 kinds=("blackout",), engines=("fluid",),
+                                 trials=1)
+
+    def test_unknown_engine_rejected_up_front(self):
+        with pytest.raises(ConfigError, match=r"quantum.*known.*fluid"):
+            run_robustness_sweep(schemes=("cubic",), kinds=("blackout",),
+                                 engines=("fluid", "quantum"), trials=1)
+
+    def test_validate_sweep_axes_accepts_known_values(self):
+        validate_sweep_axes(ALL_SCHEMES, FAULT_KINDS, ("fluid", "packet"))
+
     def test_all_schemes_matches_registry(self):
         # The sweep's scheme list must not silently drift from the
         # registry: the report claims to cover every registered scheme
@@ -91,6 +110,59 @@ class TestSweepPlumbing:
         assert cell["scheme"] == "cubic"
         assert cell["trials"] == 1
         json.dumps(payload)  # artifact must be serialisable as-is
+
+    def test_sweep_records_wall_clock_instrumentation(self):
+        payload = run_robustness_sweep(
+            schemes=("cubic",), kinds=("blackout",), engines=("fluid",),
+            trials=1, quick=True)
+        assert payload["workers"] == 1
+        assert payload["elapsed_s"] > 0
+        assert all(c["elapsed_s"] > 0 for c in payload["cells"])
+
+    def test_strip_timing_fields_removes_only_timing(self):
+        payload = run_robustness_sweep(
+            schemes=("cubic",), kinds=("blackout",), engines=("fluid",),
+            trials=1, quick=True)
+        stripped = strip_timing_fields(payload)
+        assert "elapsed_s" not in stripped
+        assert "workers" not in stripped
+        assert all("elapsed_s" not in c for c in stripped["cells"])
+        assert stripped["cells"][0]["recovery_time_s"] == \
+            payload["cells"][0]["recovery_time_s"]
+
+
+class TestParallelSweep:
+    """The parallel-layer determinism contract at the sweep level."""
+
+    ARGS = dict(schemes=("cubic", "bbr"), kinds=("blackout", "flap"),
+                engines=("fluid",), trials=1, quick=True)
+
+    def test_workers2_payload_identical_to_serial(self):
+        serial = run_robustness_sweep(workers=0, **self.ARGS)
+        pooled = run_robustness_sweep(workers=2, **self.ARGS)
+        assert strip_timing_fields(pooled) == strip_timing_fields(serial)
+
+    def test_parallel_progress_monotone_done_count(self):
+        seen = []
+        run_robustness_sweep(
+            workers=2, progress=lambda done, total, cell:
+            seen.append((done, total, cell.scheme)), **self.ARGS)
+        assert [d for d, _, _ in seen] == [1, 2, 3, 4]
+        assert all(t == 4 for _, t, _ in seen)
+
+    def test_worker_exception_names_the_failing_cell(self, monkeypatch):
+        from repro.errors import TaskError
+
+        def boom(scheme, kind, engine, **kwargs):
+            raise RuntimeError("cell exploded")
+
+        # Serial path so the monkeypatch reaches the worker function.
+        monkeypatch.setattr(robustness_mod, "run_cell", boom)
+        with pytest.raises(TaskError) as info:
+            run_robustness_sweep(schemes=("cubic",), kinds=("blackout",),
+                                 engines=("fluid",), trials=1, workers=0)
+        assert info.value.context == "cell fluid/cubic/blackout"
+        assert info.value.cause_type == "RuntimeError"
 
 
 class TestGoldenRegression:
@@ -195,6 +267,45 @@ class TestCli:
                    "--trials", "1", "--out-dir", str(tmp_path)])
         assert rc == 1
         assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_bench_robustness_rejects_unknown_scheme(self, tmp_path, capsys):
+        rc = main(["bench", "robustness", "--schemes", "cubci",
+                   "--kinds", "blackout", "--engines", "fluid",
+                   "--trials", "1", "--out-dir", str(tmp_path)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "unknown schemes" in err and "cubci" in err
+        assert not any(tmp_path.iterdir())  # nothing ran, nothing written
+
+    def test_bench_robustness_rejects_unknown_engine(self, tmp_path, capsys):
+        rc = main(["bench", "robustness", "--schemes", "cubic",
+                   "--kinds", "blackout", "--engines", "quantum",
+                   "--trials", "1", "--out-dir", str(tmp_path)])
+        assert rc == 1
+        assert "unknown engines" in capsys.readouterr().err
+
+    def test_bench_robustness_artifact_records_workers(self, tmp_path):
+        rc = main(["bench", "robustness", "--schemes", "cubic",
+                   "--kinds", "blackout", "--engines", "fluid",
+                   "--trials", "1", "--workers", "0",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        payload = json.loads((tmp_path / "robustness.json").read_text())
+        assert payload["workers"] == 0
+        assert payload["elapsed_s"] > 0
+
+    def test_interrupted_sweep_leaves_no_orphaned_artifacts(
+            self, tmp_path, capsys, monkeypatch):
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(robustness_mod, "run_robustness_sweep",
+                            interrupted)
+        out = tmp_path / "out"
+        rc = main(["bench", "robustness", "--small", "--out-dir", str(out)])
+        assert rc == 130
+        assert "no artifacts written" in capsys.readouterr().err
+        assert not out.exists() or not any(out.iterdir())
 
 
 class TestPacketEngineCell:

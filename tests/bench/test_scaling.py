@@ -1,0 +1,62 @@
+"""The serial-vs-parallel scaling microbenchmark and its artifact."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.scaling import BENCH_ID, run_scaling_benchmark
+from repro.cli import main
+
+
+class TestScalingBenchmark:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_scaling_benchmark(workers=2, schemes=("cubic",),
+                                     kinds=("blackout",), engines=("fluid",),
+                                     trials=1)
+
+    def test_records_both_legs_and_environment(self, payload):
+        assert payload["bench"] == BENCH_ID
+        assert payload["workers"] == 2
+        assert payload["cpu_count"] == os.cpu_count()
+        assert payload["cells"] == 1
+        assert payload["serial_s"] > 0 and payload["parallel_s"] > 0
+        assert payload["speedup"] == pytest.approx(
+            payload["serial_s"] / payload["parallel_s"])
+        assert len(payload["cell_elapsed_serial_s"]) == 1
+
+    def test_parallel_leg_is_deterministic(self, payload):
+        assert payload["deterministic"] is True
+
+    def test_speedup_on_multicore(self):
+        # The acceptance bar — parallel beats serial — only holds where
+        # there is parallel hardware; a 1-core runner pays spawn overhead
+        # for nothing and legitimately reports speedup < 1.  The default
+        # 4-cell smoke subset gives the pool enough work to amortise its
+        # startup cost.
+        if (os.cpu_count() or 1) < 2:
+            pytest.skip("needs a >= 2-core runner")
+        payload = run_scaling_benchmark(workers=2)
+        assert payload["deterministic"] is True
+        assert payload["speedup"] > 1.0
+
+    def test_serial_worker_request_is_bumped_to_a_real_pool(self):
+        payload = run_scaling_benchmark(workers=1, schemes=("cubic",),
+                                        kinds=("blackout",),
+                                        engines=("fluid",), trials=1)
+        assert payload["workers"] == 2  # a pool of 1 would measure nothing
+
+
+class TestScalingCli:
+    def test_writes_bench_parallel_artifact(self, tmp_path, capsys):
+        rc = main(["bench", "scaling", "--schemes", "cubic",
+                   "--kinds", "blackout", "--trials", "1",
+                   "--workers", "2", "--out-dir", str(tmp_path)])
+        assert rc == 0
+        doc = json.loads((tmp_path / f"{BENCH_ID}.json").read_text())
+        assert doc["deterministic"] is True
+        out = capsys.readouterr().out
+        assert "speedup" in out

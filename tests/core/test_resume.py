@@ -72,7 +72,8 @@ class TestKillResume:
                       checkpoint_dir=ckpt)
         manifest = json.loads((ckpt / MANIFEST_NAME).read_text())
         assert manifest["episode"] == 2
-        assert len(manifest["history"]["episode_rewards"]) == 2
+        entry = manifest["checkpoints"][0]
+        assert len(entry["history"]["episode_rewards"]) == 2
 
         # Resuming under a *larger* episode budget must keep the prefix.
         with pytest.raises(CheckpointError):
@@ -86,6 +87,90 @@ class TestKillResume:
         payloads = list(ckpt.glob("state-ep*.npz"))
         assert len(payloads) == 1
         assert payloads[0].name == "state-ep000004.npz"
+
+
+class TestRotation:
+    def _save(self, directory, learner, episode, keep_last):
+        save_training_checkpoint(
+            directory, learner=learner, rng=np.random.default_rng(episode),
+            episode=episode, noise=0.1 / episode,
+            history_dict=TrainingHistory(
+                episode_rewards=[0.0] * episode).__dict__.copy(),
+            best_state=learner.td3.actor.get_state(), keep_last=keep_last)
+
+    def test_keep_last_retains_n_and_prunes_older(self, tmp_path):
+        learner = Learner(FAST)
+        for episode in (2, 4, 6):
+            self._save(tmp_path, learner, episode, keep_last=2)
+        payloads = sorted(p.name for p in tmp_path.glob("state-ep*.npz"))
+        assert payloads == ["state-ep000004.npz", "state-ep000006.npz"]
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert [e["payload"] for e in manifest["checkpoints"]] == \
+            ["state-ep000006.npz", "state-ep000004.npz"]
+        assert manifest["payload"] == "state-ep000006.npz"
+
+    def test_keep_last_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError, match="keep_last"):
+            self._save(tmp_path, Learner(FAST), 2, keep_last=0)
+
+    def test_resume_falls_back_when_newest_payload_damaged(self, tmp_path):
+        learner = Learner(FAST)
+        self._save(tmp_path, learner, 2, keep_last=2)
+        self._save(tmp_path, learner, 4, keep_last=2)
+        newest = tmp_path / "state-ep000004.npz"
+        newest.write_bytes(newest.read_bytes()[:64])
+
+        resume = load_training_checkpoint(tmp_path, Learner(FAST),
+                                          np.random.default_rng(0))
+        assert resume.episode == 2
+        assert len(resume.history_dict["episode_rewards"]) == 2
+
+    def test_resume_falls_back_when_newest_payload_missing(self, tmp_path):
+        # A kill between the payload prune and a later write can leave the
+        # newest payload gone; the next-newest entry must still load.
+        learner = Learner(FAST)
+        self._save(tmp_path, learner, 2, keep_last=2)
+        self._save(tmp_path, learner, 4, keep_last=2)
+        (tmp_path / "state-ep000004.npz").unlink()
+
+        resume = load_training_checkpoint(tmp_path, Learner(FAST),
+                                          np.random.default_rng(0))
+        assert resume.episode == 2
+
+    def test_all_payloads_gone_reports_every_failure(self, tmp_path):
+        learner = Learner(FAST)
+        self._save(tmp_path, learner, 2, keep_last=2)
+        self._save(tmp_path, learner, 4, keep_last=2)
+        (tmp_path / "state-ep000004.npz").unlink()
+        broken = tmp_path / "state-ep000002.npz"
+        broken.write_bytes(broken.read_bytes()[:64])
+        with pytest.raises(CheckpointError) as info:
+            load_training_checkpoint(tmp_path, Learner(FAST),
+                                     np.random.default_rng(0))
+        assert "missing" in str(info.value)
+        assert "SHA-256" in str(info.value)
+
+    def test_format1_manifest_still_resumes(self, tmp_path):
+        learner = Learner(FAST)
+        self._save(tmp_path, learner, 2, keep_last=1)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        entry = manifest["checkpoints"][0]
+        legacy = {k: v for k, v in manifest.items() if k != "checkpoints"}
+        legacy.update(entry)
+        legacy["format"] = 1
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(legacy))
+
+        resume = load_training_checkpoint(tmp_path, Learner(FAST),
+                                          np.random.default_rng(0))
+        assert resume.episode == 2
+
+    def test_train_checkpoint_keep_rotates(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        train_astraea(FAST, eval_every=100, checkpoint_dir=ckpt,
+                      checkpoint_keep=2)
+        payloads = sorted(p.name for p in ckpt.glob("state-ep*.npz"))
+        # checkpoint_every=2 over 4 episodes -> ep2 and ep4 both retained.
+        assert payloads == ["state-ep000002.npz", "state-ep000004.npz"]
 
 
 class TestIntegrity:

@@ -1,0 +1,136 @@
+"""The parallel execution layer: determinism, ordering, failure wrapping.
+
+The pool-path tests spawn real worker processes; their worker functions
+live at module level so the spawn children can import them
+(``tests.test_parallel`` resolves through the propagated ``sys.path``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError, TaskError
+from repro.parallel import WORKERS_ENV, parallel_map, resolve_workers
+
+
+def square(x):
+    return x * x
+
+
+def fail_on_three(x):
+    if x == 3:
+        raise ValueError(f"bad payload {x}")
+    return x
+
+
+def interrupt_on_two(x):
+    if x == 2:
+        raise KeyboardInterrupt
+    return x
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers(None) == 4
+
+    def test_env_non_integer_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.raises(ConfigError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError, match=">= 0"):
+            resolve_workers(-1)
+
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_zero_and_one_mean_serial(self, n):
+        assert resolve_workers(n) == n
+
+
+class TestSerialPath:
+    def test_ordered_results(self):
+        assert parallel_map(square, [3, 1, 2], workers=0) == [9, 1, 4]
+
+    def test_progress_monotone_and_in_order(self):
+        seen = []
+        parallel_map(square, [5, 6, 7], workers=1,
+                     progress=lambda done, total, i, r:
+                     seen.append((done, total, i, r)))
+        assert seen == [(1, 3, 0, 25), (2, 3, 1, 36), (3, 3, 2, 49)]
+
+    def test_failure_wrapped_with_context(self):
+        with pytest.raises(TaskError) as info:
+            parallel_map(fail_on_three, [1, 3, 5], workers=0,
+                         describe=lambda p: f"payload #{p}")
+        err = info.value
+        assert err.index == 1
+        assert err.context == "payload #3"
+        assert err.cause_type == "ValueError"
+        assert isinstance(err.__cause__, ValueError)
+        assert "payload #3" in str(err)
+
+    def test_default_describe_uses_repr(self):
+        with pytest.raises(TaskError, match="3"):
+            parallel_map(fail_on_three, [3], workers=0)
+
+    def test_keyboard_interrupt_not_wrapped(self):
+        ran = []
+
+        def fn(x):
+            if x == 2:
+                raise KeyboardInterrupt
+            ran.append(x)
+            return x
+
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(fn, [1, 2, 3], workers=0)
+        assert ran == [1]  # nothing past the interrupt runs
+
+    def test_empty_payloads(self):
+        assert parallel_map(square, [], workers=2) == []
+
+    def test_single_payload_stays_serial(self):
+        # One task never pays pool startup, even with workers=2.
+        assert parallel_map(lambda x: x + 1, [41], workers=2) == [42]
+
+
+class TestPoolPath:
+    def test_ordered_results_match_serial(self):
+        payloads = list(range(6))
+        serial = parallel_map(square, payloads, workers=0)
+        pooled = parallel_map(square, payloads, workers=2)
+        assert pooled == serial
+
+    def test_progress_done_count_monotone(self):
+        seen = []
+        parallel_map(square, [1, 2, 3, 4], workers=2,
+                     progress=lambda done, total, i, r:
+                     seen.append((done, total)))
+        assert [d for d, _ in seen] == [1, 2, 3, 4]
+        assert all(t == 4 for _, t in seen)
+
+    def test_worker_failure_wrapped_with_context(self):
+        with pytest.raises(TaskError) as info:
+            parallel_map(fail_on_three, [1, 3], workers=2,
+                         describe=lambda p: f"payload #{p}")
+        assert info.value.context == "payload #3"
+        assert info.value.cause_type == "ValueError"
+
+    def test_worker_keyboard_interrupt_propagates(self):
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(interrupt_on_two, [1, 2], workers=2)
+
+    def test_env_var_engages_pool(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        assert parallel_map(square, [2, 3], workers=None) == [4, 9]
