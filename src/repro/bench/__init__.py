@@ -1,5 +1,6 @@
 """Benchmark harness: canonical scenarios, trial runners, reporting."""
 
+from .engine import check_equivalence, run_engine_benchmark
 from .runners import run_scheme_trials, run_trials, summarize_trials
 from .reporting import (
     format_table,
@@ -22,4 +23,6 @@ __all__ = [
     "save_results",
     "save_markdown",
     "load_results",
+    "run_engine_benchmark",
+    "check_equivalence",
 ]

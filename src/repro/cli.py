@@ -24,7 +24,10 @@ Commands
               JSON artifact plus markdown table under
               ``benchmarks/results/``; ``bench scaling`` measures the
               serial-vs-parallel speedup of the small sweep and writes
-              ``BENCH_parallel.json``.
+              ``BENCH_parallel.json``; ``bench engine`` measures the
+              fluid engine's vectorized fast path against the per-tick
+              reference (ticks/s, episode wall-clock, equivalence) and
+              writes ``BENCH_engine.json``.
 
 Sweep-shaped commands accept ``--workers N`` (default: the
 ``REPRO_WORKERS`` environment variable, else serial) to fan tasks out
@@ -399,6 +402,73 @@ def _cmd_bench_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import reporting
+    from .bench.engine import (
+        BENCH_ID,
+        check_equivalence,
+        run_engine_benchmark,
+    )
+    from .errors import ReproError
+
+    if args.check_only:
+        verdict = check_equivalence()
+        if verdict["passed"]:
+            print(f"fast path equals reference on the pinned scenario "
+                  f"({verdict['rows']} log rows, max delta "
+                  f"{verdict['max_delta']:.3g} <= {verdict['tolerance']:g})")
+            return 0
+        print(f"ENGINE DIVERGENCE: {verdict}", file=sys.stderr)
+        return 1
+
+    if args.small:
+        flow_counts = (2, 8)
+        duration_s = 5.0
+    else:
+        flow_counts = (1, 2, 8, 16)
+        duration_s = args.duration
+    if args.flows:
+        flow_counts = tuple(int(v) for v in args.flows.split(",") if v.strip())
+
+    try:
+        payload = run_engine_benchmark(
+            flow_counts=flow_counts, duration_s=duration_s,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    except ReproError as exc:
+        print(f"engine benchmark failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("engine benchmark interrupted; no artifacts written",
+              file=sys.stderr)
+        return 130
+    if args.out_dir:
+        path = reporting.write_results_file(
+            Path(args.out_dir) / f"{BENCH_ID}.json", payload)
+    else:
+        path = reporting.save_results(BENCH_ID, payload)
+
+    from .bench import print_table
+    print_table(
+        "Engine fast path vs per-tick reference",
+        ["flows", "fast ticks/s", "reference ticks/s", "speedup"],
+        [[row["n_flows"], row["fast"]["ticks_per_s"],
+          row["reference"]["ticks_per_s"], row["speedup"]]
+         for row in payload["ticks_per_s"]],
+    )
+    ep = payload["episode"]
+    eq = payload["equivalence"]
+    print(f"\nepisode ({ep['n_flows']} flows, {ep['duration_s']:g}s): "
+          f"fast {ep['fast']['elapsed_s']:.2f}s vs reference "
+          f"{ep['reference']['elapsed_s']:.2f}s "
+          f"(speedup {ep['speedup']:.2f}x)")
+    print(f"equivalence: passed={eq['passed']} "
+          f"max_delta={eq['max_delta']:.3g} over {eq['rows']} rows")
+    print(f"JSON artifact: {path}", file=sys.stderr)
+    return 0 if eq["passed"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -560,6 +630,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the artifact here instead of "
                               "benchmarks/results/")
     p_scale.set_defaults(func=_cmd_bench_scaling)
+
+    p_eng = bench_sub.add_parser(
+        "engine",
+        help="fluid-engine fast path vs per-tick reference "
+             "(writes BENCH_engine.json)")
+    p_eng.add_argument("--flows", default=None,
+                       help="comma-separated flow counts for the ticks/s "
+                            "sweep (default: 1,2,8,16)")
+    p_eng.add_argument("--duration", type=float, default=30.0,
+                       help="simulated seconds per measurement (default 30)")
+    p_eng.add_argument("--small", action="store_true",
+                       help="CI smoke subset: 2 and 8 flows, 5 s episodes")
+    p_eng.add_argument("--check-only", action="store_true",
+                       help="only run the pinned fast-vs-reference "
+                            "equivalence scenario; non-zero exit on any "
+                            "divergence, no artifact written")
+    p_eng.add_argument("--out-dir", default=None,
+                       help="write the artifact here instead of "
+                            "benchmarks/results/")
+    p_eng.set_defaults(func=_cmd_bench_engine)
     return parser
 
 

@@ -119,7 +119,7 @@ def distill_policy(teacher: PolicyBundle, states: np.ndarray,
     if states.ndim != 2 or states.shape[1] != teacher.actor.in_dim:
         raise ModelError(
             f"states must be (n, {teacher.actor.in_dim}), got {states.shape}")
-    targets = teacher.actor.forward(states)
+    targets = teacher.actor.infer(states)
     student = MLP(teacher.actor.in_dim, hidden, 1, output="tanh", seed=seed)
     fit_actor(student, states, targets, epochs=epochs,
               batch_size=batch_size, lr=lr, seed=seed)
@@ -317,7 +317,7 @@ def regenerate_default_bundle(name: str, path=None, *,
     actor = MLP(states.shape[1], hidden, 1, output="tanh", seed=seed)
     fit_actor(actor, states, actions, epochs=epochs,
               batch_size=batch_size, lr=lr, seed=seed)
-    mae = float(np.mean(np.abs(actor.forward(states)[:, 0] - actions)))
+    mae = float(np.mean(np.abs(actor.infer(states)[:, 0] - actions)))
     report = {
         "recipe": name,
         "teacher": recipe["teacher"],
@@ -337,8 +337,8 @@ def regenerate_default_bundle(name: str, path=None, *,
 def evaluate_distillation(teacher: PolicyBundle, student: PolicyBundle,
                           states: np.ndarray) -> dict[str, float]:
     """Agreement and size statistics between teacher and student."""
-    t = teacher.actor.forward(states)[:, 0]
-    s = student.actor.forward(states)[:, 0]
+    t = teacher.actor.infer(states)[:, 0]
+    s = student.actor.infer(states)[:, 0]
     return {
         "mean_abs_error": float(np.mean(np.abs(t - s))),
         "sign_agreement": float(np.mean(np.sign(t) == np.sign(s))),

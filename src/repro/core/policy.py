@@ -109,7 +109,7 @@ class PolicyBundle:
 
     def act(self, local_state: np.ndarray) -> float:
         """Greedy action in (-1, 1) for a single stacked local state."""
-        out = self.actor.forward(np.atleast_2d(local_state))
+        out = self.actor.infer(local_state)
         return float(np.clip(out[0, 0], -0.999, 0.999))
 
     # ------------------------------------------------------------------

@@ -229,8 +229,8 @@ class ScenarioDriver:
                 end_s=min(cfg.end_s(), self.duration_s),
             ))
 
-    def step(self) -> bool:
-        """Advance one tick; returns False once the scenario finished."""
+    def _begin_step(self) -> bool:
+        """Shared per-step preamble: flow churn and termination checks."""
         if self.done:
             return False
         engine = self._engine
@@ -245,10 +245,48 @@ class ScenarioDriver:
         if not self._running and not self._pending:
             self.done = True
             return False
+        return True
 
+    def step(self) -> bool:
+        """Advance one tick; returns False once the scenario finished."""
+        if not self._begin_step():
+            return False
+        engine = self._engine
         engine.advance(self._tick_s)
-        now = engine.now
+        self._controller_pass(engine.now)
+        return True
 
+    def step_block(self) -> bool:
+        """Advance to the next controller/flow event in one engine block.
+
+        Equivalent to calling :meth:`step` repeatedly — the block is sized
+        so that no controller deadline, flow start/stop, or the scenario
+        end falls strictly inside it, and the tick count is the *floor* of
+        the distance to the nearest event, so the landing tick boundaries
+        are exactly the ones per-tick stepping would visit (undershooting
+        merely costs another iteration).  Between MTP decisions this lets
+        the engine run its vectorized multi-tick kernel.
+        """
+        if not self._begin_step():
+            return False
+        engine = self._engine
+        now = engine.now
+        horizon = self.duration_s
+        if self._pending:
+            horizon = min(horizon, self._flows[self._pending[0]].start_s)
+        for rf in self._running:
+            if rf.next_ctrl_s < horizon:
+                horizon = rf.next_ctrl_s
+            if rf.end_s < horizon:
+                horizon = rf.end_s
+        n_ticks = max(1, int((horizon - now) / self._tick_s))
+        engine.advance_block(self._tick_s, n_ticks)
+        self._controller_pass(engine.now)
+        return True
+
+    def _controller_pass(self, now: float) -> None:
+        """Run every controller whose monitoring interval has expired."""
+        engine = self._engine
         for rf in self._running:
             if now + 1e-12 < rf.next_ctrl_s:
                 continue
@@ -275,7 +313,6 @@ class ScenarioDriver:
                 self._on_interval(now, rf.index, stats, rf.controller)
             rf.next_ctrl_s = now + max(
                 rf.controller.interval_s(stats.srtt_s), self._tick_s)
-        return True
 
     def result(self) -> ScenarioResult:
         """Logs collected so far (complete once :meth:`step` returns False)."""
@@ -294,7 +331,7 @@ def _drive(engine: FluidNetwork, scenario_flows, paths, base_rtt_fn,
     driver = ScenarioDriver(engine, scenario_flows, paths, base_rtt_fn,
                             duration_s, tick_s, controllers,
                             bottleneck_mbps, base_rtt_s, on_interval)
-    while driver.step():
+    while driver.step_block():
         pass
     return driver.result()
 
@@ -336,7 +373,7 @@ def run_scenario(scenario: ScenarioConfig,
     """
     driver = build_driver(scenario, controllers=controllers,
                           on_interval=on_interval)
-    while driver.step():
+    while driver.step_block():
         pass
     return driver.result()
 

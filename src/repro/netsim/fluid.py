@@ -21,10 +21,24 @@ Observation delay: the conditions a tick records become visible to the
 sender one ACK-return delay later (about half the current RTT after the
 bottleneck experienced them — a full RTT after the send decision), via
 :class:`repro.netsim.stats.FlowMonitor`.
+
+Fast path (docs/architecture.md §7): controllers only intervene once per
+MTP (~15 ticks), so the engine keeps its per-flow state in persistent
+structure-of-arrays vectors — ``base_rtt``/``cwnd``/``pacing`` plus a
+link x flow path-membership matrix maintained incrementally by
+:meth:`FluidNetwork.add_flow` / :meth:`~FluidNetwork.remove_flow` /
+:meth:`~FluidNetwork.set_cwnd` — and :meth:`FluidNetwork.advance_block`
+advances whole tick batches with zero per-tick Python object churn,
+flushing results columnwise into each flow's ring-buffer monitor.  The
+original per-tick implementation is retained verbatim as the reference
+path and selected by setting ``REPRO_ENGINE_SLOWPATH=1`` (or the
+``slowpath=True`` constructor argument); the differential equivalence
+suite pins the two paths to per-tick per-flow deltas <= 1e-9.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,11 +47,31 @@ from ..config import LinkConfig
 from ..errors import SimulationError
 from .faults import FaultSchedule
 from .qdisc import QueueDiscipline, create_qdisc
-from .stats import FlowMonitor, TickSample
+from .stats import (
+    COL_AVAIL,
+    COL_DLV,
+    COL_DT,
+    COL_LOST,
+    COL_MARK,
+    COL_RTT,
+    COL_SENT,
+    COL_TIME,
+    N_SAMPLE_COLS,
+    FlowMonitor,
+    TickSample,
+)
 from .traces import CapacityTrace, ConstantTrace
 
 INITIAL_CWND_PKTS = 10.0
 MIN_CWND_PKTS = 2.0
+
+#: Environment variable selecting the per-tick reference implementation.
+SLOWPATH_ENV = "REPRO_ENGINE_SLOWPATH"
+
+
+def slowpath_enabled() -> bool:
+    """Whether ``REPRO_ENGINE_SLOWPATH`` selects the reference path."""
+    return os.environ.get(SLOWPATH_ENV, "").strip() not in ("", "0")
 
 
 @dataclass
@@ -52,6 +86,11 @@ class _LinkState:
     total_arrived_pkts: float = 0.0
     total_delivered_pkts: float = 0.0
     total_dropped_pkts: float = 0.0
+    # Last per-flow arrival-share vector seen with nonzero arrivals,
+    # aligned with the link's current on-link flow set; used to attribute
+    # backlog drained on ticks with zero arrivals (otherwise that goodput
+    # would be delivered to no flow).  Invalidated on flow churn.
+    last_share: np.ndarray | None = None
 
     def capacity_pps(self, t: float) -> float:
         from ..units import mbps_to_pps
@@ -101,11 +140,16 @@ class FluidNetwork:
         Optional :class:`~repro.netsim.faults.FaultSchedule` of link
         impairments (blackouts, flaps, loss bursts, delay spikes, reorder
         windows) applied to every link on each tick.
+    slowpath:
+        ``True`` forces the per-tick reference implementation, ``False``
+        forces the vectorized fast path; ``None`` (default) follows the
+        ``REPRO_ENGINE_SLOWPATH`` environment variable.
     """
 
     def __init__(self, links: list[LinkConfig] | LinkConfig,
                  traces: dict[str, CapacityTrace] | None = None,
-                 seed: int = 0, faults: FaultSchedule | None = None):
+                 seed: int = 0, faults: FaultSchedule | None = None,
+                 slowpath: bool | None = None):
         if isinstance(links, LinkConfig):
             links = [links]
         if not links:
@@ -128,6 +172,59 @@ class FluidNetwork:
         self._rng = np.random.default_rng(seed)
         self._faults = faults if faults else None
         self.now = 0.0
+        self._slowpath = slowpath_enabled() if slowpath is None else slowpath
+        # Constant-rate links resolve their capacity once; traced links
+        # are re-evaluated per tick through the same code path as the
+        # reference implementation.
+        self._static_cap = np.array([
+            link.capacity_pps(0.0)
+            if isinstance(link.trace, ConstantTrace) else np.nan
+            for link in self._links
+        ])
+        self._traced_idx = [
+            li for li, link in enumerate(self._links)
+            if not isinstance(link.trace, ConstantTrace)
+        ]
+        self._rebuild_soa()
+
+    # ------------------------------------------------------------------
+    # Structure-of-arrays state (fast path)
+    # ------------------------------------------------------------------
+
+    def _rebuild_soa(self) -> None:
+        """Rebuild the per-flow state vectors after flow churn.
+
+        Slot order matches dict insertion order, i.e. the exact order the
+        reference path iterates ``self._flows.values()``.  Flow churn also
+        invalidates every link's drain-attribution share vector, whose
+        positions are aligned with the on-link flow sets.
+        """
+        flows = list(self._flows.values())
+        self._order = flows
+        n = len(flows)
+        n_links = len(self._links)
+        self._slot = {f.flow_id: i for i, f in enumerate(flows)}
+        self._base_rtt = np.array([f.base_rtt_s for f in flows]) \
+            if n else np.zeros(0)
+        self._cwnd = np.array([f.cwnd_pkts for f in flows]) \
+            if n else np.zeros(0)
+        self._pacing = np.array(
+            [f.pacing_pps if f.pacing_pps is not None else np.inf
+             for f in flows]) if n else np.zeros(0)
+        member = np.zeros((n_links, n))
+        for i, f in enumerate(flows):
+            for li in f.path:
+                member[li, i] += 1.0
+        # (n, L) layout: path delay is one matrix-vector product.
+        self._member_t = np.ascontiguousarray(member.T)
+        self._on_link = [np.flatnonzero(member[li] > 0)
+                         for li in range(n_links)]
+        # The specialised single-link kernel assumes every flow crosses
+        # the one link exactly once (always true for default paths).
+        self._single_simple = n_links == 1 and all(
+            len(f.path) == 1 for f in flows)
+        for link in self._links:
+            link.last_share = None
 
     # ------------------------------------------------------------------
     # Flow management
@@ -164,11 +261,13 @@ class FluidNetwork:
         )
         flow.last_rtt_s = base_rtt_s
         self._flows[fid] = flow
+        self._rebuild_soa()
         return fid
 
     def remove_flow(self, fid: int) -> None:
         """Deregister a flow (its remaining queued fluid is discarded)."""
-        self._flows.pop(fid, None)
+        if self._flows.pop(fid, None) is not None:
+            self._rebuild_soa()
 
     def set_cwnd(self, fid: int, cwnd_pkts: float,
                  pacing_pps: float | None = None) -> None:
@@ -178,6 +277,9 @@ class FluidNetwork:
             raise SimulationError(f"non-finite cwnd for flow {fid}: {cwnd_pkts}")
         flow.cwnd_pkts = float(np.clip(cwnd_pkts, MIN_CWND_PKTS, 1e9))
         flow.pacing_pps = pacing_pps
+        i = self._slot[fid]
+        self._cwnd[i] = flow.cwnd_pkts
+        self._pacing[i] = pacing_pps if pacing_pps is not None else np.inf
 
     def _require(self, fid: int) -> _FlowState:
         try:
@@ -258,6 +360,42 @@ class FluidNetwork:
         """Advance the network by one tick of ``dt`` seconds."""
         if dt <= 0:
             raise SimulationError(f"tick must be positive, got {dt}")
+        if self._slowpath:
+            self._advance_reference(dt)
+        else:
+            self._advance_fast(dt, 1)
+
+    def advance_block(self, dt: float, n_ticks: int) -> None:
+        """Advance the network by ``n_ticks`` ticks of ``dt`` seconds each.
+
+        The block kernel produces the exact same trajectory as ``n_ticks``
+        calls to :meth:`advance` — same tick boundaries, same fault/qdisc
+        queries, same monitor samples — but runs the whole batch through
+        persistent state vectors with no per-tick Python object churn.
+        Callers use it to cover the controller-free stretches between MTP
+        decisions.
+        """
+        if dt <= 0:
+            raise SimulationError(f"tick must be positive, got {dt}")
+        n_ticks = int(n_ticks)
+        if n_ticks <= 0:
+            raise SimulationError(
+                f"block must cover at least one tick, got {n_ticks}")
+        if self._slowpath:
+            for _ in range(n_ticks):
+                self._advance_reference(dt)
+        else:
+            self._advance_fast(dt, n_ticks)
+
+    # -- reference per-tick path ---------------------------------------
+
+    def _advance_reference(self, dt: float) -> None:
+        """One tick of the original per-tick implementation.
+
+        Kept as the executable specification of the engine: the fast
+        kernel is pinned against it by the differential suite.  Selected
+        at run time via ``REPRO_ENGINE_SLOWPATH=1``.
+        """
         flows = list(self._flows.values())
         t = self.now
         n_links = len(self._links)
@@ -297,10 +435,9 @@ class FluidNetwork:
         pacing = np.array(
             [f.pacing_pps if f.pacing_pps is not None else np.inf for f in flows]
         )
-        path_delay = np.zeros(n)
-        for i, f in enumerate(flows):
-            for li in f.path:
-                path_delay[i] += qdelay[li]
+        # Path delay through the precomputed membership matrix — the same
+        # product the block kernel uses, so the two paths agree bitwise.
+        path_delay = self._member_t @ qdelay
         rtt = base_rtt + path_delay + fault_delay
 
         # Window-limited sending rate, optionally pacing-capped.
@@ -347,6 +484,14 @@ class FluidNetwork:
             link.total_dropped_pkts += dropped_pkts
             if total_arrival > 0:
                 share = arrival / total_arrival
+                link.last_share = share
+            elif link.last_share is not None and \
+                    link.last_share.size == idx.size:
+                # Zero arrivals over a queued backlog: the drain serves
+                # the flows whose fluid is queued, in the proportions of
+                # the last tick that actually sent (goodput-attribution
+                # fix; previously the drained packets went to no flow).
+                share = link.last_share
             else:
                 share = np.zeros_like(arrival)
             out = share * departure
@@ -395,3 +540,322 @@ class FluidNetwork:
             ))
 
         self.now = t + dt
+
+    # -- vectorized block kernel ---------------------------------------
+
+    def _fault_terms(self, t: float) -> tuple[float, float, float, float]:
+        faults = self._faults
+        if faults is None:
+            return 1.0, 0.0, 0.0, 0.0
+        return (faults.bandwidth_multiplier(t), faults.extra_loss(t),
+                faults.spurious_loss(t), faults.extra_delay_s(t))
+
+    def _nominal_cap(self, li: int, t: float) -> float:
+        cap = self._static_cap[li]
+        if cap == cap:  # not NaN: constant-rate link
+            return float(cap)
+        return self._links[li].capacity_pps(t)
+
+    def _advance_fast(self, dt: float, n_ticks: int) -> None:
+        n = len(self._order)
+        if n == 0:
+            self._advance_fast_idle(dt, n_ticks)
+            return
+        if self._single_simple:
+            self._advance_fast_single(dt, n_ticks)
+        else:
+            self._advance_fast_multi(dt, n_ticks)
+
+    def _advance_fast_idle(self, dt: float, n_ticks: int) -> None:
+        """Idle drain: no flows registered, queues still serve."""
+        t = self.now
+        links = self._links
+        for _ in range(n_ticks):
+            fault_mult = self._fault_terms(t)[0]
+            for li, link in enumerate(links):
+                cap = self._nominal_cap(li, t) * fault_mult
+                drained = min(link.queue_pkts, cap * dt)
+                link.queue_pkts -= drained
+                link.total_delivered_pkts += drained
+            t = t + dt
+        self.now = t
+
+    def _new_sample_block(self, n_ticks: int, n: int) -> np.ndarray:
+        """A ``(n_ticks, 8, n)`` sample block in ring-column layout.
+
+        The kernel writes each tick's per-flow results straight into
+        ``blk[k, COL_*]`` (contiguous length-``n`` rows); the flush then
+        lands flow ``i``'s samples in its monitor with the single
+        assignment ``push_rows(blk[:, :, i])``.  Loss and mark columns
+        start zeroed — the kernel only writes them when nonzero.
+        """
+        blk = np.empty((n_ticks, N_SAMPLE_COLS, n))
+        blk[:, COL_LOST:, :] = 0.0
+        return blk
+
+    def _flush_block(self, dt: float, times: np.ndarray, blk: np.ndarray,
+                     last_rate: np.ndarray,
+                     last_goodput: np.ndarray) -> None:
+        """Columnwise flush of one finished block into the flow states."""
+        blk[:, COL_TIME, :] = times[:, None]
+        # avail = (t + dt) + rtt/2, folded in the reference order (float
+        # addition is commutative, so adding the rtt/2 term first is
+        # bitwise identical).
+        avail = blk[:, COL_AVAIL, :]
+        np.multiply(blk[:, COL_RTT, :], 0.5, out=avail)
+        avail += (times + dt)[:, None]
+        blk[:, COL_DT, :] = dt
+        rtt_last = blk[-1, COL_RTT].tolist()
+        sent_sums = blk[:, COL_SENT, :].sum(axis=0).tolist()
+        dlv_sums = blk[:, COL_DLV, :].sum(axis=0).tolist()
+        lost_sums = blk[:, COL_LOST, :].sum(axis=0).tolist()
+        rate_l = last_rate.tolist()
+        gp_l = last_goodput.tolist()
+        for i, f in enumerate(self._order):
+            f.last_rtt_s = rtt_last[i]
+            f.last_rate_pps = rate_l[i]
+            f.last_goodput_pps = gp_l[i]
+            f.total_sent_pkts += sent_sums[i]
+            f.total_delivered_pkts += dlv_sums[i]
+            f.total_lost_pkts += lost_sums[i]
+            f.monitor.push_rows(blk[:, :, i])
+
+    def _advance_fast_single(self, dt: float, n_ticks: int) -> None:
+        """Block kernel specialised for the dominant single-link case.
+
+        Queue state lives in Python scalars and per-flow state in the
+        persistent SoA vectors; each tick costs a handful of ufunc calls
+        on length-``n`` arrays and two qdisc method calls, nothing else.
+        """
+        link = self._links[0]
+        qdisc = link.qdisc
+        base_rtt = self._base_rtt
+        cwnd = self._cwnd
+        pacing = self._pacing
+        n = len(self._order)
+        have_faults = self._faults is not None
+        traced = bool(self._traced_idx)
+        static0 = float(self._static_cap[0]) if not traced else 0.0
+        rloss = link.config.random_loss
+        buffer_pkts = link.buffer_pkts
+
+        times = np.empty(n_ticks)
+        blk = self._new_sample_block(n_ticks, n)
+        rate = np.empty(n)
+        goodput = np.empty(n)
+        share = np.empty(n)
+        have_share = link.last_share is not None and \
+            link.last_share.size == n
+        if have_share:
+            np.copyto(share, link.last_share)
+
+        q = link.queue_pkts
+        arr_acc = dlv_acc = drop_acc = 0.0
+        t = self.now
+        for k in range(n_ticks):
+            if have_faults:
+                fm, fl, fs, fd = self._fault_terms(t)
+            else:
+                fm = 1.0
+                fl = fs = fd = 0.0
+            nominal = link.capacity_pps(t) if traced else static0
+            cap = nominal * fm
+            if cap > 0:
+                qd = q / cap
+            else:
+                qd = q / nominal if nominal > 0 else 0.0
+
+            row = blk[k]
+            rtt_row = row[COL_RTT]
+            np.add(base_rtt, qd, out=rtt_row)
+            if fd:
+                rtt_row += fd
+            np.divide(cwnd, rtt_row, out=rate)
+            np.minimum(rate, pacing, out=rate)
+            np.multiply(rate, dt, out=row[COL_SENT])
+
+            arrival = rate
+            early = qdisc.drop_fraction(q, qd, t, dt)
+            if early > 0:
+                early_drop = rate * early
+                row[COL_LOST] += early_drop * dt
+                drop_acc += float(early_drop.sum()) * dt
+                arrival = rate - early_drop
+            total_arrival = float(arrival.sum())
+            arr_acc += total_arrival * dt
+            q_tentative = q + (total_arrival - cap) * dt
+            if q_tentative > buffer_pkts:
+                dropped = q_tentative - buffer_pkts
+                q_new = buffer_pkts
+            else:
+                dropped = 0.0
+                q_new = q_tentative if q_tentative > 0.0 else 0.0
+            delivered_pkts = q + total_arrival * dt - dropped - q_new
+            departure = delivered_pkts / dt
+            q = q_new
+            dlv_acc += delivered_pkts
+            drop_acc += dropped
+
+            if total_arrival > 0:
+                np.divide(arrival, total_arrival, out=share)
+                have_share = True
+            if have_share:
+                np.multiply(share, departure, out=goodput)
+                mark = qdisc.mark_fraction(q, qd, t, dt)
+                if mark > 0:
+                    row[COL_MARK] += goodput * (mark * dt)
+                p = min(rloss + fl, 0.99)
+                if dropped > 0.0 or p > 0 or fs > 0:
+                    drop_rate = share * (dropped / dt)
+                    if p > 0:
+                        rand_loss = goodput * p
+                        goodput -= rand_loss
+                        drop_rate = drop_rate + rand_loss
+                    if fs > 0:
+                        drop_rate = drop_rate + goodput * fs
+                    row[COL_LOST] += drop_rate * dt
+            else:
+                # Nothing has ever arrived at this link: fluid (if any)
+                # is unattributable, matching the reference zero share.
+                goodput[:] = 0.0
+                mark = qdisc.mark_fraction(q, qd, t, dt)
+            np.multiply(goodput, dt, out=row[COL_DLV])
+            times[k] = t
+            t = t + dt
+
+        self.now = t
+        link.queue_pkts = q
+        link.total_arrived_pkts += arr_acc
+        link.total_delivered_pkts += dlv_acc
+        link.total_dropped_pkts += drop_acc
+        link.last_share = share if have_share else None
+        self._flush_block(dt, times, blk, rate, goodput)
+
+    def _advance_fast_multi(self, dt: float, n_ticks: int) -> None:
+        """Block kernel for multi-link topologies.
+
+        A vectorized transcription of the reference tick: path delay is
+        one matrix-vector product over the precomputed membership matrix,
+        and per-link flow sets come from the cached index vectors.
+        """
+        links = self._links
+        n_links = len(links)
+        n = len(self._order)
+        base_rtt = self._base_rtt
+        cwnd = self._cwnd
+        pacing = self._pacing
+        member_t = self._member_t
+        on_link = self._on_link
+
+        times = np.empty(n_ticks)
+        blk = self._new_sample_block(n_ticks, n)
+        rate = np.empty(n)
+        current = np.empty(n)
+        path_delay = np.empty(n)
+        qdelay = np.empty(n_links)
+        capacity = np.empty(n_links)
+        nominal = np.empty(n_links)
+
+        queue = [link.queue_pkts for link in links]
+        arr_acc = [0.0] * n_links
+        dlv_acc = [0.0] * n_links
+        drop_acc = [0.0] * n_links
+        last_share: list[np.ndarray | None] = [
+            link.last_share
+            if link.last_share is not None and
+            link.last_share.size == on_link[li].size else None
+            for li, link in enumerate(links)
+        ]
+
+        t = self.now
+        for k in range(n_ticks):
+            fm, fl, fs, fd = self._fault_terms(t)
+            for li in range(n_links):
+                nominal[li] = self._nominal_cap(li, t)
+            np.multiply(nominal, fm, out=capacity)
+            for li in range(n_links):
+                if capacity[li] > 0:
+                    qdelay[li] = queue[li] / capacity[li]
+                else:
+                    qdelay[li] = queue[li] / nominal[li] \
+                        if nominal[li] > 0 else 0.0
+
+            np.matmul(member_t, qdelay, out=path_delay)
+            row = blk[k]
+            rtt_row = row[COL_RTT]
+            np.add(base_rtt, path_delay, out=rtt_row)
+            if fd:
+                rtt_row += fd
+            np.divide(cwnd, rtt_row, out=rate)
+            np.minimum(rate, pacing, out=rate)
+            np.multiply(rate, dt, out=row[COL_SENT])
+            lost_row = row[COL_LOST]
+            marked_row = row[COL_MARK]
+            np.copyto(current, rate)
+
+            for li in range(n_links):
+                link = links[li]
+                idx = on_link[li]
+                if idx.size == 0:
+                    drained = min(queue[li], capacity[li] * dt)
+                    queue[li] -= drained
+                    dlv_acc[li] += drained
+                    continue
+                q_li = queue[li]
+                arrival = current[idx]
+                early = link.qdisc.drop_fraction(q_li, qdelay[li], t, dt)
+                if early > 0:
+                    early_drop = arrival * early
+                    lost_row[idx] += early_drop * dt
+                    drop_acc[li] += float(early_drop.sum()) * dt
+                    arrival = arrival - early_drop
+                total_arrival = float(arrival.sum())
+                arr_acc[li] += total_arrival * dt
+                q_tentative = q_li + (total_arrival - capacity[li]) * dt
+                dropped_pkts = 0.0
+                if q_tentative > link.buffer_pkts:
+                    dropped_pkts = q_tentative - link.buffer_pkts
+                    q_new = link.buffer_pkts
+                else:
+                    q_new = max(q_tentative, 0.0)
+                delivered_pkts = (
+                    q_li + total_arrival * dt - dropped_pkts - q_new
+                )
+                departure = delivered_pkts / dt
+                queue[li] = q_new
+                dlv_acc[li] += delivered_pkts
+                drop_acc[li] += dropped_pkts
+                if total_arrival > 0:
+                    share = arrival / total_arrival
+                    last_share[li] = share
+                elif last_share[li] is not None:
+                    share = last_share[li]
+                else:
+                    share = np.zeros_like(arrival)
+                out = share * departure
+                drop_rate = share * (dropped_pkts / dt)
+                mark = link.qdisc.mark_fraction(q_new, qdelay[li], t, dt)
+                if mark > 0:
+                    marked_row[idx] += out * mark * dt
+                p = min(link.config.random_loss + fl, 0.99)
+                if p > 0:
+                    rand_loss = out * p
+                    out = out - rand_loss
+                    drop_rate = drop_rate + rand_loss
+                if fs > 0:
+                    drop_rate = drop_rate + out * fs
+                lost_row[idx] += drop_rate * dt
+                current[idx] = out
+
+            np.multiply(current, dt, out=row[COL_DLV])
+            times[k] = t
+            t = t + dt
+
+        self.now = t
+        for li, link in enumerate(links):
+            link.queue_pkts = queue[li]
+            link.total_arrived_pkts += arr_acc[li]
+            link.total_delivered_pkts += dlv_acc[li]
+            link.total_dropped_pkts += drop_acc[li]
+            link.last_share = last_share[li]
+        self._flush_block(dt, times, blk, rate, current)

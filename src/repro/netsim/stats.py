@@ -7,12 +7,22 @@ that by stamping every sample with an availability time and letting the
 sender-side monitor (the MTP collector) read only samples that have become
 observable.  This observation delay is what makes large-RTT scenarios
 genuinely harder for every controller, exactly as in the paper (§5.1.3).
+
+Storage is a growable numpy ring buffer, one row per tick sample, so the
+engine's block kernel can append a whole tick batch columnwise
+(:meth:`FlowMonitor.push_block`) without allocating a Python object per
+tick.  :meth:`FlowMonitor.collect` drains the observable prefix — located
+with ``searchsorted`` on the availability column when it is monotone — and
+folds it with the exact accumulation order of the original deque
+implementation, so :class:`MtpStats` values (including the srtt fold) are
+bit-compatible with the per-sample path.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..units import pps_to_mbps
 
@@ -91,6 +101,15 @@ class MtpStats:
         return min(1.0, self.marked_pkts / self.delivered_pkts)
 
 
+# Ring-buffer column layout (one row per tick sample).  The engine's
+# block kernel writes sample blocks in this exact layout so a whole
+# block lands in the ring with one assignment (:meth:`FlowMonitor.push_rows`).
+(COL_TIME, COL_AVAIL, COL_DT, COL_RTT,
+ COL_SENT, COL_DLV, COL_LOST, COL_MARK) = range(8)
+N_SAMPLE_COLS = 8
+_INITIAL_CAPACITY = 64
+
+
 class FlowMonitor:
     """Sender-side accumulator turning delayed tick samples into MTP stats.
 
@@ -100,12 +119,22 @@ class FlowMonitor:
     :class:`MtpStats`.  When no sample is yet observable (e.g. at flow start
     on a long path), the previous smoothed values are reused so controllers
     always receive a well-formed record.
+
+    Drain semantics match the original deque implementation exactly: the
+    observable *prefix* is consumed — popping stops at the first sample
+    whose ``avail_at`` exceeds ``now``, even if later samples are already
+    observable (availability times are not guaranteed monotone when the
+    RTT collapses sharply).  A sortedness flag, maintained on every push,
+    lets the common monotone case use a binary search.
     """
 
     SRTT_GAIN = 0.125
 
     def __init__(self, base_rtt_s: float):
-        self._pending: deque[TickSample] = deque()
+        self._buf = np.empty((_INITIAL_CAPACITY, N_SAMPLE_COLS))
+        self._start = 0
+        self._end = 0
+        self._avail_sorted = True
         self._srtt = base_rtt_s
         self._base_rtt = base_rtt_s
         self._last_collect = 0.0
@@ -115,13 +144,121 @@ class FlowMonitor:
         """Current smoothed RTT estimate in seconds."""
         return self._srtt
 
+    def __len__(self) -> int:
+        return self._end - self._start
+
+    def pending_samples(self) -> list[TickSample]:
+        """Materialise the undrained samples (oldest first) for inspection."""
+        rows = self._buf[self._start:self._end]
+        return [TickSample(*r) for r in rows.tolist()]
+
+    @property
+    def _pending(self) -> list[TickSample]:
+        # Backwards-compatible view for callers that peeked at the old
+        # deque (diagnostics / ablation benchmarks).
+        return self.pending_samples()
+
+    def _reserve(self, k: int) -> None:
+        """Make room for ``k`` more rows, compacting or growing the buffer."""
+        live = self._end - self._start
+        cap = len(self._buf)
+        if self._start > 0 and live + k <= cap:
+            # Shift the live region to the front (numpy handles the
+            # overlapping copy).
+            self._buf[:live] = self._buf[self._start:self._end]
+        else:
+            new_cap = max(cap, _INITIAL_CAPACITY)
+            while new_cap < live + k:
+                new_cap *= 2
+            new_buf = np.empty((new_cap, N_SAMPLE_COLS))
+            new_buf[:live] = self._buf[self._start:self._end]
+            self._buf = new_buf
+        self._start = 0
+        self._end = live
+
     def push(self, sample: TickSample) -> None:
         """Record a tick sample produced by the engine."""
-        self._pending.append(sample)
+        end = self._end
+        if end + 1 > len(self._buf):
+            self._reserve(1)
+            end = self._end
+        buf = self._buf
+        if self._avail_sorted and end > self._start and \
+                sample.avail_at < buf[end - 1, COL_AVAIL]:
+            self._avail_sorted = False
+        row = buf[end]
+        row[COL_TIME] = sample.time
+        row[COL_AVAIL] = sample.avail_at
+        row[COL_DT] = sample.dt
+        row[COL_RTT] = sample.rtt_s
+        row[COL_SENT] = sample.sent_pkts
+        row[COL_DLV] = sample.delivered_pkts
+        row[COL_LOST] = sample.lost_pkts
+        row[COL_MARK] = sample.marked_pkts
+        self._end = end + 1
+
+    def push_rows(self, rows: np.ndarray) -> None:
+        """Append a ``(k, 8)`` sample block laid out in ring-column order.
+
+        The engine's block kernel assembles its per-flow results in this
+        layout so one assignment lands the whole block in the ring.
+        """
+        k = len(rows)
+        if k == 0:
+            return
+        end = self._end
+        if end + k > len(self._buf):
+            self._reserve(k)
+            end = self._end
+        buf = self._buf
+        new_end = end + k
+        buf[end:new_end] = rows
+        if self._avail_sorted:
+            avail = buf[end:new_end, COL_AVAIL]
+            if (end > self._start and avail[0] < buf[end - 1, COL_AVAIL]) \
+                    or (k > 1 and (avail[1:] < avail[:-1]).any()):
+                self._avail_sorted = False
+        self._end = new_end
+
+    def push_block(self, times: np.ndarray, avail_at: np.ndarray,
+                   dt: float, rtt_s: np.ndarray, sent_pkts: np.ndarray,
+                   delivered_pkts: np.ndarray, lost_pkts: np.ndarray,
+                   marked_pkts: np.ndarray) -> None:
+        """Record one engine block of tick samples columnwise.
+
+        Equivalent to ``push``-ing a :class:`TickSample` per row, without
+        constructing any; ``dt`` is the (uniform) tick length of the block.
+        """
+        k = len(times)
+        if k == 0:
+            return
+        rows = np.empty((k, N_SAMPLE_COLS))
+        rows[:, COL_TIME] = times
+        rows[:, COL_AVAIL] = avail_at
+        rows[:, COL_DT] = dt
+        rows[:, COL_RTT] = rtt_s
+        rows[:, COL_SENT] = sent_pkts
+        rows[:, COL_DLV] = delivered_pkts
+        rows[:, COL_LOST] = lost_pkts
+        rows[:, COL_MARK] = marked_pkts
+        self.push_rows(rows)
 
     def observe_rtt(self, rtt_s: float) -> None:
         """Fold an RTT measurement into the smoothed estimate."""
         self._srtt += self.SRTT_GAIN * (rtt_s - self._srtt)
+
+    def _drain_count(self, now: float) -> int:
+        """Length of the observable prefix at ``now``."""
+        start, end = self._start, self._end
+        if end == start:
+            return 0
+        avail = self._buf[start:end, COL_AVAIL]
+        if self._avail_sorted:
+            return int(avail.searchsorted(now, side="right"))
+        over = avail > now
+        if not over.any():
+            return end - start
+        return int(np.argmax(over))
 
     def collect(self, now: float, cwnd_pkts: float, pacing_pps: float,
                 pkts_in_flight: float) -> MtpStats:
@@ -132,16 +269,29 @@ class FlowMonitor:
         rtt_weighted = 0.0
         rtt_min = float("inf")
         weight = 0.0
-        while self._pending and self._pending[0].avail_at <= now:
-            s = self._pending.popleft()
-            sent += s.sent_pkts
-            delivered += s.delivered_pkts
-            lost += s.lost_pkts
-            marked += s.marked_pkts
-            rtt_weighted += s.rtt_s * s.dt
-            rtt_min = min(rtt_min, s.rtt_s)
-            weight += s.dt
-            self.observe_rtt(s.rtt_s)
+        k = self._drain_count(now)
+        if k > 0:
+            start = self._start
+            # Sequential fold in sample order: the srtt EWMA is
+            # order-dependent and the sums must match the original
+            # one-sample-at-a-time accumulation bit for bit.
+            srtt = self._srtt
+            gain = self.SRTT_GAIN
+            for dt_, rtt_, sent_, dlv_, lost_, mark_ in \
+                    self._buf[start:start + k, COL_DT:].tolist():
+                sent += sent_
+                delivered += dlv_
+                lost += lost_
+                marked += mark_
+                rtt_weighted += rtt_ * dt_
+                rtt_min = min(rtt_min, rtt_)
+                weight += dt_
+                srtt += gain * (rtt_ - srtt)
+            self._srtt = srtt
+            self._start = start + k
+            if self._start == self._end:
+                self._start = self._end = 0
+                self._avail_sorted = True
         if weight > 0:
             avg_rtt = rtt_weighted / weight
             throughput = delivered / weight

@@ -105,6 +105,30 @@ class MLP:
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward: no activation caching, no grad support.
+
+        Numerically identical to :meth:`forward` but touches none of the
+        backprop caches, so it is safe to interleave with a training
+        forward/backward pair and is measurably cheaper on the hot serving
+        and action-selection paths.  Accepts a single state vector or a
+        batch; always returns a 2-D ``(batch, out_dim)`` array like
+        :meth:`forward`.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.ndim != 2 or x.shape[1] != self.in_dim:
+            raise ModelError(
+                f"expected input dim {self.in_dim}, got {x.shape[-1]}")
+        h = x
+        for layer in self.layers[:-1]:
+            h = np.maximum(h @ layer.W + layer.b, 0.0)
+        out = h @ self.layers[-1].W + self.layers[-1].b
+        if self.output == "tanh":
+            out = np.tanh(out)
+        return out
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backprop ``dLoss/dOutput``; returns ``dLoss/dInput``.
 

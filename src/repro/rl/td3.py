@@ -64,7 +64,7 @@ class TD3Learner:
     def act(self, local_state: np.ndarray, noise_std: float = 0.0) -> np.ndarray:
         """Deterministic action for one or more local states, optionally
         perturbed by Gaussian exploration noise and clipped to (-1, 1)."""
-        action = self.actor.forward(local_state)
+        action = self.actor.infer(local_state)
         if noise_std > 0:
             action = action + self._rng.normal(0.0, noise_std, size=action.shape)
         return np.clip(action, -0.999, 0.999)
@@ -91,14 +91,16 @@ class TD3Learner:
         batch_size = s.shape[0]
 
         # Target action with smoothing noise (TD3).
-        a2 = self.actor_target.forward(s2)
+        # Target networks never take a backward pass: inference-only
+        # forwards skip the activation caches entirely.
+        a2 = self.actor_target.infer(s2)
         noise = np.clip(
             self._rng.normal(0.0, cfg.target_noise, size=a2.shape),
             -cfg.target_noise_clip, cfg.target_noise_clip)
         a2 = np.clip(a2 + noise, -1.0, 1.0)
 
-        q1_t = self.critic1_target.forward(self._critic_input(g2, s2, a2))
-        q2_t = self.critic2_target.forward(self._critic_input(g2, s2, a2))
+        q1_t = self.critic1_target.infer(self._critic_input(g2, s2, a2))
+        q2_t = self.critic2_target.infer(self._critic_input(g2, s2, a2))
         target = r[:, None] + cfg.gamma * (1.0 - done[:, None]) * np.minimum(q1_t, q2_t)
 
         # Critic regression toward the TD target.
@@ -142,7 +144,7 @@ class TD3Learner:
     def q_values(self, g: np.ndarray, s: np.ndarray,
                  a: np.ndarray) -> np.ndarray:
         """Q1 estimates for inspection and tests."""
-        return self.critic1.forward(self._critic_input(g, s, a))
+        return self.critic1.infer(self._critic_input(g, s, a))
 
     # ------------------------------------------------------------------
     # Snapshot / restore (divergence guard + training checkpoints)

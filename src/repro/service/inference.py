@@ -125,6 +125,9 @@ class BatchedInferenceService:
       (simulated arrival time vs. flush time).  Overdue requests go to
       the fallback when one is configured, else raise
       :class:`~repro.errors.DeadlineExceededError`.
+    * A finite state can still overflow the actor into a non-finite
+      action; such rows are answered by the fallback (or neutrally, with
+      no fallback configured) instead of leaking NaN to the sender.
     * Every degraded answer sets ``accounting.degraded`` and bumps the
       ``fallbacks`` / ``deadline_misses`` counters.
     """
@@ -224,12 +227,24 @@ class BatchedInferenceService:
         if healthy:
             states = np.vstack([s for _, s in healthy])
             t0 = time.process_time()
-            actions = self.policy.actor.forward(states)[:, 0]
+            # A finite but extreme state can still overflow the actor's
+            # matmuls into inf/NaN, which np.clip would pass through —
+            # so degrade those rows individually after the batched pass.
+            with np.errstate(over="ignore", invalid="ignore"):
+                actions = self.policy.actor.infer(states)[:, 0]
             self.accounting.cpu_time_s += time.process_time() - t0
             self.accounting.forward_passes += 1
             self.accounting.batch_sizes.append(len(healthy))
-            for (rid, _), a in zip(healthy, actions):
-                out[rid] = float(np.clip(a, -0.999, 0.999))
+            for (rid, state), a in zip(healthy, actions):
+                if not np.isfinite(a):
+                    self.accounting.mark_degraded()
+                    if self._fallback is not None:
+                        self.accounting.fallbacks += 1
+                        out[rid] = float(self._fallback(state))
+                    else:
+                        out[rid] = 0.0
+                else:
+                    out[rid] = float(np.clip(a, -0.999, 0.999))
         return out
 
     def serve_trace(self, arrivals: list[tuple[float, int, np.ndarray]],
@@ -295,10 +310,16 @@ class PerFlowServers:
                 f"state for flow {flow_id} contains non-finite entries")
         self.accounting.requests += 1
         t0 = time.process_time()
-        action = self._actors[flow_id].forward(state[None, :])[0, 0]
+        with np.errstate(over="ignore", invalid="ignore"):
+            action = self._actors[flow_id].infer(state)[0, 0]
         self.accounting.cpu_time_s += time.process_time() - t0
         self.accounting.forward_passes += 1
         self.accounting.batch_sizes.append(1)
+        if not np.isfinite(action):
+            # Actor overflowed on a finite but extreme state: answer
+            # neutrally rather than emitting NaN to the sender.
+            self.accounting.mark_degraded()
+            return 0.0
         return float(np.clip(action, -0.999, 0.999))
 
     def serve_trace(self, arrivals: list[tuple[float, int, np.ndarray]],

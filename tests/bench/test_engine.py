@@ -1,0 +1,78 @@
+"""The engine fast-path microbenchmark, its artifact, and the CLI gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.engine import (
+    BENCH_ID,
+    check_equivalence,
+    measure_ticks_per_s,
+    run_engine_benchmark,
+)
+from repro.cli import main
+
+
+class TestEngineBenchmark:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_engine_benchmark(flow_counts=(2,), duration_s=2.0,
+                                    episode_flows=2)
+
+    def test_payload_schema(self, payload):
+        assert payload["bench"] == BENCH_ID
+        assert payload["tick_s"] == pytest.approx(0.002)
+        assert payload["block_ticks"] >= 1
+        assert payload["flow_counts"] == [2]
+        (row,) = payload["ticks_per_s"]
+        assert row["n_flows"] == 2
+        assert row["reference"]["ticks_per_s"] > 0
+        assert row["fast"]["ticks_per_s"] > 0
+        assert row["speedup"] == pytest.approx(
+            row["fast"]["ticks_per_s"] / row["reference"]["ticks_per_s"])
+
+    def test_episode_leg_measured(self, payload):
+        ep = payload["episode"]
+        assert ep["reference"]["elapsed_s"] > 0
+        assert ep["fast"]["elapsed_s"] > 0
+        assert ep["speedup"] == pytest.approx(
+            ep["reference"]["elapsed_s"] / ep["fast"]["elapsed_s"])
+
+    def test_equivalence_embedded_and_passing(self, payload):
+        eq = payload["equivalence"]
+        assert eq["passed"] is True
+        assert eq["max_delta"] <= eq["tolerance"]
+        assert eq["rows"] > 0
+
+    def test_measure_reports_both_paths(self):
+        res = measure_ticks_per_s(n_flows=1, duration_s=1.0)
+        assert res["reference"]["ticks_per_s"] > 0
+        assert res["fast"]["ticks_per_s"] > 0
+
+
+class TestEquivalenceGate:
+    def test_pinned_scenario_within_tolerance(self):
+        eq = check_equivalence()
+        assert eq["passed"] is True
+        assert eq["max_delta"] <= eq["tolerance"]
+
+
+class TestEngineCli:
+    def test_small_run_writes_strict_artifact(self, tmp_path, capsys):
+        rc = main(["bench", "engine", "--small", "--out-dir",
+                   str(tmp_path)])
+        assert rc == 0
+        # The artifact must be strict JSON (reporting layer contract).
+        doc = json.loads((tmp_path / f"{BENCH_ID}.json").read_text())
+        assert doc["bench"] == BENCH_ID
+        assert doc["equivalence"]["passed"] is True
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_check_only_smoke(self, capsys):
+        rc = main(["bench", "engine", "--check-only"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fast path equals reference" in out

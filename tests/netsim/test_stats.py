@@ -76,3 +76,121 @@ class TestMtpStats:
     def test_loss_pps(self):
         assert self.make().loss_pps == pytest.approx(10.0 / 0.03)
         assert self.make(duration_s=0.0).loss_pps == 0.0
+
+
+class TestRingBuffer:
+    """Growable-ring internals: growth, compaction, partial drains, and
+    equivalence of the three push entry points."""
+
+    def collect(self, mon, now):
+        return mon.collect(now, cwnd_pkts=10, pacing_pps=0, pkts_in_flight=0)
+
+    def test_growth_past_initial_capacity(self):
+        from repro.netsim.stats import _INITIAL_CAPACITY
+
+        mon = FlowMonitor(base_rtt_s=0.03)
+        n = _INITIAL_CAPACITY * 3 + 7
+        for i in range(n):
+            mon.push(sample(time=i * 0.002, avail_at=i * 0.002))
+        assert len(mon) == n
+        stats = self.collect(mon, now=n * 0.002)
+        assert stats.sent_pkts == pytest.approx(10.0 * n)
+        assert len(mon) == 0
+
+    def test_partial_drain_then_refill_compacts(self):
+        mon = FlowMonitor(base_rtt_s=0.03)
+        # Fill, drain half, then push enough that the live region must be
+        # shifted to the front rather than the buffer regrown.
+        for i in range(60):
+            mon.push(sample(time=i * 1.0, avail_at=i * 1.0))
+        stats = self.collect(mon, now=29.5)
+        assert stats.sent_pkts == pytest.approx(300.0)
+        assert len(mon) == 30
+        for i in range(60, 90):
+            mon.push(sample(time=i * 1.0, avail_at=i * 1.0))
+        assert len(mon) == 60
+        stats = self.collect(mon, now=1000.0)
+        assert stats.sent_pkts == pytest.approx(600.0)
+
+    def test_partial_drain_stops_at_first_unobservable(self):
+        # Availability is NOT monotone here: a later sample becomes
+        # observable before an earlier one.  The drain must stop at the
+        # first unobservable sample (prefix semantics), leaving the
+        # already-observable later one queued.
+        mon = FlowMonitor(base_rtt_s=0.03)
+        mon.push(sample(time=0.0, avail_at=1.0, sent=1.0))
+        mon.push(sample(time=0.1, avail_at=5.0, sent=2.0))
+        mon.push(sample(time=0.2, avail_at=2.0, sent=4.0))
+        stats = self.collect(mon, now=2.5)
+        assert stats.sent_pkts == 1.0  # only the prefix
+        assert len(mon) == 2
+        stats = self.collect(mon, now=5.0)
+        assert stats.sent_pkts == 6.0
+        assert len(mon) == 0
+
+    def test_push_entry_points_equivalent(self):
+        import numpy as np
+
+        samples = [sample(time=i * 0.002, avail_at=i * 0.002 + 0.03,
+                          rtt=0.03 + 0.001 * i, sent=float(i),
+                          delivered=float(i) * 0.9, lost=float(i) * 0.1)
+                   for i in range(20)]
+        a = FlowMonitor(base_rtt_s=0.03)
+        for s in samples:
+            a.push(s)
+        b = FlowMonitor(base_rtt_s=0.03)
+        b.push_block(
+            times=np.array([s.time for s in samples]),
+            avail_at=np.array([s.avail_at for s in samples]),
+            dt=0.002,
+            rtt_s=np.array([s.rtt_s for s in samples]),
+            sent_pkts=np.array([s.sent_pkts for s in samples]),
+            delivered_pkts=np.array([s.delivered_pkts for s in samples]),
+            lost_pkts=np.array([s.lost_pkts for s in samples]),
+            marked_pkts=np.array([s.marked_pkts for s in samples]),
+        )
+        c = FlowMonitor(base_rtt_s=0.03)
+        rows = np.array([[s.time, s.avail_at, s.dt, s.rtt_s, s.sent_pkts,
+                          s.delivered_pkts, s.lost_pkts, s.marked_pkts]
+                         for s in samples])
+        c.push_rows(rows)
+        assert a.pending_samples() == b.pending_samples()
+        assert a.pending_samples() == c.pending_samples()
+        sa = self.collect(a, now=1.0)
+        sb = self.collect(b, now=1.0)
+        sc = self.collect(c, now=1.0)
+        assert sa == sb == sc
+
+    def test_pending_property_compat(self):
+        # Diagnostics peek at ``_pending``; it must mirror the ring.
+        mon = FlowMonitor(base_rtt_s=0.03)
+        mon.push(sample(time=0.5, avail_at=0.6))
+        view = list(mon._pending)
+        assert len(view) == 1
+        assert view[0].time == 0.5
+        assert view[0].avail_at == 0.6
+
+    def test_srtt_fold_is_sequential(self):
+        # The EWMA is order-dependent: folding samples one at a time must
+        # give the same srtt as a blockwise collect.
+        rtts = [0.03, 0.08, 0.02, 0.05, 0.04]
+        a = FlowMonitor(base_rtt_s=0.03)
+        for i, r in enumerate(rtts):
+            a.push(sample(time=i * 0.002, avail_at=0.0, rtt=r))
+            self.collect(a, now=0.1 + i)  # drain one sample at a time
+        b = FlowMonitor(base_rtt_s=0.03)
+        for i, r in enumerate(rtts):
+            b.push(sample(time=i * 0.002, avail_at=0.0, rtt=r))
+        self.collect(b, now=10.0)
+        assert a.srtt_s == b.srtt_s
+
+    def test_full_drain_resets_to_sorted(self):
+        mon = FlowMonitor(base_rtt_s=0.03)
+        mon.push(sample(time=0.0, avail_at=2.0))
+        mon.push(sample(time=0.1, avail_at=1.0))  # breaks monotonicity
+        assert not mon._avail_sorted
+        self.collect(mon, now=5.0)
+        assert len(mon) == 0
+        assert mon._avail_sorted
+        mon.push(sample(time=0.2, avail_at=3.0))
+        assert mon._avail_sorted

@@ -138,3 +138,51 @@ class TestState:
         b.polyak_update_from(a, tau=tau)
         assert np.all(b.layers[0].W >= lo - 1e-12)
         assert np.all(b.layers[0].W <= hi + 1e-12)
+
+
+class TestInfer:
+    """The no-grad fast forward used on serving and action-selection paths."""
+
+    @pytest.mark.parametrize("output", ["linear", "tanh"])
+    def test_matches_forward_bitwise(self, output):
+        rng = np.random.default_rng(3)
+        net = MLP(in_dim=5, hidden=(16, 8), out_dim=2, output=output, seed=3)
+        x = rng.normal(size=(7, 5))
+        assert np.array_equal(net.infer(x), net.forward(x))
+
+    def test_single_vector_promoted_to_batch(self):
+        net = MLP(in_dim=4, hidden=(8,), out_dim=1, seed=0)
+        out = net.infer(np.zeros(4))
+        assert out.shape == (1, 1)
+
+    def test_rejects_wrong_input_dim(self):
+        net = MLP(in_dim=4, hidden=(8,), out_dim=1, seed=0)
+        with pytest.raises(ModelError):
+            net.infer(np.zeros(3))
+
+    def test_does_not_disturb_backprop_caches(self):
+        # A training step may interleave with inference (e.g. serving a
+        # policy mid-update); infer must leave forward's caches intact so
+        # the subsequent backward is unchanged.
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(6, 5))
+        grad_out = rng.normal(size=(6, 2))
+
+        ref = MLP(in_dim=5, hidden=(16,), out_dim=2, seed=5)
+        ref.forward(x)
+        ref.backward(grad_out)
+        want = [(l.dW.copy(), l.db.copy()) for l in ref.layers]
+
+        net = MLP(in_dim=5, hidden=(16,), out_dim=2, seed=5)
+        net.forward(x)
+        net.infer(rng.normal(size=(3, 5)))  # interleaved inference
+        net.backward(grad_out)
+        for layer, (dW, db) in zip(net.layers, want):
+            assert np.array_equal(layer.dW, dW)
+            assert np.array_equal(layer.db, db)
+
+    def test_backward_before_forward_still_rejected_after_infer(self):
+        net = MLP(in_dim=4, hidden=(8,), out_dim=1, seed=0)
+        net.infer(np.zeros(4))
+        with pytest.raises(ModelError):
+            net.backward(np.zeros((1, 1)))

@@ -258,3 +258,39 @@ class TestHardeningProperties:
         svc = BatchedInferenceService(bundle, fallback="analytic")
         with pytest.raises(InvalidStateError):
             svc.submit(0, np.zeros(dim))
+
+
+class TestNonFiniteActorOutput:
+    """A finite-but-huge state passes input validation yet overflows the
+    actor's matmul into inf/NaN.  The service must degrade gracefully, not
+    return a non-finite action (this was a real, randomly-surfacing
+    failure in the fallback property test before the output guard)."""
+
+    HUGE = 1e308
+
+    def huge_state(self, bundle):
+        return np.full(bundle.actor.in_dim, self.HUGE)
+
+    def test_flush_routes_overflow_to_fallback(self, bundle):
+        svc = BatchedInferenceService(bundle, fallback="analytic")
+        svc.submit(0, self.huge_state(bundle))
+        svc.submit(1, np.zeros(bundle.actor.in_dim))
+        out = svc.flush()
+        assert np.isfinite(out[0])
+        assert out[1] == pytest.approx(
+            bundle.act(np.zeros(bundle.actor.in_dim)), abs=1e-9)
+        assert svc.accounting.fallbacks == 1
+        assert svc.accounting.degraded
+
+    def test_flush_without_fallback_returns_neutral(self, bundle):
+        svc = BatchedInferenceService(bundle)
+        svc.submit(0, self.huge_state(bundle))
+        out = svc.flush()
+        assert out[0] == 0.0
+        assert svc.accounting.degraded
+
+    def test_per_flow_serve_returns_neutral_and_degrades(self, bundle):
+        servers = PerFlowServers(bundle, n_flows=1)
+        action = servers.serve(0, self.huge_state(bundle))
+        assert action == 0.0
+        assert servers.accounting.degraded
