@@ -19,6 +19,12 @@ Commands
 ``faults``    inspect or exercise link-fault schedules: print a sampled
               schedule, or run a robustness scenario under one scheme
               and print its summary.
+``serve``     run the asyncio inference-serving daemon: length-prefixed
+              JSON over loopback TCP, requests batched into the 5 ms
+              window of the shared service, admission control, graceful
+              drain on SIGTERM, a ``stats`` verb exporting counters and
+              latency quantiles, and ``--shards N`` process fan-out
+              (flow-id hash -> shard).
 ``bench``     benchmark sweeps; ``bench robustness`` runs the
               scheme x fault-kind x engine recovery sweep and writes the
               JSON artifact plus markdown table under
@@ -27,7 +33,10 @@ Commands
               ``BENCH_parallel.json``; ``bench engine`` measures the
               fluid engine's vectorized fast path against the per-tick
               reference (ticks/s, episode wall-clock, equivalence) and
-              writes ``BENCH_engine.json``.
+              writes ``BENCH_engine.json``; ``bench serve`` drives a
+              live daemon with an asyncio load generator over a sweep
+              of concurrent-flow counts and writes actions/s plus
+              p50/p99/p999 latency into ``BENCH_serve.json``.
 
 Sweep-shaped commands accept ``--workers N`` (default: the
 ``REPRO_WORKERS`` environment variable, else serial) to fan tasks out
@@ -469,6 +478,91 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     return 0 if eq["passed"] else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .service.daemon import serve_main
+
+    deadline = args.deadline if args.deadline and args.deadline > 0 \
+        else None
+    fallback = None if args.fallback == "none" else args.fallback
+    try:
+        return serve_main(
+            host=args.host, port=args.port, scheme=args.scheme,
+            batch_window_s=args.window, deadline_s=deadline,
+            fallback=fallback, max_inflight=args.max_inflight,
+            shards=args.shards)
+    except ReproError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import reporting
+    from .bench.serve import (
+        BENCH_ID,
+        DEFAULT_LEVELS,
+        SMALL_LEVELS,
+        run_serve_benchmark,
+    )
+    from .errors import ReproError
+
+    if args.small:
+        levels, duration = SMALL_LEVELS, 0.6
+    else:
+        levels, duration = DEFAULT_LEVELS, args.duration
+    if args.levels:
+        levels = tuple(int(v) for v in args.levels.split(",") if v.strip())
+    connect = None
+    if args.connect:
+        connect = []
+        for part in args.connect.split(","):
+            host, _, port = part.strip().rpartition(":")
+            connect.append((host or "127.0.0.1", int(port)))
+    try:
+        payload = run_serve_benchmark(
+            levels, duration_s=duration, mtp_s=args.mtp,
+            shards=args.shards, scheme=args.scheme, window_s=args.window,
+            deadline_s=args.deadline if args.deadline > 0 else None,
+            max_inflight=args.max_inflight,
+            conns_per_shard=args.conns_per_shard, timeout=args.timeout,
+            connect=connect,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    except ReproError as exc:
+        print(f"serve benchmark failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("serve benchmark interrupted; no artifacts written",
+              file=sys.stderr)
+        return 130
+    if args.out_dir:
+        path = reporting.write_results_file(
+            Path(args.out_dir) / f"{BENCH_ID}.json", payload)
+    else:
+        path = reporting.save_results(BENCH_ID, payload)
+
+    from .bench import print_table
+    print_table(
+        "Serving daemon under closed-loop load "
+        f"({payload['config']['shards']} shard(s), "
+        f"{payload['config']['window_s'] * 1e3:g} ms window)",
+        ["flows", "actions/s", "p50 (ms)", "p99 (ms)", "p999 (ms)",
+         "batch", "unanswered"],
+        [[row["n_flows"], row["actions_per_s"],
+          row["latency"]["p50_s"] * 1e3, row["latency"]["p99_s"] * 1e3,
+          row["latency"]["p999_s"] * 1e3,
+          row["daemon"]["mean_batch_size"], row["unanswered"]]
+         for row in payload["levels"]],
+    )
+    if payload["clean_shutdown"] is not None:
+        print(f"\ndaemon shutdown clean: {payload['clean_shutdown']}")
+    print(f"JSON artifact: {path}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -580,6 +674,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the schedule without running")
     p_faults.set_defaults(func=_cmd_faults)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the asyncio inference-serving daemon (SIGTERM drains)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8731,
+                         help="base TCP port; 0 picks ephemeral ports "
+                              "(announced as 'LISTENING host port' lines)")
+    p_serve.add_argument("--scheme", default="astraea",
+                         help="policy bundle to serve")
+    p_serve.add_argument("--window", type=float, default=0.005,
+                         help="batching window in seconds (default 5 ms)")
+    p_serve.add_argument("--deadline", type=float, default=0.050,
+                         help="per-request queue deadline in seconds "
+                              "(0 disables)")
+    p_serve.add_argument("--fallback", default="analytic",
+                         choices=("analytic", "none"),
+                         help="degraded-mode answer for bad states and "
+                              "deadline misses")
+    p_serve.add_argument("--max-inflight", type=int, default=4096,
+                         dest="max_inflight",
+                         help="admission-control ceiling per shard")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="daemon processes; flow-id hash routes "
+                              "each flow to one shard (port+index)")
+    p_serve.set_defaults(func=_cmd_serve)
+
     p_bench = sub.add_parser(
         "bench", help="benchmark sweeps (robustness report)")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
@@ -650,6 +770,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the artifact here instead of "
                             "benchmarks/results/")
     p_eng.set_defaults(func=_cmd_bench_engine)
+
+    p_srv = bench_sub.add_parser(
+        "serve",
+        help="closed-loop load sweep against a live serving daemon "
+             "(writes BENCH_serve.json)")
+    p_srv.add_argument("--levels", default=None,
+                       help="comma-separated concurrent-flow counts "
+                            "(default: 8,64,256,1024)")
+    p_srv.add_argument("--duration", type=float, default=3.0,
+                       help="seconds of load per level (default 3)")
+    p_srv.add_argument("--mtp", type=float, default=0.020,
+                       help="per-flow request cadence in seconds")
+    p_srv.add_argument("--shards", type=int, default=1,
+                       help="daemon shard processes to spawn")
+    p_srv.add_argument("--scheme", default="astraea")
+    p_srv.add_argument("--window", type=float, default=0.005,
+                       help="daemon batching window in seconds")
+    p_srv.add_argument("--deadline", type=float, default=0.050,
+                       help="daemon per-request deadline (0 disables)")
+    p_srv.add_argument("--max-inflight", type=int, default=4096,
+                       dest="max_inflight")
+    p_srv.add_argument("--conns-per-shard", type=int, default=8,
+                       dest="conns_per_shard",
+                       help="client connections multiplexing the flows")
+    p_srv.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request client timeout in seconds")
+    p_srv.add_argument("--connect", default=None,
+                       help="comma-separated host:port of an already-"
+                            "running daemon (default: spawn one)")
+    p_srv.add_argument("--small", action="store_true",
+                       help="CI smoke subset: 4/16/64 flows, 0.6 s "
+                            "levels")
+    p_srv.add_argument("--out-dir", default=None,
+                       help="write the artifact here instead of "
+                            "benchmarks/results/")
+    p_srv.set_defaults(func=_cmd_bench_serve)
     return parser
 
 

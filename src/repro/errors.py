@@ -85,5 +85,30 @@ class InvalidStateError(ServiceError):
 
 
 class DeadlineExceededError(ServiceError):
-    """A request aged past the service deadline and no fallback path is
-    configured to absorb it."""
+    """One or more requests aged past the service deadline and no
+    fallback path is configured to absorb them.
+
+    The exception is raised only *after* the rest of the flush window
+    was served, so no healthy request is ever discarded along with the
+    overdue ones: ``served`` carries the ``{request_id: action}``
+    answers of every request that was still serveable, and ``missed``
+    lists the request ids that actually exceeded the deadline.
+    """
+
+    def __init__(self, message: str, *,
+                 missed: list[int] | None = None,
+                 served: dict[int, float] | None = None) -> None:
+        super().__init__(message)
+        self.missed = list(missed) if missed is not None else []
+        self.served = dict(served) if served is not None else {}
+
+
+class ProtocolError(ServiceError):
+    """A daemon client sent a frame the wire protocol cannot parse
+    (bad length prefix, oversized frame, non-JSON body, unknown verb,
+    missing fields)."""
+
+
+class AdmissionRejectedError(ServiceError):
+    """The serving daemon refused a request because its in-flight
+    ceiling was reached (admission control, not a malformed request)."""

@@ -1,5 +1,16 @@
-"""Inference serving: batched shared service vs per-flow servers (§5.4)."""
+"""Inference serving: batched shared service vs per-flow servers (§5.4),
+plus the asyncio serving daemon, client, and metrics surface."""
 
+from .daemon import (
+    InferenceDaemon,
+    ServiceClient,
+    build_service,
+    decode_body,
+    encode_frame,
+    read_frame,
+    serve_main,
+    shard_for_flow,
+)
 from .inference import (
     BatchedInferenceService,
     PerFlowServers,
@@ -8,12 +19,23 @@ from .inference import (
     default_service_policy,
     synthetic_request_trace,
 )
+from .metrics import LatencyHistogram, render_metrics
 
 __all__ = [
     "BatchedInferenceService",
+    "InferenceDaemon",
+    "LatencyHistogram",
     "PerFlowServers",
     "ServiceAccounting",
+    "ServiceClient",
     "analytic_fallback_action",
+    "build_service",
+    "decode_body",
     "default_service_policy",
+    "encode_frame",
+    "read_frame",
+    "render_metrics",
+    "serve_main",
+    "shard_for_flow",
     "synthetic_request_trace",
 ]

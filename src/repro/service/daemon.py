@@ -1,0 +1,645 @@
+"""Asyncio serving daemon around :class:`BatchedInferenceService` (§5.4).
+
+The paper's scalability argument (Fig. 16) is architectural: one shared
+inference service batching requests over a ~5 ms window serves thousands
+of flows per core, where Orca-style per-flow servers burn a process per
+flow.  This module turns the hardened in-process
+:class:`~repro.service.inference.BatchedInferenceService` into something
+flows can actually connect to:
+
+* **Wire protocol** — length-prefixed JSON over localhost TCP: a 4-byte
+  big-endian length, then one UTF-8 JSON object.  Verbs: ``act`` (one
+  inference request), ``stats`` (counters + latency quantiles + text
+  metrics), ``ping``.  A malformed body is answered with a typed
+  ``ProtocolError`` reject and the connection lives on (the length
+  prefix keeps the stream in sync); an unparseable length prefix closes
+  only that connection.  One bad client never takes the daemon down.
+* **Batching** — every ``act`` request lands in the service queue
+  stamped with its event-loop arrival time; a flush task serves the
+  whole queue once per batching window with a single batched forward
+  pass, resolving per-request futures.  Per-request deadlines ride the
+  service's existing ``deadline_s`` path.
+* **Admission control** — at most ``max_inflight`` requests may be
+  queued or awaiting response; beyond that the daemon answers a typed
+  ``AdmissionRejectedError`` immediately instead of building an
+  unbounded backlog.
+* **Graceful drain** — SIGTERM/SIGINT stop the listener, finish serving
+  everything already queued, answer it, then exit 0.  No request that
+  was accepted is ever dropped by shutdown.
+* **Sharding** — ``serve_main(shards=N)`` fans out N daemon processes
+  (spawn context, as in :mod:`repro.parallel`), one shard per port;
+  clients route ``flow_id`` to a shard with :func:`shard_for_flow`, so
+  one flow's requests always meet the same batching queue.
+
+:class:`ServiceClient` is the matching asyncio client: it multiplexes
+many flows over a small connection pool per shard (request ids match
+responses to callers), which is also how the load benchmark
+(:mod:`repro.bench.serve`) drives the daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import struct
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    InvalidStateError,
+    ProtocolError,
+    ServiceError,
+)
+from .inference import BatchedInferenceService
+from .metrics import LatencyHistogram, render_metrics
+
+#: Frames above this are a protocol violation (a state vector is ~1 kB).
+MAX_FRAME_BYTES = 1 << 20
+_HEADER = struct.Struct(">I")
+
+DEFAULT_PORT = 8731
+
+#: Error classes a daemon response may name; the client re-raises them.
+_ERROR_TYPES: dict[str, type[ServiceError]] = {
+    cls.__name__: cls
+    for cls in (ServiceError, InvalidStateError, DeadlineExceededError,
+                AdmissionRejectedError, ProtocolError)
+}
+
+
+def shard_for_flow(flow_id: int, n_shards: int) -> int:
+    """Deterministic flow-to-shard routing (Knuth multiplicative hash).
+
+    Stable across processes and Python hash randomisation, so every
+    client maps a flow to the same shard — a flow's requests must all
+    meet one batching queue for its deadline accounting to make sense.
+    """
+    if n_shards <= 0:
+        raise ServiceError(f"need at least one shard, got {n_shards}")
+    return (int(flow_id) * 2654435761) % (1 << 32) % n_shards
+
+
+def encode_frame(obj: dict) -> bytes:
+    """Serialise one protocol message: 4-byte length + JSON body."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(data: bytes) -> dict:
+    """Parse a frame body; raises :class:`ProtocolError` on garbage."""
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one raw frame body; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` for an unusable length prefix — after
+    that the stream cannot be re-synchronised and must be closed.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} outside (0, {MAX_FRAME_BYTES}]")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        return None
+
+
+def _error_body(exc: BaseException, request_id=None) -> dict:
+    name = type(exc).__name__
+    if name not in _ERROR_TYPES:
+        name = "ServiceError"
+    return {"id": request_id, "ok": False, "error": name,
+            "message": str(exc)}
+
+
+class InferenceDaemon:
+    """One shard: an asyncio TCP server multiplexing connections into
+    the batching window of a :class:`BatchedInferenceService`."""
+
+    def __init__(self, service: BatchedInferenceService, *,
+                 max_inflight: int = 4096, shard_index: int = 0,
+                 n_shards: int = 1):
+        if max_inflight <= 0:
+            raise ServiceError("max_inflight must be positive")
+        self.service = service
+        self.max_inflight = max_inflight
+        self.shard_index = shard_index
+        self.n_shards = n_shards
+        self.latency = LatencyHistogram()
+        #: Daemon-level counters (the service keeps its own accounting).
+        self.counters = {
+            "connections": 0,
+            "frames": 0,
+            "protocol_errors": 0,
+            "admission_rejected": 0,
+            "drain_rejected": 0,
+        }
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        # internal request id -> (future, enqueue time)
+        self._pending: dict[int, tuple[asyncio.Future, float]] = {}
+        self._next_rid = 0
+        self._kick = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._shutdown = asyncio.Event()
+        self._flush_task: asyncio.Task | None = None
+        self._started_at = time.time()
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind, start serving and flushing; returns the bound port."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        self._flush_task = asyncio.create_task(self._flush_loop())
+        return self.port
+
+    def request_shutdown(self) -> None:
+        """Signal-safe shutdown trigger (SIGTERM/SIGINT handler)."""
+        self._shutdown.set()
+
+    async def wait_shutdown(self) -> None:
+        await self._shutdown.wait()
+
+    async def drain(self) -> None:
+        """Stop accepting, serve everything already queued, stop flushing.
+
+        Idempotent; after it returns every accepted request has been
+        answered and the daemon no longer listens.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            try:
+                await self._flush_task
+            except asyncio.CancelledError:
+                pass
+            self._flush_task = None
+
+    # -- batching -----------------------------------------------------
+
+    async def _flush_loop(self) -> None:
+        while True:
+            await self._kick.wait()
+            # Let one whole batching window of requests accumulate.
+            await asyncio.sleep(self.service.batch_window_s)
+            self._flush_once()
+            if not self._pending:
+                self._kick.clear()
+
+    def _flush_once(self) -> None:
+        if not self._pending:
+            return
+        now = self._loop.time()
+        missed: list[int] = []
+        try:
+            results = self.service.flush(now_s=now)
+        except DeadlineExceededError as exc:
+            # The fixed flush semantics: healthy requests were served
+            # and ride along on the exception; the overdue ones are
+            # answered with the typed error instead of vanishing.
+            results = exc.served
+            missed = exc.missed
+        for rid, action in results.items():
+            entry = self._pending.pop(rid, None)
+            if entry is None:
+                continue
+            future, t0 = entry
+            self.latency.record(now - t0)
+            if not future.done():
+                future.set_result({"ok": True, "action": action})
+        for rid in missed:
+            entry = self._pending.pop(rid, None)
+            if entry is None:
+                continue
+            future, t0 = entry
+            self.latency.record(now - t0)
+            if not future.done():
+                future.set_result(_error_body(DeadlineExceededError(
+                    f"request aged past the {self.service.deadline_s}s "
+                    f"deadline")))
+        if not self._pending:
+            self._idle.set()
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.counters["connections"] += 1
+        wlock = asyncio.Lock()
+        answer_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    raw = await read_frame(reader)
+                except ProtocolError as exc:
+                    # Unusable length prefix: reject, then close — the
+                    # stream cannot be re-synchronised.
+                    self.counters["protocol_errors"] += 1
+                    await self._send(writer, wlock, _error_body(exc))
+                    break
+                if raw is None:
+                    break
+                self.counters["frames"] += 1
+                try:
+                    body = decode_body(raw)
+                except ProtocolError as exc:
+                    # Bad JSON inside a well-framed message: typed
+                    # reject, connection stays usable.
+                    self.counters["protocol_errors"] += 1
+                    await self._send(writer, wlock, _error_body(exc))
+                    continue
+                await self._dispatch(body, writer, wlock, answer_tasks)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            for task in answer_tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, body: dict, writer: asyncio.StreamWriter,
+                        wlock: asyncio.Lock,
+                        answer_tasks: set[asyncio.Task]) -> None:
+        op = body.get("op")
+        request_id = body.get("id")
+        if op == "act":
+            response = self._submit(body)
+            if isinstance(response, asyncio.Future):
+                task = asyncio.create_task(
+                    self._answer(response, writer, wlock, request_id))
+                answer_tasks.add(task)
+                task.add_done_callback(answer_tasks.discard)
+            else:
+                await self._send(writer, wlock, response)
+        elif op == "stats":
+            await self._send(writer, wlock,
+                             {"id": request_id, "ok": True,
+                              **self.stats()})
+        elif op == "ping":
+            await self._send(writer, wlock,
+                             {"id": request_id, "ok": True, "op": "ping"})
+        else:
+            self.counters["protocol_errors"] += 1
+            await self._send(writer, wlock, _error_body(
+                ProtocolError(f"unknown op {op!r}"), request_id))
+
+    def _submit(self, body: dict):
+        """Admit one ``act`` request; a Future to await, or a reject."""
+        request_id = body.get("id")
+        state = body.get("state")
+        if not isinstance(state, list):
+            self.counters["protocol_errors"] += 1
+            return _error_body(ProtocolError(
+                "'act' needs a 'state' list"), request_id)
+        if self._draining:
+            self.counters["drain_rejected"] += 1
+            return _error_body(AdmissionRejectedError(
+                "daemon is draining"), request_id)
+        if len(self._pending) >= self.max_inflight:
+            self.counters["admission_rejected"] += 1
+            return _error_body(AdmissionRejectedError(
+                f"in-flight ceiling of {self.max_inflight} requests "
+                f"reached"), request_id)
+        rid = self._next_rid
+        self._next_rid += 1
+        try:
+            self.service.submit(rid, np.asarray(state, dtype=float),
+                                arrival_s=self._loop.time())
+        except (ServiceError, ValueError, TypeError) as exc:
+            return _error_body(exc, request_id)
+        future: asyncio.Future = self._loop.create_future()
+        self._pending[rid] = (future, self._loop.time())
+        self._idle.clear()
+        self._kick.set()
+        return future
+
+    async def _answer(self, future: asyncio.Future,
+                      writer: asyncio.StreamWriter, wlock: asyncio.Lock,
+                      request_id) -> None:
+        body = dict(await future)
+        body["id"] = request_id
+        await self._send(writer, wlock, body)
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    wlock: asyncio.Lock, body: dict) -> None:
+        try:
+            async with wlock:
+                writer.write(encode_frame(body))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; its request was still accounted
+
+    # -- observability ------------------------------------------------
+
+    def stats(self) -> dict:
+        """The STATS verb payload: counters, quantiles, text metrics."""
+        extra = {f"daemon_{k}": v for k, v in self.counters.items()}
+        extra["daemon_inflight"] = len(self._pending)
+        extra["daemon_uptime_s"] = time.time() - self._started_at
+        return {
+            "op": "stats",
+            "in_dim": self.service.policy.actor.in_dim,
+            "window_s": self.service.batch_window_s,
+            "deadline_s": self.service.deadline_s,
+            "shard": self.shard_index,
+            "shards": self.n_shards,
+            "counters": {**self.service.accounting.counters(), **extra},
+            "latency": self.latency.summary(),
+            "metrics": render_metrics(self.service.accounting,
+                                      self.latency, extra=extra),
+        }
+
+
+class ServiceClient:
+    """Asyncio client multiplexing many flows over pooled connections.
+
+    ``addrs`` lists one ``(host, port)`` per shard; a flow's requests
+    are routed with :func:`shard_for_flow` and spread round-robin over
+    ``conns_per_shard`` connections, so thousands of simulated flows
+    need only a handful of sockets (this is also what keeps the load
+    generator under the file-descriptor ceiling).
+    """
+
+    def __init__(self, addrs: list[tuple[str, int]],
+                 conns_per_shard: int = 4):
+        if not addrs:
+            raise ServiceError("need at least one daemon address")
+        if conns_per_shard <= 0:
+            raise ServiceError("conns_per_shard must be positive")
+        self._addrs = list(addrs)
+        self._conns_per_shard = conns_per_shard
+        # shard -> list of connection records
+        self._conns: dict[int, list[_Connection]] = {}
+        self._rr: dict[int, int] = {}
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._addrs)
+
+    async def _conn_for(self, shard: int) -> "_Connection":
+        pool = self._conns.setdefault(shard, [])
+        index = self._rr.get(shard, 0)
+        self._rr[shard] = index + 1
+        slot = index % self._conns_per_shard
+        while len(pool) <= slot:
+            host, port = self._addrs[shard]
+            pool.append(await _Connection.open(host, port))
+        conn = pool[slot]
+        if conn.closed:
+            host, port = self._addrs[shard]
+            conn = await _Connection.open(host, port)
+            pool[slot] = conn
+        return conn
+
+    async def act(self, flow_id: int, state, timeout: float | None = None,
+                  ) -> float:
+        """One inference round trip; raises the daemon's typed error."""
+        shard = shard_for_flow(flow_id, self.n_shards)
+        conn = await self._conn_for(shard)
+        if not isinstance(state, list):
+            # Arrays are serialised once here; the load generator passes
+            # pre-built float lists to stay off this path per request.
+            state = [float(v) for v in
+                     np.asarray(state, dtype=float).ravel()]
+        body = await conn.request({"op": "act", "flow": int(flow_id),
+                                   "state": state}, timeout=timeout)
+        return float(body["action"])
+
+    async def stats(self, shard: int = 0, timeout: float | None = None,
+                    ) -> dict:
+        conn = await self._conn_for(shard)
+        return await conn.request({"op": "stats"}, timeout=timeout)
+
+    async def ping(self, shard: int = 0, timeout: float | None = None,
+                   ) -> dict:
+        conn = await self._conn_for(shard)
+        return await conn.request({"op": "ping"}, timeout=timeout)
+
+    async def aclose(self) -> None:
+        for pool in self._conns.values():
+            for conn in pool:
+                await conn.aclose()
+        self._conns.clear()
+
+
+class _Connection:
+    """One socket: pipelined requests matched to responses by id."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._wlock = asyncio.Lock()
+        self.closed = False
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "_Connection":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        error: Exception = ServiceError("connection closed by daemon")
+        try:
+            while True:
+                raw = await read_frame(self._reader)
+                if raw is None:
+                    break
+                body = decode_body(raw)
+                future = self._pending.pop(body.get("id"), None)
+                if future is None or future.done():
+                    continue
+                if body.get("ok"):
+                    future.set_result(body)
+                else:
+                    cls = _ERROR_TYPES.get(body.get("error", ""),
+                                           ServiceError)
+                    future.set_exception(cls(body.get("message", "")))
+        except (ConnectionError, ProtocolError, asyncio.CancelledError) \
+                as exc:
+            if isinstance(exc, Exception):
+                error = exc
+        finally:
+            self.closed = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    async def request(self, body: dict, timeout: float | None = None,
+                      ) -> dict:
+        if self.closed:
+            raise ServiceError("connection is closed")
+        rid = self._next_id
+        self._next_id += 1
+        body = dict(body, id=rid)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        async with self._wlock:
+            self._writer.write(encode_frame(body))
+            await self._writer.drain()
+        if timeout is None:
+            return await future
+        return await asyncio.wait_for(future, timeout)
+
+    async def aclose(self) -> None:
+        self.closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+# -- process entry points ---------------------------------------------
+
+
+def build_service(scheme: str = "astraea", batch_window_s: float = 0.005,
+                  deadline_s: float | None = 0.050,
+                  fallback: str | None = "analytic",
+                  ) -> BatchedInferenceService:
+    """The daemon's default backend: shipped bundle, analytic fallback."""
+    return BatchedInferenceService.from_default(
+        scheme, batch_window_s=batch_window_s, deadline_s=deadline_s,
+        fallback=fallback)
+
+
+async def _serve_async(daemon: InferenceDaemon, host: str, port: int,
+                       announce: Callable[[str], None] | None = None,
+                       ) -> int:
+    loop = asyncio.get_running_loop()
+    bound = await daemon.start(host, port)
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, daemon.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread or platform without signal support
+    if announce is not None:
+        announce(f"LISTENING {daemon.host} {bound} "
+                 f"shard={daemon.shard_index}/{daemon.n_shards}")
+    await daemon.wait_shutdown()
+    if announce is not None:
+        announce(f"DRAINING shard={daemon.shard_index} "
+                 f"inflight={len(daemon._pending)}")
+    await daemon.drain()
+    if announce is not None:
+        s = daemon.service.accounting
+        announce(f"STOPPED shard={daemon.shard_index} "
+                 f"requests={s.requests} forward_passes={s.forward_passes}")
+    return 0
+
+
+def _announce(line: str) -> None:
+    print(line, flush=True)
+
+
+def _shard_main(cfg: dict) -> None:
+    """Module-level child entry (spawn context needs it picklable)."""
+    service = build_service(cfg["scheme"], cfg["batch_window_s"],
+                            cfg["deadline_s"], cfg["fallback"])
+    daemon = InferenceDaemon(service, max_inflight=cfg["max_inflight"],
+                             shard_index=cfg["shard_index"],
+                             n_shards=cfg["n_shards"])
+    raise SystemExit(asyncio.run(
+        _serve_async(daemon, cfg["host"], cfg["port"], _announce)))
+
+
+def serve_main(*, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+               scheme: str = "astraea", batch_window_s: float = 0.005,
+               deadline_s: float | None = 0.050,
+               fallback: str | None = "analytic",
+               max_inflight: int = 4096, shards: int = 1) -> int:
+    """Run the daemon (blocking), sharded when ``shards > 1``.
+
+    Each shard is its own spawn-context process listening on
+    ``port + shard_index`` (each picks an ephemeral port when ``port``
+    is 0) and announcing ``LISTENING <host> <port> shard=i/n`` on
+    stdout.  SIGTERM/SIGINT drain every shard gracefully.
+    """
+    if shards <= 0:
+        raise ServiceError(f"need at least one shard, got {shards}")
+    if shards == 1:
+        service = build_service(scheme, batch_window_s, deadline_s,
+                                fallback)
+        daemon = InferenceDaemon(service, max_inflight=max_inflight)
+        return asyncio.run(_serve_async(daemon, host, port, _announce))
+
+    import multiprocessing
+
+    context = multiprocessing.get_context("spawn")
+    children = []
+    for index in range(shards):
+        cfg = {"host": host, "port": port + index if port else 0,
+               "scheme": scheme, "batch_window_s": batch_window_s,
+               "deadline_s": deadline_s, "fallback": fallback,
+               "max_inflight": max_inflight, "shard_index": index,
+               "n_shards": shards}
+        child = context.Process(target=_shard_main, args=(cfg,),
+                                daemon=False)
+        child.start()
+        children.append(child)
+
+    def forward(signum, frame):
+        for child in children:
+            if child.is_alive():
+                child.terminate()   # SIGTERM -> graceful shard drain
+
+    previous = {sig: signal.signal(sig, forward)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+    try:
+        for child in children:
+            child.join()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        for child in children:
+            if child.is_alive():
+                child.terminate()
+                child.join()
+    codes = [child.exitcode or 0 for child in children]
+    bad = [c for c in codes if c not in (0, -signal.SIGTERM)]
+    if bad:
+        print(f"shard exit codes: {codes}", file=sys.stderr)
+    return max(bad, default=0)

@@ -77,31 +77,93 @@ def default_service_policy(scheme: str = "astraea") -> PolicyBundle:
     return bundle
 
 
+#: Batch sizes retained for inspection (most recent first to fall out).
+#: Aggregates (count/sum/max) are streaming and cover the full history;
+#: only the materialised ``batch_sizes`` view is bounded — a long-lived
+#: daemon must not grow a Python list forever (the ring-buffer idiom of
+#: ``repro.netsim.stats``).
+RECENT_BATCHES = 512
+
+
 @dataclass
 class ServiceAccounting:
-    """Work and health counters of an inference backend."""
+    """Work and health counters of an inference backend.
+
+    Batch-size accounting is streaming: ``batch_count`` / ``batch_sum``
+    / ``batch_max`` cover every forward pass ever made, while the
+    ``batch_sizes`` view materialises only the most recent
+    :data:`RECENT_BATCHES` entries from a fixed-size ring buffer, so the
+    accounting stays O(1) in memory over an unbounded daemon lifetime.
+    """
 
     requests: int = 0
     forward_passes: int = 0
-    batch_sizes: list[int] = field(default_factory=list)
     cpu_time_s: float = 0.0
+    #: Streaming batch-size aggregates over the full service lifetime.
+    batch_count: int = 0
+    batch_sum: int = 0
+    batch_max: int = 0
     #: Requests refused outright with a typed error (malformed input).
     rejected: int = 0
     #: Requests answered by the analytic fallback instead of the actor.
     fallbacks: int = 0
     #: Requests that aged past the service deadline before being served.
     deadline_misses: int = 0
-    #: Health flag: True once any request was served degraded (fallback
-    #: or deadline miss).  Monitoring reads this; the service never
-    #: clears it by itself.
+    #: Requests answered with the neutral action 0.0 because the actor
+    #: emitted a non-finite value and no fallback was configured.
+    neutral_answers: int = 0
+    #: Health flag: True once any request was served degraded (fallback,
+    #: neutral answer, or deadline miss).  Monitoring reads this; the
+    #: service never clears it by itself.
     degraded: bool = False
+    #: Fixed-capacity ring of recent batch sizes (see class docstring).
+    _recent: np.ndarray = field(default_factory=lambda: np.zeros(
+        RECENT_BATCHES, dtype=np.int64), repr=False, compare=False)
+
+    @property
+    def batch_sizes(self) -> list[int]:
+        """The most recent (up to :data:`RECENT_BATCHES`) batch sizes,
+        oldest first — a bounded view, not the full history."""
+        n = min(self.batch_count, RECENT_BATCHES)
+        if n == 0:
+            return []
+        cursor = self.batch_count % RECENT_BATCHES
+        ring = np.concatenate([self._recent[cursor:], self._recent[:cursor]])
+        return [int(v) for v in ring[-n:]]
 
     @property
     def mean_batch_size(self) -> float:
-        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+        """Mean batch size over the *full* history (streaming)."""
+        if self.batch_count == 0:
+            return 0.0
+        return self.batch_sum / self.batch_count
+
+    def record_batch(self, size: int) -> None:
+        """Account one forward pass covering ``size`` requests."""
+        self._recent[self.batch_count % RECENT_BATCHES] = size
+        self.batch_count += 1
+        self.batch_sum += int(size)
+        self.batch_max = max(self.batch_max, int(size))
 
     def mark_degraded(self) -> None:
         self.degraded = True
+
+    def counters(self) -> dict[str, float]:
+        """The scalar counters as a plain dict (metrics export)."""
+        return {
+            "requests": self.requests,
+            "forward_passes": self.forward_passes,
+            "cpu_time_s": self.cpu_time_s,
+            "batch_count": self.batch_count,
+            "batch_sum": self.batch_sum,
+            "batch_max": self.batch_max,
+            "mean_batch_size": self.mean_batch_size,
+            "rejected": self.rejected,
+            "fallbacks": self.fallbacks,
+            "deadline_misses": self.deadline_misses,
+            "neutral_answers": self.neutral_answers,
+            "degraded": int(self.degraded),
+        }
 
 
 class BatchedInferenceService:
@@ -202,22 +264,28 @@ class BatchedInferenceService:
         One batched forward pass covers the healthy requests; requests
         flagged for fallback — non-finite state at submit, or older than
         ``deadline_s`` relative to ``now_s`` — are answered analytically.
+
+        With no fallback configured an overdue request cannot be
+        answered, but it must not take the rest of the window down with
+        it: the remaining requests are served first, and only then does
+        the flush raise :class:`~repro.errors.DeadlineExceededError`
+        carrying the ``served`` answers and the ``missed`` request ids —
+        no request ever silently vanishes.
         """
         if not self._queue:
             return {}
         queue, self._queue = self._queue, []
         out: dict[int, float] = {}
         healthy: list[tuple[int, np.ndarray]] = []
+        unservable: list[tuple[int, float]] = []
         for rid, state, arrival_s, use_fallback in queue:
             missed = self._deadline_missed(arrival_s, now_s)
             if missed:
                 self.accounting.deadline_misses += 1
                 if self._fallback is None:
                     self.accounting.mark_degraded()
-                    raise DeadlineExceededError(
-                        f"request {rid} aged {now_s - arrival_s:.4f}s in "
-                        f"queue (deadline {self.deadline_s}s) and the "
-                        f"service has no fallback")
+                    unservable.append((rid, now_s - arrival_s))
+                    continue
             if use_fallback or missed:
                 out[rid] = float(self._fallback(state))
                 self.accounting.fallbacks += 1
@@ -234,7 +302,7 @@ class BatchedInferenceService:
                 actions = self.policy.actor.infer(states)[:, 0]
             self.accounting.cpu_time_s += time.process_time() - t0
             self.accounting.forward_passes += 1
-            self.accounting.batch_sizes.append(len(healthy))
+            self.accounting.record_batch(len(healthy))
             for (rid, state), a in zip(healthy, actions):
                 if not np.isfinite(a):
                     self.accounting.mark_degraded()
@@ -242,9 +310,19 @@ class BatchedInferenceService:
                         self.accounting.fallbacks += 1
                         out[rid] = float(self._fallback(state))
                     else:
+                        self.accounting.neutral_answers += 1
                         out[rid] = 0.0
                 else:
                     out[rid] = float(np.clip(a, -0.999, 0.999))
+        if unservable:
+            ages = ", ".join(f"{rid} ({age:.4f}s)"
+                             for rid, age in unservable)
+            raise DeadlineExceededError(
+                f"{len(unservable)} request(s) aged past the "
+                f"{self.deadline_s}s deadline with no fallback "
+                f"configured: {ages}; the other {len(out)} request(s) "
+                f"of the window were served (see .served)",
+                missed=[rid for rid, _ in unservable], served=out)
         return out
 
     def serve_trace(self, arrivals: list[tuple[float, int, np.ndarray]],
@@ -314,11 +392,13 @@ class PerFlowServers:
             action = self._actors[flow_id].infer(state)[0, 0]
         self.accounting.cpu_time_s += time.process_time() - t0
         self.accounting.forward_passes += 1
-        self.accounting.batch_sizes.append(1)
+        self.accounting.record_batch(1)
         if not np.isfinite(action):
             # Actor overflowed on a finite but extreme state: answer
-            # neutrally rather than emitting NaN to the sender.
+            # neutrally rather than emitting NaN to the sender — and
+            # account for it, exactly as the batched backend does.
             self.accounting.mark_degraded()
+            self.accounting.neutral_answers += 1
             return 0.0
         return float(np.clip(action, -0.999, 0.999))
 

@@ -1,0 +1,408 @@
+"""Asyncio serving daemon: framing, batching, admission, drain."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.policy import PolicyBundle, new_actor
+from repro.errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    InvalidStateError,
+    ProtocolError,
+    ServiceError,
+)
+from repro.service import (
+    BatchedInferenceService,
+    InferenceDaemon,
+    ServiceClient,
+    decode_body,
+    encode_frame,
+    read_frame,
+    shard_for_flow,
+)
+
+WINDOW = 0.002
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return PolicyBundle(actor=new_actor(seed=11))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_daemon(bundle, **kwargs):
+    service_kwargs = {"batch_window_s": WINDOW}
+    for key in ("deadline_s", "fallback"):
+        if key in kwargs:
+            service_kwargs[key] = kwargs.pop(key)
+    service = BatchedInferenceService(bundle, **service_kwargs)
+    return InferenceDaemon(service, **kwargs)
+
+
+class daemon_and_client:
+    """Async context: daemon on an ephemeral port + connected client."""
+
+    def __init__(self, bundle, conns_per_shard=2, **kwargs):
+        self.daemon = make_daemon(bundle, **kwargs)
+        self._conns = conns_per_shard
+
+    async def __aenter__(self):
+        port = await self.daemon.start("127.0.0.1", 0)
+        self.client = ServiceClient([("127.0.0.1", port)],
+                                    conns_per_shard=self._conns)
+        return self.daemon, self.client
+
+    async def __aexit__(self, *exc):
+        await self.client.aclose()
+        self.daemon.request_shutdown()
+        await self.daemon.drain()
+        return False
+
+
+class TestFraming:
+    def test_round_trip(self):
+        body = {"op": "act", "id": 3, "state": [0.0, 1.5]}
+        frame = encode_frame(body)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == body
+
+    def test_decode_garbage_raises_typed(self):
+        with pytest.raises(ProtocolError):
+            decode_body(b"\xff\xfenot json")
+        with pytest.raises(ProtocolError):
+            decode_body(b"[1, 2, 3]")  # not an object
+
+    def test_oversize_frame_rejected_at_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"state": [0.0] * (1 << 19)})
+
+    def test_read_frame_concatenated_stream(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"a": 1}) +
+                             encode_frame({"b": 2}))
+            reader.feed_eof()
+            first = decode_body(await read_frame(reader))
+            second = decode_body(await read_frame(reader))
+            third = await read_frame(reader)
+            return first, second, third
+
+        first, second, third = run(scenario())
+        assert (first, second, third) == ({"a": 1}, {"b": 2}, None)
+
+    def test_read_frame_bad_length_prefix(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", 1 << 30) + b"junk")
+            with pytest.raises(ProtocolError):
+                await read_frame(reader)
+
+        run(scenario())
+
+
+class TestSharding:
+    def test_deterministic_and_in_range(self):
+        for n in (1, 2, 3, 8):
+            shards = [shard_for_flow(fid, n) for fid in range(1000)]
+            assert shards == [shard_for_flow(fid, n) for fid in range(1000)]
+            assert all(0 <= s < n for s in shards)
+
+    def test_covers_all_shards(self):
+        assert set(shard_for_flow(fid, 4) for fid in range(1000)) == \
+            {0, 1, 2, 3}
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ServiceError):
+            shard_for_flow(1, 0)
+
+
+class TestActRoundTrip:
+    def test_action_matches_bundle(self, bundle):
+        async def scenario():
+            async with daemon_and_client(bundle) as (_, client):
+                state = np.full(bundle.actor.in_dim, 0.25)
+                return await client.act(0, state, timeout=5)
+
+        action = run(scenario())
+        assert action == pytest.approx(
+            bundle.act(np.full(bundle.actor.in_dim, 0.25)), abs=1e-9)
+
+    def test_concurrent_flows_batched(self, bundle):
+        async def scenario():
+            async with daemon_and_client(bundle) as (daemon, client):
+                zeros = np.zeros(bundle.actor.in_dim)
+                outs = await asyncio.gather(*[
+                    client.act(fid, zeros, timeout=5)
+                    for fid in range(24)])
+                return outs, daemon.service.accounting
+
+        outs, accounting = run(scenario())
+        assert len(outs) == 24
+        assert accounting.requests == 24
+        # Many requests per batching window -> far fewer passes.
+        assert accounting.forward_passes < 24
+        assert accounting.batch_max > 1
+
+    def test_concurrent_clients(self, bundle):
+        async def scenario():
+            daemon = make_daemon(bundle)
+            port = await daemon.start("127.0.0.1", 0)
+            clients = [ServiceClient([("127.0.0.1", port)])
+                       for _ in range(3)]
+            zeros = np.zeros(bundle.actor.in_dim)
+            outs = await asyncio.gather(*[
+                client.act(fid, zeros, timeout=5)
+                for client in clients for fid in range(8)])
+            stats = await clients[0].stats(timeout=5)
+            for client in clients:
+                await client.aclose()
+            daemon.request_shutdown()
+            await daemon.drain()
+            return outs, stats, daemon
+
+        outs, stats, daemon = run(scenario())
+        assert len(outs) == 24
+        assert stats["counters"]["requests"] == 24
+        assert daemon.counters["connections"] >= 3
+        assert stats["latency"]["count"] == 24
+
+    def test_latency_histogram_records_window_wait(self, bundle):
+        async def scenario():
+            async with daemon_and_client(bundle) as (daemon, client):
+                await client.act(0, np.zeros(bundle.actor.in_dim),
+                                 timeout=5)
+                return daemon.latency.summary()
+
+        summary = run(scenario())
+        assert summary["count"] == 1
+        # Service latency includes the batching-window wait.
+        assert summary["p50_s"] >= WINDOW * 0.5
+
+
+class TestProtocolHardening:
+    def test_malformed_body_rejected_connection_survives(self, bundle):
+        async def scenario():
+            async with daemon_and_client(bundle) as (daemon, _):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", daemon.port)
+                garbage = b"{not json!"
+                writer.write(struct.pack(">I", len(garbage)) + garbage)
+                await writer.drain()
+                reject = decode_body(await read_frame(reader))
+                # Same connection must still serve valid frames.
+                writer.write(encode_frame({"op": "ping", "id": 9}))
+                await writer.drain()
+                pong = decode_body(await read_frame(reader))
+                writer.close()
+                await writer.wait_closed()
+                return reject, pong, daemon.counters
+
+        reject, pong, counters = run(scenario())
+        assert reject["ok"] is False
+        assert reject["error"] == "ProtocolError"
+        assert pong == {"id": 9, "ok": True, "op": "ping"}
+        assert counters["protocol_errors"] == 1
+
+    def test_bad_length_prefix_closes_only_that_connection(self, bundle):
+        async def scenario():
+            async with daemon_and_client(bundle) as (daemon, client):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", daemon.port)
+                writer.write(struct.pack(">I", 1 << 31) + b"x" * 8)
+                await writer.drain()
+                reject = decode_body(await read_frame(reader))
+                eof = await read_frame(reader)
+                writer.close()
+                await writer.wait_closed()
+                # The daemon itself is unharmed.
+                action = await client.act(
+                    0, np.zeros(bundle.actor.in_dim), timeout=5)
+                return reject, eof, action
+
+        reject, eof, action = run(scenario())
+        assert reject["error"] == "ProtocolError"
+        assert eof is None
+        assert np.isfinite(action)
+
+    def test_unknown_op_and_missing_state_rejected(self, bundle):
+        async def scenario():
+            async with daemon_and_client(bundle) as (daemon, _):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", daemon.port)
+                writer.write(encode_frame({"op": "explode", "id": 1}))
+                writer.write(encode_frame({"op": "act", "id": 2}))
+                await writer.drain()
+                first = decode_body(await read_frame(reader))
+                second = decode_body(await read_frame(reader))
+                writer.close()
+                await writer.wait_closed()
+                return first, second
+
+        first, second = run(scenario())
+        assert first["error"] == "ProtocolError" and first["id"] == 1
+        assert second["error"] == "ProtocolError" and second["id"] == 2
+
+    def test_wrong_dim_state_typed_reject(self, bundle):
+        async def scenario():
+            async with daemon_and_client(bundle) as (_, client):
+                with pytest.raises(InvalidStateError):
+                    await client.act(0, [1.0, 2.0, 3.0], timeout=5)
+
+        run(scenario())
+
+    def test_nonfinite_state_without_fallback_typed_reject(self, bundle):
+        async def scenario():
+            async with daemon_and_client(bundle) as (daemon, client):
+                bad = [float("nan")] * bundle.actor.in_dim
+                with pytest.raises(InvalidStateError):
+                    await client.act(0, bad, timeout=5)
+                # Healthy traffic continues.
+                ok = await client.act(1, np.zeros(bundle.actor.in_dim),
+                                      timeout=5)
+                return ok, daemon.service.accounting.rejected
+
+        ok, rejected = run(scenario())
+        assert np.isfinite(ok)
+        assert rejected == 1
+
+
+class TestAdmissionControl:
+    def test_ceiling_rejects_typed_and_server_survives(self, bundle):
+        async def scenario():
+            async with daemon_and_client(
+                    bundle, max_inflight=2) as (daemon, client):
+                zeros = np.zeros(bundle.actor.in_dim)
+                results = await asyncio.gather(
+                    *[client.act(fid, zeros, timeout=5)
+                      for fid in range(12)],
+                    return_exceptions=True)
+                follow_up = await client.act(99, zeros, timeout=5)
+                return results, follow_up, daemon.counters
+
+        results, follow_up, counters = run(scenario())
+        answered = [r for r in results if isinstance(r, float)]
+        rejected = [r for r in results
+                    if isinstance(r, AdmissionRejectedError)]
+        assert len(answered) + len(rejected) == 12
+        assert rejected, "the ceiling must actually reject something"
+        assert counters["admission_rejected"] == len(rejected)
+        assert np.isfinite(follow_up)
+
+    def test_rejects_invalid_ceiling(self, bundle):
+        service = BatchedInferenceService(bundle)
+        with pytest.raises(ServiceError):
+            InferenceDaemon(service, max_inflight=0)
+
+
+class TestDeadlines:
+    def test_deadline_miss_without_fallback_is_per_request(self, bundle):
+        """The daemon surfaces a deadline miss as a typed error on the
+        affected request(s) — the fixed flush semantics — instead of
+        crashing the flush loop or dropping the window."""
+
+        async def scenario():
+            async with daemon_and_client(
+                    bundle, deadline_s=1e-9) as (daemon, client):
+                zeros = np.zeros(bundle.actor.in_dim)
+                results = await asyncio.gather(
+                    *[client.act(fid, zeros, timeout=5)
+                      for fid in range(4)],
+                    return_exceptions=True)
+                # Daemon still alive and accounting consistent.
+                stats = await client.stats(timeout=5)
+                return results, stats
+
+        results, stats = run(scenario())
+        assert all(isinstance(r, DeadlineExceededError) for r in results)
+        assert stats["counters"]["deadline_misses"] == 4
+        assert stats["counters"]["degraded"] == 1
+
+    def test_deadline_with_fallback_answers_analytically(self, bundle):
+        async def scenario():
+            async with daemon_and_client(
+                    bundle, deadline_s=1e-9,
+                    fallback="analytic") as (daemon, client):
+                action = await client.act(
+                    0, np.zeros(bundle.actor.in_dim), timeout=5)
+                return action, daemon.service.accounting
+
+        action, accounting = run(scenario())
+        assert np.isfinite(action) and -1.0 < action < 1.0
+        assert accounting.fallbacks == 1
+        assert accounting.deadline_misses == 1
+
+
+class TestDrain:
+    def test_drain_answers_pending_then_rejects(self, bundle):
+        async def scenario():
+            daemon = make_daemon(bundle)
+            port = await daemon.start("127.0.0.1", 0)
+            client = ServiceClient([("127.0.0.1", port)])
+            zeros = np.zeros(bundle.actor.in_dim)
+            pending = [asyncio.ensure_future(
+                client.act(fid, zeros, timeout=5)) for fid in range(6)]
+            while daemon.service.accounting.requests < 6:
+                await asyncio.sleep(0.0005)   # until all 6 are queued
+            await daemon.drain()
+            answers = await asyncio.gather(*pending)
+            # Post-drain: existing connections get a typed reject...
+            with pytest.raises(AdmissionRejectedError):
+                await client.act(7, zeros, timeout=5)
+            # ...and new connections are refused outright.
+            with pytest.raises(OSError):
+                await asyncio.open_connection("127.0.0.1", port)
+            await client.aclose()
+            return answers, daemon.service.accounting, daemon.counters
+
+        answers, accounting, counters = run(scenario())
+        assert len(answers) == 6
+        assert all(np.isfinite(a) for a in answers)
+        assert accounting.requests == 6
+        assert counters["drain_rejected"] == 1
+
+    def test_drain_idempotent_on_idle_daemon(self, bundle):
+        async def scenario():
+            daemon = make_daemon(bundle)
+            await daemon.start("127.0.0.1", 0)
+            await daemon.drain()
+            await daemon.drain()
+
+        run(scenario())
+
+
+class TestStatsVerb:
+    def test_stats_surface(self, bundle):
+        async def scenario():
+            async with daemon_and_client(bundle) as (_, client):
+                await client.act(0, np.zeros(bundle.actor.in_dim),
+                                 timeout=5)
+                assert (await client.ping(timeout=5))["ok"] is True
+                return await client.stats(timeout=5)
+
+        stats = run(scenario())
+        assert stats["in_dim"] == bundle.actor.in_dim
+        assert stats["window_s"] == WINDOW
+        assert stats["shard"] == 0 and stats["shards"] == 1
+        counters = stats["counters"]
+        assert counters["requests"] == 1
+        assert counters["forward_passes"] == 1
+        assert counters["daemon_connections"] >= 1
+        assert counters["daemon_inflight"] == 0
+        assert stats["latency"]["count"] == 1
+        assert "repro_service_requests 1" in stats["metrics"]
+        assert 'quantile="0.99"' in stats["metrics"]
+
+    def test_client_validation(self):
+        with pytest.raises(ServiceError):
+            ServiceClient([])
+        with pytest.raises(ServiceError):
+            ServiceClient([("127.0.0.1", 1)], conns_per_shard=0)

@@ -294,3 +294,192 @@ class TestNonFiniteActorOutput:
         action = servers.serve(0, self.huge_state(bundle))
         assert action == 0.0
         assert servers.accounting.degraded
+
+
+class TestDeadlineMissWindowIntegrity:
+    """Regression: a deadline miss with no fallback used to abort the
+    whole flush, silently discarding every other queued request.  The
+    healthy requests of the window must be served first and the raised
+    DeadlineExceededError must carry both halves of the ledger."""
+
+    def test_healthy_requests_survive_a_miss(self, bundle):
+        svc = BatchedInferenceService(bundle, deadline_s=0.010)
+        dim = bundle.actor.in_dim
+        rng = np.random.default_rng(2)
+        states = {1: rng.normal(size=dim), 2: rng.normal(size=dim)}
+        svc.submit(0, np.zeros(dim), arrival_s=0.0)        # overdue
+        svc.submit(1, states[1], arrival_s=0.0995)
+        svc.submit(2, states[2], arrival_s=0.0998)
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            svc.flush(now_s=0.100)
+        exc = exc_info.value
+        assert exc.missed == [0]
+        assert set(exc.served) == {1, 2}
+        for rid, state in states.items():
+            assert exc.served[rid] == pytest.approx(bundle.act(state),
+                                                    abs=1e-9)
+        assert svc.accounting.deadline_misses == 1
+        assert svc.accounting.forward_passes == 1
+        assert svc.accounting.degraded
+
+    def test_all_misses_listed_and_counted(self, bundle):
+        svc = BatchedInferenceService(bundle, deadline_s=0.010)
+        dim = bundle.actor.in_dim
+        svc.submit(0, np.zeros(dim), arrival_s=0.0)
+        svc.submit(1, np.zeros(dim), arrival_s=0.010)
+        svc.submit(2, np.zeros(dim), arrival_s=0.0995)
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            svc.flush(now_s=0.100)
+        assert exc_info.value.missed == [0, 1]
+        assert set(exc_info.value.served) == {2}
+        assert svc.accounting.deadline_misses == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=12))
+    def test_no_request_ever_vanishes(self, bundle, overdue_flags):
+        """Every submitted id lands in exactly one of served/missed."""
+        svc = BatchedInferenceService(bundle, deadline_s=0.010)
+        dim = bundle.actor.in_dim
+        for rid, overdue in enumerate(overdue_flags):
+            svc.submit(rid, np.zeros(dim),
+                       arrival_s=0.0 if overdue else 0.0995)
+        if any(overdue_flags):
+            with pytest.raises(DeadlineExceededError) as exc_info:
+                svc.flush(now_s=0.100)
+            served = set(exc_info.value.served)
+            missed = set(exc_info.value.missed)
+        else:
+            served, missed = set(svc.flush(now_s=0.100)), set()
+        assert served | missed == set(range(len(overdue_flags)))
+        assert served & missed == set()
+
+
+class TestNeutralAnswerParity:
+    """Both backends answer actor overflow (finite state, non-finite
+    action, no fallback) with 0.0 — and both must account for it the
+    same way: neutral_answers bumped, degraded set, no fallback
+    counted."""
+
+    HUGE = 1e308
+
+    def test_backends_account_identically(self, bundle):
+        state = np.full(bundle.actor.in_dim, self.HUGE)
+        batched = BatchedInferenceService(bundle)
+        batched.submit(0, state)
+        out = batched.flush()
+        per_flow = PerFlowServers(bundle, n_flows=1)
+        action = per_flow.serve(0, state)
+
+        assert out[0] == 0.0 and action == 0.0
+        for acc in (batched.accounting, per_flow.accounting):
+            assert acc.neutral_answers == 1
+            assert acc.fallbacks == 0
+            assert acc.degraded
+        keys = ("requests", "neutral_answers", "fallbacks", "rejected",
+                "deadline_misses", "degraded")
+        b, p = batched.accounting.counters(), per_flow.accounting.counters()
+        assert {k: b[k] for k in keys} == {k: p[k] for k in keys}
+
+    def test_healthy_rows_of_the_same_batch_unaffected(self, bundle):
+        svc = BatchedInferenceService(bundle)
+        good = np.zeros(bundle.actor.in_dim)
+        svc.submit(0, np.full(bundle.actor.in_dim, self.HUGE))
+        svc.submit(1, good)
+        out = svc.flush()
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(bundle.act(good), abs=1e-9)
+        assert svc.accounting.neutral_answers == 1
+
+
+class TestBoundedBatchAccounting:
+    """Regression: batch_sizes was an unbounded Python list — a
+    long-lived daemon leaked memory linearly in forward passes.  The
+    aggregates are now streaming and the materialised view is a
+    fixed-size ring."""
+
+    def test_view_bounded_aggregates_complete(self):
+        from repro.service.inference import RECENT_BATCHES, ServiceAccounting
+
+        acc = ServiceAccounting()
+        n = RECENT_BATCHES + 137
+        for i in range(1, n + 1):
+            acc.record_batch(i)
+        assert len(acc.batch_sizes) == RECENT_BATCHES
+        # The view holds the most recent entries, oldest first.
+        assert acc.batch_sizes == list(range(n - RECENT_BATCHES + 1, n + 1))
+        # Aggregates still cover the *full* history.
+        assert acc.batch_count == n
+        assert acc.batch_sum == n * (n + 1) // 2
+        assert acc.batch_max == n
+        assert acc.mean_batch_size == pytest.approx((n + 1) / 2)
+
+    def test_ring_memory_is_fixed(self):
+        from repro.service.inference import ServiceAccounting
+
+        acc = ServiceAccounting()
+        nbytes = acc._recent.nbytes
+        for _ in range(3000):
+            acc.record_batch(4)
+        assert acc._recent.nbytes == nbytes
+
+    def test_partial_fill_matches_history(self):
+        from repro.service.inference import ServiceAccounting
+
+        acc = ServiceAccounting()
+        sizes = [5, 1, 2, 9]
+        for s in sizes:
+            acc.record_batch(s)
+        assert acc.batch_sizes == sizes
+        assert acc.mean_batch_size == pytest.approx(np.mean(sizes))
+        assert acc.batch_max == 9
+
+
+class TestServeTraceWindowBoundaries:
+    """Window semantics of serve_trace: a request arriving exactly at
+    window_end opens the next window, and late arrivals re-anchor the
+    window to their own arrival time."""
+
+    def test_arrival_exactly_at_window_end_opens_new_window(self, bundle):
+        svc = BatchedInferenceService(bundle, batch_window_s=0.005)
+        dim = bundle.actor.in_dim
+        out = svc.serve_trace([(0.000, 0, np.zeros(dim)),
+                               (0.005, 1, np.zeros(dim))])
+        assert svc.accounting.forward_passes == 2
+        assert svc.accounting.batch_sizes == [1, 1]
+        assert len(out[0]) == len(out[1]) == 1
+
+    def test_late_arrival_reanchors_window(self, bundle):
+        svc = BatchedInferenceService(bundle, batch_window_s=0.005)
+        dim = bundle.actor.in_dim
+        # Window 1 = [0.0, 0.005).  The arrival at 0.0121 flushes it and
+        # re-anchors window 2 to [0.0121, 0.0171), which the arrival at
+        # 0.016 still falls inside — no empty intermediate windows.
+        svc.serve_trace([(0.0000, 0, np.zeros(dim)),
+                         (0.0121, 1, np.zeros(dim)),
+                         (0.0160, 2, np.zeros(dim))])
+        assert svc.accounting.forward_passes == 2
+        assert sorted(svc.accounting.batch_sizes) == [1, 2]
+
+    def test_age_equal_to_deadline_is_not_a_miss(self, bundle):
+        # Requests are flushed at window_end, so the oldest request of a
+        # window has age exactly batch_window_s; a deadline equal to the
+        # window must not fire (strict > comparison).
+        svc = BatchedInferenceService(bundle, batch_window_s=0.005,
+                                      deadline_s=0.005)
+        dim = bundle.actor.in_dim
+        out = svc.serve_trace([(0.0, 0, np.zeros(dim))])
+        assert len(out[0]) == 1
+        assert svc.accounting.deadline_misses == 0
+        assert not svc.accounting.degraded
+
+    def test_deadline_shorter_than_window_fires_each_window(self, bundle):
+        svc = BatchedInferenceService(bundle, batch_window_s=0.005,
+                                      deadline_s=0.004, fallback="analytic")
+        dim = bundle.actor.in_dim
+        # Each request is alone in its window and waits the full 5 ms
+        # before its flush, so every one ages past the 4 ms deadline.
+        out = svc.serve_trace([(0.000, 0, np.zeros(dim)),
+                               (0.006, 1, np.zeros(dim))])
+        assert svc.accounting.deadline_misses == 2
+        assert svc.accounting.fallbacks == 2
+        assert all(np.isfinite(v) for acts in out.values() for v in acts)

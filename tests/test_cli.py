@@ -118,3 +118,31 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8731
+        assert args.scheme == "astraea"
+        assert args.window == pytest.approx(0.005)
+        assert args.deadline == pytest.approx(0.050)
+        assert args.fallback == "analytic"
+        assert args.shards == 1
+
+    def test_serve_rejects_unknown_fallback(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--fallback", "magic"])
+
+    def test_bench_serve_small(self):
+        args = build_parser().parse_args(["bench", "serve", "--small"])
+        assert args.small
+        assert args.func is not None
+
+    def test_bench_serve_custom_levels_and_connect(self):
+        args = build_parser().parse_args(
+            ["bench", "serve", "--levels", "4,16",
+             "--connect", "127.0.0.1:9001,127.0.0.1:9002"])
+        assert args.levels == "4,16"
+        assert args.connect == "127.0.0.1:9001,127.0.0.1:9002"
