@@ -91,7 +91,7 @@ def sanitize_payload(obj):
         return [sanitize_payload(v) for v in obj]
     if isinstance(obj, np.ndarray):
         return sanitize_payload(obj.tolist())
-    if isinstance(obj, (np.floating, np.integer)):
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
         obj = obj.item()
     if isinstance(obj, float) and not math.isfinite(obj):
         return None

@@ -36,7 +36,12 @@ Commands
               writes ``BENCH_engine.json``; ``bench serve`` drives a
               live daemon with an asyncio load generator over a sweep
               of concurrent-flow counts and writes actions/s plus
-              p50/p99/p999 latency into ``BENCH_serve.json``.
+              p50/p99/p999 latency into ``BENCH_serve.json``;
+              ``bench socket`` exercises the loopback-UDP datapath
+              (wire segments/s, goodput efficiency under a seeded 5%
+              loss schedule, post-fault recovery time) and writes
+              ``BENCH_socket.json`` (``--smoke`` is the gating CI
+              reliability check).
 
 Sweep-shaped commands accept ``--workers N`` (default: the
 ``REPRO_WORKERS`` environment variable, else serial) to fan tasks out
@@ -327,7 +332,12 @@ def _cmd_bench_robustness(args: argparse.Namespace) -> int:
         return tuple(v.strip() for v in value.split(",") if v.strip())
 
     if args.small:
-        schemes, kinds, engines = SMALL_SCHEMES, SMALL_KINDS, ("fluid",)
+        # The smoke subset, but explicit axis flags still win — e.g.
+        # `--small --engines socket` runs the small matrix on the
+        # loopback-UDP engine.
+        schemes = split(args.schemes, SMALL_SCHEMES)
+        kinds = split(args.kinds, SMALL_KINDS)
+        engines = split(args.engines, ("fluid",))
         trials = 1
     else:
         schemes = split(args.schemes, ALL_SCHEMES)
@@ -490,7 +500,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=args.host, port=args.port, scheme=args.scheme,
             batch_window_s=args.window, deadline_s=deadline,
             fallback=fallback, max_inflight=args.max_inflight,
-            shards=args.shards)
+            shards=args.shards, max_restarts=args.max_restarts)
     except ReproError as exc:
         print(f"serve failed: {exc}", file=sys.stderr)
         return 1
@@ -561,6 +571,76 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         print(f"\ndaemon shutdown clean: {payload['clean_shutdown']}")
     print(f"JSON artifact: {path}", file=sys.stderr)
     return 0
+
+
+def _cmd_bench_socket(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import reporting
+    from .bench.socketbench import (
+        BENCH_ID,
+        run_socket_benchmark,
+        run_socket_smoke,
+    )
+    from .errors import ReproError
+
+    if args.smoke:
+        try:
+            verdict = run_socket_smoke(seed=args.seed)
+        except ReproError as exc:
+            print(f"socket smoke failed: {exc}", file=sys.stderr)
+            return 1
+        loss, rec = verdict["loss"], verdict["recovery"]
+        print(f"loss transfer: payload_ok={loss['payload_ok']} "
+              f"({loss['n_segments']} segments, "
+              f"{loss['retransmits']} retransmits, "
+              f"{loss['duplicates']} duplicates)")
+        print(f"recovery ({rec['scheme']}/{rec['kind']}): "
+              f"recovered={rec['recovered']} "
+              f"t_rec={rec['recovery_time_s']}s corrupt={rec['corrupt']}")
+        if not verdict["ok"]:
+            print("SOCKET SMOKE FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    try:
+        payload = run_socket_benchmark(
+            small=args.small, seed=args.seed,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    except ReproError as exc:
+        print(f"socket benchmark failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("socket benchmark interrupted; no artifacts written",
+              file=sys.stderr)
+        return 130
+    if args.out_dir:
+        path = reporting.write_results_file(
+            Path(args.out_dir) / f"{BENCH_ID}.json", payload)
+    else:
+        path = reporting.save_results(BENCH_ID, payload)
+
+    from .bench import print_table
+    print_table(
+        "Socket datapath: delivered goodput vs emulated capacity",
+        ["bandwidth (Mbps)", "achieved (Mbps)", "efficiency",
+         "wire segs/s", "pkts/seg", "retransmits"],
+        [[row["bandwidth_mbps"], row["achieved_mbps"], row["efficiency"],
+          row["wire_segs_per_wall_s"], row["pkts_per_seg"],
+          row["retransmits"]]
+         for row in payload["throughput"]],
+    )
+    loss, rec = payload["loss"], payload["recovery"]
+    print(f"\n5% seeded loss: payload_ok={loss['payload_ok']} "
+          f"goodput efficiency {loss['goodput_efficiency']:.3f} "
+          f"({loss['retransmits']} retransmits / "
+          f"{loss['n_segments']} segments)")
+    print(f"recovery ({rec['scheme']}/{rec['kind']}): "
+          f"recovered={rec['recovered']} t_rec={rec['recovery_time_s']}s "
+          f"baseline {rec['baseline_mbps']:.2f} Mbps")
+    print(f"JSON artifact: {path}", file=sys.stderr)
+    ok = loss["payload_ok"] and rec["corrupt"] == 0
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -698,6 +778,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--shards", type=int, default=1,
                          help="daemon processes; flow-id hash routes "
                               "each flow to one shard (port+index)")
+    p_serve.add_argument("--max-restarts", type=int, default=5,
+                         dest="max_restarts",
+                         help="consecutive crash-restarts per shard "
+                              "before the supervisor abandons it")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser(
@@ -711,15 +795,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_rob.add_argument("--kinds", default=None,
                        help="comma-separated fault kinds (default: all 5)")
     p_rob.add_argument("--engines", default=None,
-                       help="comma-separated engines (default: fluid,packet)")
+                       help="comma-separated engines: fluid, packet, socket "
+                            "(default: fluid,packet)")
     p_rob.add_argument("--trials", type=int, default=2,
                        help="seeds per (scheme, fault, engine) cell")
     p_rob.add_argument("--threshold", type=float, default=0.9,
                        help="recovered = throughput back at this fraction "
                             "of the pre-fault steady state")
     p_rob.add_argument("--small", action="store_true",
-                       help="CI smoke subset: 2 schemes x 2 faults, fluid "
-                            "engine, 1 trial")
+                       help="CI smoke subset: 2 schemes x 3 faults, fluid "
+                            "engine, 1 trial (explicit --schemes/--kinds/"
+                            "--engines still override)")
     p_rob.add_argument("--full", action="store_true",
                        help="full 90 s scenarios instead of quick 30 s")
     p_rob.add_argument("--out-dir", default=None,
@@ -806,6 +892,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the artifact here instead of "
                             "benchmarks/results/")
     p_srv.set_defaults(func=_cmd_bench_serve)
+
+    p_sock = bench_sub.add_parser(
+        "socket",
+        help="loopback-UDP datapath: wire rate, goodput under 5% loss, "
+             "post-fault recovery (writes BENCH_socket.json)")
+    p_sock.add_argument("--seed", type=int, default=1,
+                        help="impairment-schedule seed")
+    p_sock.add_argument("--small", action="store_true",
+                        help="CI subset: 2 bandwidth levels, short runs")
+    p_sock.add_argument("--smoke", action="store_true",
+                        help="gating check only: byte-exact 5%%-loss "
+                             "transfer + finite recovery; no artifact")
+    p_sock.add_argument("--out-dir", default=None,
+                        help="write the artifact here instead of "
+                             "benchmarks/results/")
+    p_sock.set_defaults(func=_cmd_bench_socket)
     return parser
 
 

@@ -15,6 +15,30 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent state."""
 
 
+class TransportError(SimulationError):
+    """The socket datapath hit a wire-protocol failure (a frame that
+    cannot be decoded, an impossible header field)."""
+
+
+class TransportStalledError(TransportError):
+    """The reliable-UDP sender gave up on a segment: every retransmission
+    attempt (or the whole no-progress budget) was exhausted without an
+    acknowledgement — the loopback analogue of a broken connection.
+
+    ``flow_id`` and ``seq`` name the segment that stalled (``seq`` is
+    ``None`` when the stall is a whole-transfer deadline), ``attempts``
+    how many times it was sent.
+    """
+
+    def __init__(self, message: str, *, flow_id: int | None = None,
+                 seq: int | None = None,
+                 attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.flow_id = flow_id
+        self.seq = seq
+        self.attempts = attempts
+
+
 class TaskError(ReproError):
     """A parallel-map worker failed.
 
@@ -112,3 +136,19 @@ class ProtocolError(ServiceError):
 class AdmissionRejectedError(ServiceError):
     """The serving daemon refused a request because its in-flight
     ceiling was reached (admission control, not a malformed request)."""
+
+
+class ServiceConnectError(ServiceError):
+    """The client could not reach a daemon: every connect attempt of the
+    jittered-backoff retry loop failed.  ``attempts`` records how many
+    were made; the last socket error rides along as ``__cause__``."""
+
+    def __init__(self, message: str, *, attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class ServiceTimeoutError(ServiceError):
+    """A daemon request produced no response within its per-request
+    timeout.  The request may still be served later; the client has
+    stopped waiting so a stalled connection cannot hang the caller."""

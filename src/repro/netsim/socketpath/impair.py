@@ -1,0 +1,219 @@
+"""In-process impairment proxy: the emulated bottleneck on the wire.
+
+Sender sockets address every DATA datagram to the proxy; the proxy
+models the bottleneck (service rate, drop-tail queue, the attached
+:class:`~repro.netsim.faults.FaultSchedule`) and forwards survivors to
+the receiver after the computed release delay.  ACKs travel the reverse
+path (loss and blackout apply, the queue does not — the return path is
+assumed uncongested, as in both simulators).
+
+Determinism despite real sockets: every drop/reorder decision hashes
+``(seed, direction, flow, seq, attempt)`` into a unit float
+(:func:`impairment_unit`), so the *fate* of each copy of each segment is
+a pure function of the seeded schedule — independent of scheduling
+jitter.  Only timing-derived metrics (RTT, throughput) vary run to run;
+which segments die does not.
+
+Fault-kind mapping (same semantics as the fluid/packet engines):
+
+* ``Blackout`` — service is parked until the outage ends; arrivals keep
+  queueing and overflow, ACKs are dropped outright.
+* ``BandwidthFlap`` — the service rate is multiplied by the factor.
+* ``LossBurst`` — extra random loss on top of ``link.random_loss``.
+* ``DelaySpike`` — extra one-way delay on the data direction.
+* ``ReorderWindow`` — the affected segment is held back several service
+  times, creating genuine on-wire reordering (which the SACK-driven
+  sender may answer with a spurious fast retransmit — the same
+  duplicate-ACK signature the simulators model).
+"""
+
+from __future__ import annotations
+
+import heapq
+import socket
+import struct
+from collections import deque
+from hashlib import blake2b
+
+from ...config import LinkConfig
+from ...errors import ConfigError, TransportError
+from ...netsim.faults import MAX_FAULT_LOSS, FaultSchedule
+from .transport import KIND_DATA, peek
+
+_DIR_DATA_LOSS = 1
+_DIR_DATA_REORDER = 2
+_DIR_ACK_LOSS = 3
+
+_MAX_DATAGRAM = 65535
+
+
+def impairment_unit(seed: int, *keys: int) -> float:
+    """Deterministic hash of integer keys onto ``[0, 1)``."""
+    h = blake2b(digest_size=8)
+    for k in (seed, *keys):
+        h.update(struct.pack("!q", int(k)))
+    return int.from_bytes(h.digest(), "big") / 2.0 ** 64
+
+
+class ImpairmentLink:
+    """Pure decision core: when (and whether) each datagram is released.
+
+    All inputs/outputs are wall-clock seconds; ``sim_now`` (simulated
+    seconds) is only used to query the fault schedule.  The bottleneck
+    is a single-server queue: one segment takes ``1/rate`` to serialise,
+    at most ``buffer`` segments may be waiting, and the fault schedule
+    scales the rate (flap), parks the server (blackout), adds loss and
+    delay, or holds segments back (reorder).
+    """
+
+    def __init__(self, link: LinkConfig, faults: FaultSchedule | None, *,
+                 seed: int, time_scale: float, pkts_per_seg: int):
+        if time_scale <= 0:
+            raise ConfigError(f"time scale must be positive, "
+                              f"got {time_scale}")
+        if pkts_per_seg < 1:
+            raise ConfigError(f"pkts_per_seg must be >= 1, "
+                              f"got {pkts_per_seg}")
+        self._faults = faults if faults is not None else FaultSchedule()
+        self._seed = seed
+        self._scale = time_scale
+        #: Segments per *wall* second at nominal capacity.
+        self._seg_rate0 = link.capacity_pps * time_scale / pkts_per_seg
+        self._one_way_wall = link.one_way_delay_s / time_scale
+        self._buffer_segs = max(2.0, link.buffer_size_packets / pkts_per_seg)
+        self._random_loss = link.random_loss
+        self._busy_until = 0.0
+        self._departs: deque[float] = deque()
+        self.drops = {"loss": 0, "overflow": 0, "blackout_ack": 0}
+        self.reordered = 0
+
+    @property
+    def queue_segs(self) -> int:
+        return len(self._departs)
+
+    def data_release_wall(self, flow: int, seq: int, attempt: int,
+                          now_wall: float, sim_now: float) -> float | None:
+        """Release time for one DATA segment, ``None`` if dropped."""
+        p = min(self._random_loss + self._faults.extra_loss(sim_now),
+                MAX_FAULT_LOSS)
+        if p > 0 and impairment_unit(self._seed, _DIR_DATA_LOSS, flow, seq,
+                                     attempt) < p:
+            self.drops["loss"] += 1
+            return None
+        while self._departs and self._departs[0] <= now_wall:
+            self._departs.popleft()
+        if len(self._departs) >= self._buffer_segs:
+            self.drops["overflow"] += 1
+            return None
+        mult = self._faults.bandwidth_multiplier(sim_now)
+        if mult <= 0.0:
+            # Blackout: the server is parked until the outage clears,
+            # but arrivals keep occupying the (overflowing) queue.
+            until_sim = self._faults.blackout_until(sim_now)
+            resume_wall = now_wall
+            if until_sim is not None:
+                resume_wall += max(0.0, until_sim - sim_now) / self._scale
+            service = 1.0 / self._seg_rate0
+            depart = max(resume_wall, self._busy_until) + service
+        else:
+            service = 1.0 / (self._seg_rate0 * mult)
+            depart = max(now_wall, self._busy_until) + service
+        self._busy_until = depart
+        self._departs.append(depart)
+        release = (depart + self._one_way_wall
+                   + self._faults.extra_delay_s(sim_now) / self._scale)
+        rr = self._faults.spurious_loss(sim_now)
+        if rr > 0 and impairment_unit(self._seed, _DIR_DATA_REORDER, flow,
+                                      seq, attempt) < rr:
+            # Hold the segment long enough for several successors to
+            # overtake it: real reordering on the wire.
+            release += 4.0 * service + 0.5 * self._one_way_wall
+            self.reordered += 1
+        return release
+
+    def ack_release_wall(self, flow: int, echo_seq: int, echo_attempt: int,
+                         now_wall: float, sim_now: float) -> float | None:
+        """Release time for one ACK, ``None`` if dropped."""
+        if self._faults.bandwidth_multiplier(sim_now) <= 0.0:
+            self.drops["blackout_ack"] += 1
+            return None
+        p = min(self._random_loss + self._faults.extra_loss(sim_now),
+                MAX_FAULT_LOSS)
+        if p > 0 and impairment_unit(self._seed, _DIR_ACK_LOSS, flow,
+                                     echo_seq, echo_attempt) < p:
+            self.drops["loss"] += 1
+            return None
+        return now_wall + self._one_way_wall
+
+
+class ImpairmentProxy:
+    """The UDP middlebox: one socket both directions route through.
+
+    DATA frames learn the sender's address per flow (for the ACK return
+    path) and are forwarded to the receiver; ACK frames go back to the
+    recorded sender.  Forwarding is delayed through a release heap
+    pumped by the runner's event loop.
+    """
+
+    def __init__(self, core: ImpairmentLink, clock, host: str = "127.0.0.1"):
+        self.core = core
+        self._clock = clock
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.bind((host, 0))
+        self.sock.setblocking(False)
+        self.address = self.sock.getsockname()
+        self._heap: list[tuple[float, int, bytes, tuple]] = []
+        self._n = 0
+        self._sender_addr: dict[int, tuple] = {}
+        self._receiver_addr: tuple | None = None
+        self.malformed = 0
+        self.send_failures = 0
+
+    def set_receiver(self, addr: tuple) -> None:
+        self._receiver_addr = addr
+
+    def on_readable(self) -> None:
+        """Drain the socket, deciding each datagram's fate immediately."""
+        now_wall = self._clock.now_wall()
+        sim_now = self._clock.sim_at(now_wall)
+        while True:
+            try:
+                data, addr = self.sock.recvfrom(_MAX_DATAGRAM)
+            except BlockingIOError:
+                break
+            try:
+                kind, flow, seq, attempt = peek(data)
+            except TransportError:
+                self.malformed += 1
+                continue
+            if kind == KIND_DATA:
+                self._sender_addr[flow] = addr
+                release = self.core.data_release_wall(flow, seq, attempt,
+                                                      now_wall, sim_now)
+                dest = self._receiver_addr
+            else:
+                release = self.core.ack_release_wall(flow, seq, attempt,
+                                                     now_wall, sim_now)
+                dest = self._sender_addr.get(flow)
+            if release is None or dest is None:
+                continue
+            heapq.heappush(self._heap, (release, self._n, data, dest))
+            self._n += 1
+
+    def next_release_wall(self) -> float | None:
+        return self._heap[0][0] if self._heap else None
+
+    def pump(self) -> None:
+        """Forward every datagram whose release time has arrived."""
+        now_wall = self._clock.now_wall()
+        while self._heap and self._heap[0][0] <= now_wall:
+            _, _, data, dest = heapq.heappop(self._heap)
+            try:
+                self.sock.sendto(data, dest)
+            except (BlockingIOError, OSError):
+                # A full loopback buffer is just more loss; the
+                # transport's retransmission machinery absorbs it.
+                self.send_failures += 1
+
+    def close(self) -> None:
+        self.sock.close()

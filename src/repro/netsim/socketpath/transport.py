@@ -1,0 +1,514 @@
+"""Reliable-UDP segment layer for the loopback datapath.
+
+The wire carries two frame kinds over UDP datagrams:
+
+* **DATA** — ``kind u8 | flow u16 | seq u32 | attempt u8 | len u16 |
+  payload`` — one sequence-numbered segment.  ``attempt`` counts
+  transmissions of this seq (1 = original), so an ACK can echo exactly
+  which copy it acknowledges and Karn's rule falls out for free.
+* **ACK** — ``kind u8 | flow u16 | cum u32 | echo_seq u32 |
+  echo_attempt u8 | n_sack u8 | n_sack x (start u32, end u32)`` — a
+  cumulative acknowledgement (``cum`` = next in-order seq expected,
+  everything below it delivered) plus up to :data:`MAX_SACK_BLOCKS`
+  selective ranges ``[start, end)`` already held above the hole.
+
+On top of that framing sit three small state machines:
+
+* :class:`RtoEstimator` — RFC 6298 smoothed RTT/RTT variance with an
+  adaptive retransmission timeout, exponential backoff capped at
+  ``max_rto_s``, and backoff reset on any valid sample.
+* :class:`SenderFlow` — the sliding-window sender: cwnd-bounded
+  (re)transmission, SACK-driven fast retransmit, RTO-driven timeout
+  retransmit, per-segment attempt budget and a no-progress stall budget,
+  both of which give up with a typed
+  :class:`~repro.errors.TransportStalledError`.
+* :class:`ReceiverFlow` — in-order reassembly with duplicate
+  suppression; every arriving segment is answered with one ACK.
+
+All times at this layer are *wall-clock seconds* — the runner owns the
+wall/simulated conversion.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from ...errors import ConfigError, TransportError, TransportStalledError
+
+KIND_DATA = 1
+KIND_ACK = 2
+
+#: At most this many SACK ranges ride on one ACK (RFC 2018 carries 3-4).
+MAX_SACK_BLOCKS = 3
+
+_DATA_HDR = struct.Struct("!BHIBH")
+_ACK_HDR = struct.Struct("!BHIIBB")
+_SACK_BLK = struct.Struct("!II")
+
+#: Datagrams above this are a protocol violation on the loopback path.
+MAX_SEGMENT_BYTES = 2048
+
+
+@dataclass(frozen=True)
+class DataSegment:
+    """One decoded DATA frame."""
+
+    flow_id: int
+    seq: int
+    attempt: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class AckSegment:
+    """One decoded ACK frame (``sacks`` are ``[start, end)`` ranges)."""
+
+    flow_id: int
+    cum: int
+    echo_seq: int
+    echo_attempt: int
+    sacks: tuple[tuple[int, int], ...]
+
+
+def encode_data(flow_id: int, seq: int, attempt: int,
+                payload: bytes) -> bytes:
+    """Serialise one DATA frame."""
+    frame = _DATA_HDR.pack(KIND_DATA, flow_id, seq, attempt,
+                           len(payload)) + payload
+    if len(frame) > MAX_SEGMENT_BYTES:
+        raise TransportError(
+            f"segment of {len(frame)} bytes exceeds {MAX_SEGMENT_BYTES}")
+    return frame
+
+
+def encode_ack(flow_id: int, cum: int, echo_seq: int, echo_attempt: int,
+               sacks: tuple[tuple[int, int], ...] = ()) -> bytes:
+    """Serialise one ACK frame."""
+    if len(sacks) > MAX_SACK_BLOCKS:
+        sacks = sacks[:MAX_SACK_BLOCKS]
+    parts = [_ACK_HDR.pack(KIND_ACK, flow_id, cum, echo_seq, echo_attempt,
+                           len(sacks))]
+    parts += [_SACK_BLK.pack(s, e) for s, e in sacks]
+    return b"".join(parts)
+
+
+def decode(data: bytes) -> DataSegment | AckSegment:
+    """Parse one frame; raises :class:`TransportError` on garbage."""
+    if not data:
+        raise TransportError("empty datagram")
+    kind = data[0]
+    if kind == KIND_DATA:
+        if len(data) < _DATA_HDR.size:
+            raise TransportError(
+                f"truncated DATA header ({len(data)} bytes)")
+        _, flow_id, seq, attempt, length = _DATA_HDR.unpack_from(data)
+        payload = data[_DATA_HDR.size:]
+        if len(payload) != length:
+            raise TransportError(
+                f"DATA length field {length} != payload {len(payload)}")
+        return DataSegment(flow_id, seq, attempt, payload)
+    if kind == KIND_ACK:
+        if len(data) < _ACK_HDR.size:
+            raise TransportError(f"truncated ACK header ({len(data)} bytes)")
+        _, flow_id, cum, echo_seq, echo_attempt, n_sack = \
+            _ACK_HDR.unpack_from(data)
+        need = _ACK_HDR.size + n_sack * _SACK_BLK.size
+        if n_sack > MAX_SACK_BLOCKS or len(data) != need:
+            raise TransportError(
+                f"ACK with {n_sack} SACK blocks / {len(data)} bytes "
+                f"is malformed")
+        sacks = tuple(
+            _SACK_BLK.unpack_from(data, _ACK_HDR.size + i * _SACK_BLK.size)
+            for i in range(n_sack))
+        for start, end in sacks:
+            if end <= start:
+                raise TransportError(f"empty SACK range [{start}, {end})")
+        return AckSegment(flow_id, cum, echo_seq, echo_attempt, sacks)
+    raise TransportError(f"unknown frame kind {kind}")
+
+
+def peek(data: bytes) -> tuple[int, int, int, int]:
+    """Header-only view ``(kind, flow_id, seq, attempt)`` for the proxy.
+
+    For ACK frames ``seq``/``attempt`` are the echo fields — each
+    distinct ACK still gets a distinct impairment key.
+    """
+    if not data:
+        raise TransportError("empty datagram")
+    kind = data[0]
+    if kind == KIND_DATA and len(data) >= _DATA_HDR.size:
+        _, flow_id, seq, attempt, _ = _DATA_HDR.unpack_from(data)
+        return kind, flow_id, seq, attempt
+    if kind == KIND_ACK and len(data) >= _ACK_HDR.size:
+        _, flow_id, _, echo_seq, echo_attempt, _ = _ACK_HDR.unpack_from(data)
+        return kind, flow_id, echo_seq, echo_attempt
+    raise TransportError(f"unreadable header (kind {kind}, "
+                         f"{len(data)} bytes)")
+
+
+# ---------------------------------------------------------------------------
+# RFC 6298-style retransmission timeout
+# ---------------------------------------------------------------------------
+
+RTO_ALPHA = 0.125   # srtt gain
+RTO_BETA = 0.25     # rttvar gain
+_MAX_BACKOFF_EXP = 16
+
+
+class RtoEstimator:
+    """Smoothed RTT / RTT variance with an adaptive, backed-off RTO.
+
+    Units are whatever the caller feeds in (the runner uses wall
+    seconds).  Properties the test suite pins: ``rto_s`` always lies in
+    ``[min_rto_s, max_rto_s]``; consecutive :meth:`back_off` calls never
+    decrease it; :meth:`observe` resets the backoff.
+    """
+
+    def __init__(self, *, min_rto_s: float, max_rto_s: float,
+                 initial_rto_s: float | None = None):
+        if min_rto_s <= 0 or max_rto_s < min_rto_s:
+            raise ConfigError(
+                f"need 0 < min_rto ({min_rto_s}) <= max_rto ({max_rto_s})")
+        self.min_rto_s = min_rto_s
+        self.max_rto_s = max_rto_s
+        self.srtt_s: float | None = None
+        self.rttvar_s: float | None = None
+        if initial_rto_s is None:
+            initial_rto_s = min(4.0 * min_rto_s, max_rto_s)
+        self._base_rto_s = self._clamp(initial_rto_s)
+        self._backoff = 0
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.min_rto_s), self.max_rto_s)
+
+    @property
+    def backoff(self) -> int:
+        return self._backoff
+
+    @property
+    def rto_s(self) -> float:
+        return self._clamp(self._base_rto_s * (2.0 ** self._backoff))
+
+    def observe(self, sample_s: float) -> None:
+        """Fold one valid RTT sample (resets any backoff)."""
+        if not sample_s > 0:
+            raise ConfigError(f"rtt sample must be positive, got {sample_s}")
+        if self.srtt_s is None or self.rttvar_s is None:
+            self.srtt_s = sample_s
+            self.rttvar_s = sample_s / 2.0
+        else:
+            self.rttvar_s = ((1.0 - RTO_BETA) * self.rttvar_s
+                             + RTO_BETA * abs(self.srtt_s - sample_s))
+            self.srtt_s = ((1.0 - RTO_ALPHA) * self.srtt_s
+                           + RTO_ALPHA * sample_s)
+        self._base_rto_s = self._clamp(self.srtt_s + 4.0 * self.rttvar_s)
+        self._backoff = 0
+
+    def back_off(self) -> None:
+        """Double the timeout after an expiry (capped at ``max_rto_s``)."""
+        self._backoff = min(self._backoff + 1, _MAX_BACKOFF_EXP)
+
+
+# ---------------------------------------------------------------------------
+# Sender
+# ---------------------------------------------------------------------------
+
+
+class _Inflight:
+    """Book-keeping for one unacknowledged segment."""
+
+    __slots__ = ("seq", "attempt", "sent_wall", "rto_deadline",
+                 "sack_passes", "rtx_queued")
+
+    def __init__(self, seq: int, attempt: int, sent_wall: float,
+                 rto_deadline: float):
+        self.seq = seq
+        self.attempt = attempt
+        self.sent_wall = sent_wall
+        self.rto_deadline = rto_deadline
+        self.sack_passes = 0
+        self.rtx_queued = False
+
+
+class SenderFlow:
+    """Sliding-window reliable sender over an unreliable datagram hop.
+
+    ``payload_for_seq`` supplies the bytes of segment ``seq`` (called
+    again on retransmission, so the sender never buffers payload);
+    ``n_segments`` bounds a finite transfer (``None`` = endless stream).
+    The runner polls :meth:`poll_segment` for the next datagram to put
+    on the wire, feeds arriving ACKs to :meth:`on_ack` and calls
+    :meth:`check_timers` every loop iteration.
+    """
+
+    def __init__(self, flow_id: int, *, rto: RtoEstimator,
+                 payload_for_seq: Callable[[int], bytes],
+                 n_segments: int | None = None,
+                 cwnd_segs: float = 10.0,
+                 max_attempts: int = 30,
+                 stall_wall_s: float | None = None,
+                 fast_rtx_dupes: int = 3,
+                 now_wall: float = 0.0):
+        if max_attempts < 1:
+            raise ConfigError(
+                f"need at least one attempt, got {max_attempts}")
+        if fast_rtx_dupes < 1:
+            raise ConfigError(
+                f"fast-retransmit threshold must be >= 1, "
+                f"got {fast_rtx_dupes}")
+        self.flow_id = flow_id
+        self.rto = rto
+        self._payload_for_seq = payload_for_seq
+        self.n_segments = n_segments
+        self.cwnd_segs = cwnd_segs
+        self.max_attempts = max_attempts
+        self.stall_wall_s = stall_wall_s
+        self.fast_rtx_dupes = fast_rtx_dupes
+        #: Wall seconds between sends; ``None`` = window-clocked only.
+        self.pace_gap_wall: float | None = None
+        self._next_send_wall = now_wall
+        self._next_seq = 0
+        self._cum = 0                       # all seqs below are delivered
+        self._inflight: dict[int, _Inflight] = {}
+        self._attempts: dict[int, int] = {}  # total sends per open seq
+        self._rtx: deque[int] = deque()
+        self.last_progress_wall = now_wall
+        # lifetime counters
+        self.sent_segs = 0
+        self.delivered_segs = 0
+        self.retransmits = 0
+        self.fast_retransmits = 0
+        self.rto_timeouts = 0
+        # per-MTP window accumulators (drained by take_window)
+        self._sent_w = 0
+        self._delivered_w = 0
+        self._lost_w = 0
+        self._rtt_samples_w: list[float] = []
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def inflight_segs(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def done(self) -> bool:
+        """Every segment of a finite transfer acknowledged."""
+        return (self.n_segments is not None
+                and self._next_seq >= self.n_segments
+                and not self._inflight and not self._rtx)
+
+    def next_due_wall(self) -> float | None:
+        """Earliest wall time at which the sender has timed work."""
+        due = [e.rto_deadline for e in self._inflight.values()]
+        if self.pace_gap_wall is not None and self._has_sendable():
+            due.append(self._next_send_wall)
+        return min(due) if due else None
+
+    def _has_sendable(self) -> bool:
+        if self._rtx:
+            return True
+        if self.n_segments is not None and self._next_seq >= self.n_segments:
+            return False
+        return len(self._inflight) < max(1, int(self.cwnd_segs))
+
+    # -- sending -------------------------------------------------------
+
+    def poll_segment(self, now_wall: float) -> bytes | None:
+        """The next datagram to transmit, or ``None`` if nothing is due
+        (window full, pacing gap not yet elapsed, transfer exhausted)."""
+        if self.pace_gap_wall is not None and now_wall < self._next_send_wall:
+            return None
+        while self._rtx and self._rtx[0] not in self._inflight:
+            self._rtx.popleft()       # acknowledged before the resend
+        if self._rtx:
+            seq = self._rtx.popleft()
+            entry = self._inflight[seq]
+            attempt = self._attempts[seq] + 1
+            if attempt > self.max_attempts:
+                raise TransportStalledError(
+                    f"flow {self.flow_id} gave up on seq {seq} after "
+                    f"{self._attempts[seq]} attempts",
+                    flow_id=self.flow_id, seq=seq,
+                    attempts=self._attempts[seq])
+            self._attempts[seq] = attempt
+            entry.attempt = attempt
+            entry.sent_wall = now_wall
+            entry.rto_deadline = now_wall + self.rto.rto_s
+            entry.sack_passes = 0
+            entry.rtx_queued = False
+            self.retransmits += 1
+        else:
+            if not self._has_sendable():
+                return None
+            seq = self._next_seq
+            self._next_seq += 1
+            attempt = 1
+            self._attempts[seq] = attempt
+            self._inflight[seq] = _Inflight(seq, attempt, now_wall,
+                                            now_wall + self.rto.rto_s)
+        self.sent_segs += 1
+        self._sent_w += 1
+        if self.pace_gap_wall is not None:
+            self._next_send_wall = now_wall + self.pace_gap_wall
+        return encode_data(self.flow_id, seq, self._attempts[seq],
+                           self._payload_for_seq(seq))
+
+    # -- receiving -----------------------------------------------------
+
+    def on_ack(self, ack: AckSegment, now_wall: float) -> None:
+        """Fold one ACK: RTT sample, window advance, fast retransmit."""
+        if ack.flow_id != self.flow_id:
+            return
+        entry = self._inflight.get(ack.echo_seq)
+        if entry is not None and entry.attempt == ack.echo_attempt:
+            # Karn's rule: only an un-retransmitted copy times the path.
+            sample = now_wall - entry.sent_wall
+            if sample > 0:
+                self.rto.observe(sample)
+                self._rtt_samples_w.append(sample)
+        top_delivered: int | None = None
+        if ack.cum > self._cum:
+            for seq in range(self._cum, ack.cum):
+                if self._pop_delivered(seq):
+                    top_delivered = seq
+            self._cum = ack.cum
+            self.last_progress_wall = now_wall
+        for start, end in ack.sacks:
+            for seq in range(max(start, self._cum), end):
+                if self._pop_delivered(seq):
+                    top_delivered = seq if top_delivered is None \
+                        else max(top_delivered, seq)
+                    self.last_progress_wall = now_wall
+        if top_delivered is None:
+            return
+        # A delivery above a still-missing seq is one reordering pass;
+        # enough passes and the hole is declared lost (fast retransmit).
+        for seq, entry in self._inflight.items():
+            if seq >= top_delivered or entry.rtx_queued:
+                continue
+            entry.sack_passes += 1
+            if entry.sack_passes >= self.fast_rtx_dupes:
+                entry.rtx_queued = True
+                self._rtx.append(seq)
+                self.fast_retransmits += 1
+                self._lost_w += 1
+
+    def _pop_delivered(self, seq: int) -> bool:
+        entry = self._inflight.pop(seq, None)
+        if entry is None:
+            return False
+        self._attempts.pop(seq, None)
+        self.delivered_segs += 1
+        self._delivered_w += 1
+        return True
+
+    # -- timers --------------------------------------------------------
+
+    def check_timers(self, now_wall: float) -> None:
+        """Fire expired RTOs; raise on an exhausted stall budget."""
+        if not self._inflight:
+            self.last_progress_wall = now_wall
+            return
+        if (self.stall_wall_s is not None
+                and now_wall - self.last_progress_wall > self.stall_wall_s):
+            oldest = min(self._inflight)
+            raise TransportStalledError(
+                f"flow {self.flow_id} made no progress for "
+                f"{now_wall - self.last_progress_wall:.3f}s wall "
+                f"(oldest unacked seq {oldest})",
+                flow_id=self.flow_id, seq=oldest,
+                attempts=self._attempts.get(oldest))
+        fired = False
+        for entry in self._inflight.values():
+            if entry.rto_deadline > now_wall or entry.rtx_queued:
+                continue
+            if self._attempts[entry.seq] >= self.max_attempts:
+                raise TransportStalledError(
+                    f"flow {self.flow_id} gave up on seq {entry.seq} "
+                    f"after {self._attempts[entry.seq]} attempts "
+                    f"(rto {self.rto.rto_s:.4f}s)",
+                    flow_id=self.flow_id, seq=entry.seq,
+                    attempts=self._attempts[entry.seq])
+            entry.rtx_queued = True
+            self._rtx.appendleft(entry.seq)
+            entry.rto_deadline = now_wall + self.rto.rto_s
+            self.rto_timeouts += 1
+            self._lost_w += 1
+            fired = True
+        if fired:
+            self.rto.back_off()
+
+    # -- MTP window ----------------------------------------------------
+
+    def take_window(self) -> tuple[int, int, int, list[float]]:
+        """Drain ``(sent, delivered, lost, rtt_samples)`` since last call."""
+        out = (self._sent_w, self._delivered_w, self._lost_w,
+               self._rtt_samples_w)
+        self._sent_w = self._delivered_w = self._lost_w = 0
+        self._rtt_samples_w = []
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Receiver
+# ---------------------------------------------------------------------------
+
+
+class ReceiverFlow:
+    """In-order reassembly with duplicate suppression and SACK feedback.
+
+    ``expected_for_seq`` optionally verifies payload content (the stream
+    mode of the scenario runner checks every segment against the
+    deterministic generator and counts mismatches in ``corrupt``);
+    ``capture=True`` additionally retains delivered payloads in order
+    (:func:`~.runner.transfer_payload` reassembles from ``chunks``).
+    """
+
+    def __init__(self, flow_id: int, *,
+                 expected_for_seq: Callable[[int], bytes] | None = None,
+                 capture: bool = False,
+                 max_sack_blocks: int = MAX_SACK_BLOCKS):
+        self.flow_id = flow_id
+        self._expected_for_seq = expected_for_seq
+        self._capture = capture
+        self._max_sack_blocks = max_sack_blocks
+        self.cum = 0
+        self._above: dict[int, bytes] = {}
+        self.delivered_segs = 0
+        self.duplicates = 0
+        self.corrupt = 0
+        self.chunks: list[bytes] = []
+
+    def on_data(self, seg: DataSegment) -> bytes:
+        """Accept one segment; returns the encoded ACK to send back."""
+        seq = seg.seq
+        if seq < self.cum or seq in self._above:
+            self.duplicates += 1
+        else:
+            if (self._expected_for_seq is not None
+                    and seg.payload != self._expected_for_seq(seq)):
+                self.corrupt += 1
+            self._above[seq] = seg.payload if self._capture else b""
+            while self.cum in self._above:
+                payload = self._above.pop(self.cum)
+                if self._capture:
+                    self.chunks.append(payload)
+                self.delivered_segs += 1
+                self.cum += 1
+        return encode_ack(self.flow_id, self.cum, seq, seg.attempt,
+                          self._sack_blocks())
+
+    def _sack_blocks(self) -> tuple[tuple[int, int], ...]:
+        blocks: list[list[int]] = []
+        for seq in sorted(self._above):
+            if blocks and seq == blocks[-1][1]:
+                blocks[-1][1] = seq + 1
+            elif len(blocks) < self._max_sack_blocks:
+                blocks.append([seq, seq + 1])
+            else:
+                break
+        return tuple((s, e) for s, e in blocks)

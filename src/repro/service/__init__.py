@@ -4,6 +4,8 @@ plus the asyncio serving daemon, client, and metrics surface."""
 from .daemon import (
     InferenceDaemon,
     ServiceClient,
+    ShardSupervisor,
+    backoff_delay_s,
     build_service,
     decode_body,
     encode_frame,
@@ -28,7 +30,9 @@ __all__ = [
     "PerFlowServers",
     "ServiceAccounting",
     "ServiceClient",
+    "ShardSupervisor",
     "analytic_fallback_action",
+    "backoff_delay_s",
     "build_service",
     "decode_body",
     "default_service_policy",

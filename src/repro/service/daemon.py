@@ -26,10 +26,14 @@ flows can actually connect to:
 * **Graceful drain** — SIGTERM/SIGINT stop the listener, finish serving
   everything already queued, answer it, then exit 0.  No request that
   was accepted is ever dropped by shutdown.
-* **Sharding** — ``serve_main(shards=N)`` fans out N daemon processes
-  (spawn context, as in :mod:`repro.parallel`), one shard per port;
-  clients route ``flow_id`` to a shard with :func:`shard_for_flow`, so
-  one flow's requests always meet the same batching queue.
+* **Sharding + supervision** — ``serve_main(shards=N)`` fans out N
+  daemon processes (spawn context, as in :mod:`repro.parallel`), one
+  shard per port; clients route ``flow_id`` to a shard with
+  :func:`shard_for_flow`, so one flow's requests always meet the same
+  batching queue.  A :class:`ShardSupervisor` restarts any shard that
+  dies with capped exponential backoff (``shard_restarts`` in the
+  ``stats`` verb counts the respawns) instead of leaving a dead shard
+  silently black-holing its flows.
 
 :class:`ServiceClient` is the matching asyncio client: it multiplexes
 many flows over a small connection pool per shard (request ids match
@@ -54,7 +58,9 @@ from ..errors import (
     DeadlineExceededError,
     InvalidStateError,
     ProtocolError,
+    ServiceConnectError,
     ServiceError,
+    ServiceTimeoutError,
 )
 from .inference import BatchedInferenceService
 from .metrics import LatencyHistogram, render_metrics
@@ -140,7 +146,7 @@ class InferenceDaemon:
 
     def __init__(self, service: BatchedInferenceService, *,
                  max_inflight: int = 4096, shard_index: int = 0,
-                 n_shards: int = 1):
+                 n_shards: int = 1, shard_restarts: int = 0):
         if max_inflight <= 0:
             raise ServiceError("max_inflight must be positive")
         self.service = service
@@ -149,12 +155,16 @@ class InferenceDaemon:
         self.n_shards = n_shards
         self.latency = LatencyHistogram()
         #: Daemon-level counters (the service keeps its own accounting).
+        #: ``shard_restarts`` is how many times the supervisor respawned
+        #: this shard before this incarnation — it survives the crash the
+        #: rest of the counters do not.
         self.counters = {
             "connections": 0,
             "frames": 0,
             "protocol_errors": 0,
             "admission_rejected": 0,
             "drain_rejected": 0,
+            "shard_restarts": shard_restarts,
         }
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -393,16 +403,34 @@ class ServiceClient:
     ``conns_per_shard`` connections, so thousands of simulated flows
     need only a handful of sockets (this is also what keeps the load
     generator under the file-descriptor ceiling).
+
+    Resilience: connects retry with jittered exponential backoff (a
+    daemon that is still binding — or a shard mid-restart — is retried
+    ``connect_attempts`` times before :class:`ServiceConnectError`), and
+    every request carries a timeout (``request_timeout_s`` unless the
+    call passes its own) that raises :class:`ServiceTimeoutError`
+    instead of hanging the caller on a stalled connection.  Pass
+    ``request_timeout_s=None`` to wait indefinitely.
     """
 
     def __init__(self, addrs: list[tuple[str, int]],
-                 conns_per_shard: int = 4):
+                 conns_per_shard: int = 4, *,
+                 request_timeout_s: float | None = 30.0,
+                 connect_attempts: int = 5,
+                 connect_backoff_s: float = 0.2,
+                 connect_backoff_cap_s: float = 2.0):
         if not addrs:
             raise ServiceError("need at least one daemon address")
         if conns_per_shard <= 0:
             raise ServiceError("conns_per_shard must be positive")
+        if connect_attempts <= 0:
+            raise ServiceError("connect_attempts must be positive")
         self._addrs = list(addrs)
         self._conns_per_shard = conns_per_shard
+        self._request_timeout_s = request_timeout_s
+        self._connect_attempts = connect_attempts
+        self._connect_backoff_s = connect_backoff_s
+        self._connect_backoff_cap_s = connect_backoff_cap_s
         # shard -> list of connection records
         self._conns: dict[int, list[_Connection]] = {}
         self._rr: dict[int, int] = {}
@@ -411,6 +439,29 @@ class ServiceClient:
     def n_shards(self) -> int:
         return len(self._addrs)
 
+    async def _open(self, host: str, port: int) -> "_Connection":
+        """Connect with jittered backoff; typed error on exhaustion."""
+        import random
+
+        last: Exception | None = None
+        for attempt in range(self._connect_attempts):
+            try:
+                return await _Connection.open(host, port)
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                if attempt + 1 >= self._connect_attempts:
+                    break
+                delay = backoff_delay_s(attempt + 1,
+                                        base_s=self._connect_backoff_s,
+                                        cap_s=self._connect_backoff_cap_s)
+                # Jitter desynchronises a fleet of clients hammering a
+                # daemon that just came (back) up.
+                await asyncio.sleep(delay * random.uniform(0.5, 1.5))
+        raise ServiceConnectError(
+            f"could not connect to daemon at {host}:{port} after "
+            f"{self._connect_attempts} attempt(s): {last}",
+            attempts=self._connect_attempts) from last
+
     async def _conn_for(self, shard: int) -> "_Connection":
         pool = self._conns.setdefault(shard, [])
         index = self._rr.get(shard, 0)
@@ -418,13 +469,16 @@ class ServiceClient:
         slot = index % self._conns_per_shard
         while len(pool) <= slot:
             host, port = self._addrs[shard]
-            pool.append(await _Connection.open(host, port))
+            pool.append(await self._open(host, port))
         conn = pool[slot]
         if conn.closed:
             host, port = self._addrs[shard]
-            conn = await _Connection.open(host, port)
+            conn = await self._open(host, port)
             pool[slot] = conn
         return conn
+
+    def _timeout(self, timeout: float | None) -> float | None:
+        return self._request_timeout_s if timeout is None else timeout
 
     async def act(self, flow_id: int, state, timeout: float | None = None,
                   ) -> float:
@@ -437,18 +491,21 @@ class ServiceClient:
             state = [float(v) for v in
                      np.asarray(state, dtype=float).ravel()]
         body = await conn.request({"op": "act", "flow": int(flow_id),
-                                   "state": state}, timeout=timeout)
+                                   "state": state},
+                                  timeout=self._timeout(timeout))
         return float(body["action"])
 
     async def stats(self, shard: int = 0, timeout: float | None = None,
                     ) -> dict:
         conn = await self._conn_for(shard)
-        return await conn.request({"op": "stats"}, timeout=timeout)
+        return await conn.request({"op": "stats"},
+                                  timeout=self._timeout(timeout))
 
     async def ping(self, shard: int = 0, timeout: float | None = None,
                    ) -> dict:
         conn = await self._conn_for(shard)
-        return await conn.request({"op": "ping"}, timeout=timeout)
+        return await conn.request({"op": "ping"},
+                                  timeout=self._timeout(timeout))
 
     async def aclose(self) -> None:
         for pool in self._conns.values():
@@ -517,7 +574,15 @@ class _Connection:
             await self._writer.drain()
         if timeout is None:
             return await future
-        return await asyncio.wait_for(future, timeout)
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            # Stop tracking the request: a late response must not land
+            # in a future nobody awaits.
+            self._pending.pop(rid, None)
+            raise ServiceTimeoutError(
+                f"request {rid} got no response within {timeout:.3g}s"
+            ) from None
 
     async def aclose(self) -> None:
         self.closed = True
@@ -531,6 +596,158 @@ class _Connection:
             await self._writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+
+
+# -- shard supervision ------------------------------------------------
+
+
+def backoff_delay_s(restarts: int, *, base_s: float = 0.5,
+                    cap_s: float = 30.0) -> float:
+    """Delay before the ``restarts``-th consecutive restart attempt.
+
+    Capped exponential: ``base * 2**(restarts-1)``, clamped to ``cap``
+    (the exponent itself is bounded so huge counts cannot overflow).
+    ``restarts <= 0`` means "never failed" and costs no delay.
+    """
+    if restarts <= 0:
+        return 0.0
+    exponent = min(restarts - 1, 16)
+    return min(base_s * (2.0 ** exponent), cap_s)
+
+
+class ShardSupervisor:
+    """Parent-side babysitter for ``--shards N`` worker processes.
+
+    ``spawn(index, restarts)`` must return a *started*
+    :class:`multiprocessing.Process` for shard ``index``; ``restarts``
+    is the shard's lifetime respawn count, which the daemon surfaces as
+    the ``shard_restarts`` counter of its ``stats`` verb.
+
+    Policy: a shard that exits while the supervisor is not shutting
+    down is restarted after :func:`backoff_delay_s` of its *consecutive*
+    failure streak; a shard that stayed up at least ``healthy_after_s``
+    resets its streak (a crash loop backs off, a one-off crash does
+    not penalise next week's).  After ``max_restarts`` consecutive
+    failures the shard is abandoned with its last exit code — the
+    supervisor keeps serving the surviving shards rather than tearing
+    the fleet down.  :meth:`request_shutdown` (signal-handler safe)
+    terminates every live child and stops all restarting.
+
+    :meth:`run` blocks until every shard has terminally exited and
+    returns one exit code per shard (``0`` for clean/SIGTERM exits).
+    """
+
+    #: Upper bound on one poll interval: keeps the loop responsive to
+    #: ``request_shutdown`` even when nothing is due.
+    _POLL_S = 0.5
+
+    def __init__(self, n_shards: int, spawn, *, max_restarts: int = 5,
+                 backoff_base_s: float = 0.5, backoff_cap_s: float = 30.0,
+                 healthy_after_s: float = 30.0,
+                 announce: Callable[[str], None] | None = None):
+        if n_shards <= 0:
+            raise ServiceError(f"need at least one shard, got {n_shards}")
+        if max_restarts < 0:
+            raise ServiceError("max_restarts must be >= 0")
+        self._spawn = spawn
+        self.n_shards = n_shards
+        self.max_restarts = max_restarts
+        self._backoff_base_s = backoff_base_s
+        self._backoff_cap_s = backoff_cap_s
+        self._healthy_after_s = healthy_after_s
+        self._announce = announce
+        #: Lifetime respawns per shard (what ``stats`` reports).
+        self.restarts = [0] * n_shards
+        self._streak = [0] * n_shards
+        self._children: list = [None] * n_shards
+        self._started_at = [0.0] * n_shards
+        self._last_code = [0] * n_shards
+        self._final: list[int | None] = [None] * n_shards
+        self._restart_due: dict[int, float] = {}
+        self._shutdown = False
+
+    def request_shutdown(self) -> None:
+        """Stop restarting and SIGTERM every live child (signal-safe)."""
+        self._shutdown = True
+        for child in self._children:
+            if child is not None and child.is_alive():
+                child.terminate()  # SIGTERM -> graceful shard drain
+
+    def _start(self, index: int) -> None:
+        self._children[index] = self._spawn(index, self.restarts[index])
+        self._started_at[index] = time.monotonic()
+
+    def _say(self, line: str) -> None:
+        if self._announce is not None:
+            self._announce(line)
+
+    def _on_exit(self, index: int, code: int) -> None:
+        self._children[index] = None
+        self._last_code[index] = code
+        if self._shutdown:
+            self._final[index] = code
+            return
+        uptime = time.monotonic() - self._started_at[index]
+        if uptime >= self._healthy_after_s:
+            self._streak[index] = 0
+        if self._streak[index] >= self.max_restarts:
+            self._final[index] = code if code != 0 else 1
+            self._say(f"SHARD-ABANDONED shard={index} exitcode={code} "
+                      f"restarts={self.restarts[index]}")
+            return
+        self._streak[index] += 1
+        self.restarts[index] += 1
+        delay = backoff_delay_s(self._streak[index],
+                                base_s=self._backoff_base_s,
+                                cap_s=self._backoff_cap_s)
+        self._restart_due[index] = time.monotonic() + delay
+        self._say(f"SHARD-RESTART shard={index} exitcode={code} "
+                  f"restart={self.restarts[index]} delay={delay:.2f}s")
+
+    def _reap(self) -> None:
+        for index, child in enumerate(self._children):
+            if child is not None and not child.is_alive():
+                child.join()
+                self._on_exit(index, child.exitcode or 0)
+
+    def run(self) -> list[int]:
+        from multiprocessing.connection import wait as mp_wait
+
+        for index in range(self.n_shards):
+            self._start(index)
+        while True:
+            self._reap()
+            if self._shutdown:
+                break
+            now = time.monotonic()
+            for index in [i for i, due in self._restart_due.items()
+                          if due <= now]:
+                del self._restart_due[index]
+                self._start(index)
+            if (all(c is None for c in self._children)
+                    and not self._restart_due):
+                break
+            timeout = self._POLL_S
+            if self._restart_due:
+                timeout = min(timeout,
+                              max(0.0, min(self._restart_due.values())
+                                  - now))
+            sentinels = [c.sentinel for c in self._children
+                         if c is not None]
+            if sentinels:
+                mp_wait(sentinels, timeout=timeout)
+            else:
+                time.sleep(timeout)
+        # Shutdown path: kill anything still up, settle every shard.
+        self._restart_due.clear()
+        for child in self._children:
+            if child is not None and child.is_alive():
+                child.terminate()
+        for index, child in enumerate(self._children):
+            if child is not None:
+                child.join()
+                self._on_exit(index, child.exitcode or 0)
+        return [0 if code is None else code for code in self._final]
 
 
 # -- process entry points ---------------------------------------------
@@ -572,7 +789,12 @@ async def _serve_async(daemon: InferenceDaemon, host: str, port: int,
 
 
 def _announce(line: str) -> None:
-    print(line, flush=True)
+    # One write() per line: shard children share the parent's stdout
+    # pipe, and print() emits the text and the newline as separate
+    # writes under unbuffered stdio, which lets two shards interleave
+    # mid-line and corrupt the LISTENING protocol a parser relies on.
+    sys.stdout.write(line + "\n")
+    sys.stdout.flush()
 
 
 def _shard_main(cfg: dict) -> None:
@@ -581,7 +803,8 @@ def _shard_main(cfg: dict) -> None:
                             cfg["deadline_s"], cfg["fallback"])
     daemon = InferenceDaemon(service, max_inflight=cfg["max_inflight"],
                              shard_index=cfg["shard_index"],
-                             n_shards=cfg["n_shards"])
+                             n_shards=cfg["n_shards"],
+                             shard_restarts=cfg.get("shard_restarts", 0))
     raise SystemExit(asyncio.run(
         _serve_async(daemon, cfg["host"], cfg["port"], _announce)))
 
@@ -590,13 +813,16 @@ def serve_main(*, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                scheme: str = "astraea", batch_window_s: float = 0.005,
                deadline_s: float | None = 0.050,
                fallback: str | None = "analytic",
-               max_inflight: int = 4096, shards: int = 1) -> int:
+               max_inflight: int = 4096, shards: int = 1,
+               max_restarts: int = 5) -> int:
     """Run the daemon (blocking), sharded when ``shards > 1``.
 
     Each shard is its own spawn-context process listening on
     ``port + shard_index`` (each picks an ephemeral port when ``port``
     is 0) and announcing ``LISTENING <host> <port> shard=i/n`` on
-    stdout.  SIGTERM/SIGINT drain every shard gracefully.
+    stdout.  A shard that dies is respawned (same port) with capped
+    exponential backoff, up to ``max_restarts`` consecutive failures.
+    SIGTERM/SIGINT drain every shard gracefully.
     """
     if shards <= 0:
         raise ServiceError(f"need at least one shard, got {shards}")
@@ -609,36 +835,33 @@ def serve_main(*, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
     import multiprocessing
 
     context = multiprocessing.get_context("spawn")
-    children = []
-    for index in range(shards):
+
+    def spawn_shard(index: int, restarts: int):
         cfg = {"host": host, "port": port + index if port else 0,
                "scheme": scheme, "batch_window_s": batch_window_s,
                "deadline_s": deadline_s, "fallback": fallback,
                "max_inflight": max_inflight, "shard_index": index,
-               "n_shards": shards}
+               "n_shards": shards, "shard_restarts": restarts}
         child = context.Process(target=_shard_main, args=(cfg,),
                                 daemon=False)
         child.start()
-        children.append(child)
+        return child
+
+    supervisor = ShardSupervisor(shards, spawn_shard,
+                                 max_restarts=max_restarts,
+                                 announce=_announce)
 
     def forward(signum, frame):
-        for child in children:
-            if child.is_alive():
-                child.terminate()   # SIGTERM -> graceful shard drain
+        supervisor.request_shutdown()
 
     previous = {sig: signal.signal(sig, forward)
                 for sig in (signal.SIGTERM, signal.SIGINT)}
     try:
-        for child in children:
-            child.join()
+        codes = supervisor.run()
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
-        for child in children:
-            if child.is_alive():
-                child.terminate()
-                child.join()
-    codes = [child.exitcode or 0 for child in children]
+        supervisor.request_shutdown()
     bad = [c for c in codes if c not in (0, -signal.SIGTERM)]
     if bad:
         print(f"shard exit codes: {codes}", file=sys.stderr)

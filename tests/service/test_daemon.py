@@ -406,3 +406,206 @@ class TestStatsVerb:
             ServiceClient([])
         with pytest.raises(ServiceError):
             ServiceClient([("127.0.0.1", 1)], conns_per_shard=0)
+
+
+# -- shard supervision ------------------------------------------------
+
+
+def _exit_child(code: int) -> None:
+    import os
+
+    os._exit(code)
+
+
+def _crashy_child(restarts: int) -> None:
+    """Crash the first two incarnations, then serve until terminated."""
+    import os
+    import time
+
+    if restarts < 2:
+        os._exit(5)
+    time.sleep(60)
+
+
+class TestBackoffDelay:
+    def test_zero_and_doubling_and_cap(self):
+        from repro.service import backoff_delay_s
+
+        assert backoff_delay_s(0) == 0.0
+        assert backoff_delay_s(1, base_s=0.5, cap_s=30.0) == 0.5
+        assert backoff_delay_s(2, base_s=0.5, cap_s=30.0) == 1.0
+        assert backoff_delay_s(3, base_s=0.5, cap_s=30.0) == 2.0
+        assert backoff_delay_s(10, base_s=0.5, cap_s=30.0) == 30.0
+        # huge counts must not overflow
+        assert backoff_delay_s(10_000, base_s=0.5, cap_s=30.0) == 30.0
+
+
+class TestShardSupervisor:
+    def _ctx(self):
+        import multiprocessing
+
+        return multiprocessing.get_context("spawn")
+
+    def test_restarts_crashed_shard_and_counts(self):
+        import threading
+        import time
+
+        from repro.service import ShardSupervisor
+
+        ctx = self._ctx()
+
+        def spawn(index, restarts):
+            child = ctx.Process(target=_crashy_child, args=(restarts,))
+            child.start()
+            return child
+
+        lines = []
+        sup = ShardSupervisor(1, spawn, max_restarts=5,
+                              backoff_base_s=0.02, backoff_cap_s=0.1,
+                              announce=lines.append)
+
+        def stop_when_stable():
+            # after the second respawn the child sleeps; shut down then
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and sup.restarts != [2]:
+                time.sleep(0.02)
+            time.sleep(0.2)
+            sup.request_shutdown()
+
+        stopper = threading.Thread(target=stop_when_stable, daemon=True)
+        stopper.start()
+        codes = sup.run()
+        stopper.join(timeout=15.0)
+        assert sup.restarts == [2]
+        assert codes == [-15]          # SIGTERM of the healthy survivor
+        assert sum("SHARD-RESTART" in ln for ln in lines) == 2
+
+    def test_gives_up_after_max_restarts(self):
+        from repro.service import ShardSupervisor
+
+        ctx = self._ctx()
+        spawned = []
+
+        def spawn(index, restarts):
+            spawned.append(restarts)
+            child = ctx.Process(target=_exit_child, args=(7,))
+            child.start()
+            return child
+
+        lines = []
+        sup = ShardSupervisor(1, spawn, max_restarts=2,
+                              backoff_base_s=0.01, backoff_cap_s=0.02,
+                              announce=lines.append)
+        codes = sup.run()
+        assert codes == [7]
+        assert sup.restarts == [2]
+        assert spawned == [0, 1, 2]    # restart count rides into spawn
+        assert any("SHARD-ABANDONED" in ln for ln in lines)
+
+    def test_validation(self):
+        from repro.service import ShardSupervisor
+
+        with pytest.raises(ServiceError):
+            ShardSupervisor(0, lambda i, r: None)
+        with pytest.raises(ServiceError):
+            ShardSupervisor(1, lambda i, r: None, max_restarts=-1)
+
+
+class TestStatsRestartCounter:
+    def test_shard_restarts_surfaces_in_stats(self, bundle):
+        async def scenario():
+            daemon = make_daemon(bundle, shard_restarts=3)
+            port = await daemon.start("127.0.0.1", 0)
+            client = ServiceClient([("127.0.0.1", port)])
+            try:
+                stats = await client.stats(timeout=5)
+            finally:
+                await client.aclose()
+                daemon.request_shutdown()
+                await daemon.drain()
+            return stats
+
+        stats = run(scenario())
+        assert stats["counters"]["daemon_shard_restarts"] == 3
+        assert "repro_service_daemon_shard_restarts 3" in stats["metrics"]
+
+
+class TestClientResilience:
+    def test_connect_retry_exhaustion_typed(self):
+        from repro.errors import ServiceConnectError
+
+        async def scenario():
+            client = ServiceClient([("127.0.0.1", 1)], connect_attempts=3,
+                                   connect_backoff_s=0.01,
+                                   connect_backoff_cap_s=0.02)
+            with pytest.raises(ServiceConnectError) as err:
+                await client.ping()
+            assert err.value.attempts == 3
+            assert isinstance(err.value.__cause__, OSError)
+
+        run(scenario())
+
+    def test_connect_retry_eventually_succeeds(self, bundle):
+        async def scenario():
+            daemon = make_daemon(bundle)
+            client = None
+            try:
+                # the daemon starts *after* a short delay; the client's
+                # retry loop must absorb the gap
+                import socket as socket_mod
+
+                probe = socket_mod.socket()
+                probe.bind(("127.0.0.1", 0))
+                port = probe.getsockname()[1]
+                probe.close()
+
+                async def start_late():
+                    await asyncio.sleep(0.15)
+                    await daemon.start("127.0.0.1", port)
+
+                task = asyncio.create_task(start_late())
+                client = ServiceClient([("127.0.0.1", port)],
+                                       connect_attempts=10,
+                                       connect_backoff_s=0.05,
+                                       connect_backoff_cap_s=0.2)
+                body = await client.ping(timeout=5)
+                assert body["ok"] is True
+                await task
+            finally:
+                if client is not None:
+                    await client.aclose()
+                daemon.request_shutdown()
+                await daemon.drain()
+
+        run(scenario())
+
+    def test_request_timeout_typed_instead_of_hang(self):
+        from repro.errors import ServiceTimeoutError
+
+        async def scenario():
+            async def mute(reader, writer):
+                await reader.read(-1)
+
+            server = await asyncio.start_server(mute, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = ServiceClient([("127.0.0.1", port)],
+                                   request_timeout_s=0.1)
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            with pytest.raises(ServiceTimeoutError):
+                await client.ping()
+            assert loop.time() - t0 < 5.0
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
+
+    def test_explicit_timeout_overrides_default(self, bundle):
+        async def scenario():
+            async with daemon_and_client(bundle) as (_, client):
+                # a generous explicit timeout on a healthy daemon works
+                body = await client.ping(timeout=10.0)
+                assert body["ok"] is True
+
+        run(scenario())

@@ -146,3 +146,31 @@ class TestServeParser:
              "--connect", "127.0.0.1:9001,127.0.0.1:9002"])
         assert args.levels == "4,16"
         assert args.connect == "127.0.0.1:9001,127.0.0.1:9002"
+
+
+class TestSocketParser:
+    def test_serve_max_restarts_default_and_override(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.max_restarts == 5
+        args = build_parser().parse_args(["serve", "--max-restarts", "0"])
+        assert args.max_restarts == 0
+
+    def test_bench_socket_defaults(self):
+        args = build_parser().parse_args(["bench", "socket"])
+        assert args.seed == 1
+        assert not args.small
+        assert not args.smoke
+        assert args.func is not None
+
+    def test_bench_socket_smoke_and_small(self):
+        args = build_parser().parse_args(
+            ["bench", "socket", "--smoke", "--seed", "3"])
+        assert args.smoke and args.seed == 3
+        args = build_parser().parse_args(
+            ["bench", "socket", "--small", "--out-dir", "/tmp/x"])
+        assert args.small and args.out_dir == "/tmp/x"
+
+    def test_bench_robustness_accepts_socket_engine(self):
+        args = build_parser().parse_args(
+            ["bench", "robustness", "--small", "--engines", "socket"])
+        assert args.engines == "socket"
