@@ -1,7 +1,12 @@
 """Benchmark harness: canonical scenarios, trial runners, reporting."""
 
 from .engine import check_equivalence, run_engine_benchmark
-from .runners import run_scheme_trials, run_trials, summarize_trials
+from .runners import (
+    run_family_trials,
+    run_scheme_trials,
+    run_trials,
+    summarize_trials,
+)
 from .reporting import (
     format_table,
     load_results,
@@ -15,6 +20,7 @@ from . import scenarios
 __all__ = [
     "scenarios",
     "run_trials",
+    "run_family_trials",
     "run_scheme_trials",
     "summarize_trials",
     "format_table",

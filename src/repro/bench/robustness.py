@@ -27,8 +27,8 @@ from ..env.packetrun import run_scenario_packet
 from ..errors import ConfigError
 from ..metrics.recovery import RecoveryReport, recovery_report
 from ..parallel import parallel_map, resolve_workers
+from ..scenarios import build_scenario
 from .reporting import markdown_table
-from .scenarios import robustness_scenario
 
 #: Fault kinds of the sweep (the five primitives; "mixed" is excluded
 #: because its random composite has no single window to recover from).
@@ -149,8 +149,8 @@ def run_cell(scheme: str, kind: str, engine: str, trials: int = 2,
         seeds = range(trials)
     reports = []
     for seed in seeds:
-        scenario = robustness_scenario(scheme, kind=kind, quick=quick,
-                                       seed=seed)
+        scenario = build_scenario("robustness", cc=scheme, kind=kind,
+                                  quick=quick, seed=seed)
         result = run_engine_scenario(scenario, engine)
         reports.append(recovery_report(result, scenario.faults,
                                        threshold=threshold))
@@ -169,15 +169,17 @@ def _describe_cell_task(task: dict) -> str:
     return f"cell {task['engine']}/{task['scheme']}/{task['kind']}"
 
 
-def validate_sweep_axes(schemes, kinds, engines) -> None:
+def validate_sweep_axes(schemes, kinds, engines, families=()) -> None:
     """Reject unknown axis values *before* any cell burns sweep time.
 
     A typo like ``--schemes cubci`` used to die minutes into the sweep,
     inside ``cc.create`` of the first affected cell; now every axis is
     checked up front with a :class:`~repro.errors.ConfigError` listing
-    the known values.
+    the known values.  ``families`` (used by the scenario sweep) is
+    checked against the scenario registry.
     """
     from ..cc import available
+    from ..scenarios import available_families
 
     unknown = [k for k in kinds if k not in FAULT_KINDS]
     if unknown:
@@ -192,6 +194,12 @@ def validate_sweep_axes(schemes, kinds, engines) -> None:
     if unknown:
         raise ConfigError(
             f"unknown engines {unknown}; known: {list(ALL_ENGINES)}")
+    known_families = set(available_families())
+    unknown = [f for f in families if f not in known_families]
+    if unknown:
+        raise ConfigError(
+            f"unknown scenario families {unknown}; known: "
+            f"{sorted(known_families)}")
 
 
 def run_robustness_sweep(schemes=ALL_SCHEMES, kinds=FAULT_KINDS,

@@ -50,9 +50,33 @@ def run_trials(factory: Callable[[int], ScenarioConfig], trials: int,
 
 def run_scheme_trials(scenario: ScenarioConfig, trials: int,
                       workers: int | None = None) -> list[ScenarioResult]:
-    """Repeat one scenario with different seeds."""
+    """Repeat one scenario with different seeds.
+
+    Note ``replace(scenario, seed=...)`` changes only the engine seed;
+    registry families whose *shape* depends on the seed (e.g. the
+    ``mixed`` robustness schedule) should go through
+    :func:`run_family_trials`, which rebuilds per seed.
+    """
     return _run_scenarios([replace(scenario, seed=seed)
                            for seed in range(trials)], workers)
+
+
+def run_family_trials(family: str, cc: str, trials: int,
+                      quick: bool = False, workers: int | None = None,
+                      **params) -> list[ScenarioResult]:
+    """Repeat one registry family with different seeds.
+
+    Each trial's scenario is rebuilt through
+    :func:`repro.scenarios.build_scenario` with its own seed, honouring
+    the registry's seed discipline (the whole scenario — including any
+    seed-derived structure such as sampled fault schedules — follows
+    the trial seed, not just the engine RNG).
+    """
+    from ..scenarios import build_scenario
+
+    return _run_scenarios(
+        [build_scenario(family, cc=cc, quick=quick, seed=seed, **params)
+         for seed in range(trials)], workers)
 
 
 def summarize_trials(results: list[ScenarioResult], scheme: str,

@@ -1,0 +1,208 @@
+"""Scenario-family benchmark: JFI x utilization per scheme per family.
+
+The ROADMAP's "bench scenarios" sweep: run every requested scheme over
+the datacenter/asymmetric/adversarial workload families of the scenario
+registry (:mod:`repro.scenarios`) on both the fluid and the packet
+engine, and table Jain fairness x link utilization per cell — the
+paper's two headline axes, now measured on workloads its own evaluation
+never contains.  Fairness is computed over the *foreground* flows only
+(unresponsive cross traffic is load, not a participant; see
+:meth:`~repro.env.multiflow.ScenarioResult.foreground_indices`).
+
+Entry points: :func:`run_scenario_sweep` (the full cross product,
+programmable subset), :func:`markdown_report`, and the
+``repro bench scenarios`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace as dc_replace
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..parallel import parallel_map, resolve_workers
+from ..scenarios import build_scenario, get_family
+from .reporting import markdown_table
+from .robustness import (
+    ALL_SCHEMES,
+    ENGINES,
+    run_engine_scenario,
+    validate_sweep_axes,
+)
+
+#: Artifact stem (``benchmarks/results/BENCH_scenarios.json`` / ``.md``).
+BENCH_ID = "BENCH_scenarios"
+
+#: Families of the default sweep — the three beyond-the-paper workloads.
+SWEEP_FAMILIES = ("incast", "asymmetric-rtt", "background-udp")
+
+#: The CI smoke subset: 3 schemes x all 3 families x both engines.
+SMALL_SCHEMES = ("astraea", "cubic", "bbr")
+
+#: Warmup skipped before the fairness/utilization averages.
+WARMUP_S = 2.0
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """Aggregated metrics of one (scheme, family, engine) cell.
+
+    ``jfi`` and ``utilization`` are means over the cell's trials;
+    both are the steady-state averages after :data:`WARMUP_S`.
+    """
+
+    scheme: str
+    family: str
+    engine: str
+    trials: int
+    jfi: float
+    utilization: float
+    mean_rtt_ms: float
+    mean_loss_rate: float
+    #: Wall-clock spent running this cell (a timing field — excluded
+    #: from determinism comparisons, see ``strip_timing_fields``).
+    elapsed_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "family": self.family,
+            "engine": self.engine,
+            "trials": self.trials,
+            "jfi": self.jfi,
+            "utilization": self.utilization,
+            "mean_rtt_ms": self.mean_rtt_ms,
+            "mean_loss_rate": self.mean_loss_rate,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def validate_scenario_axes(schemes, families, engines) -> None:
+    """Axis validation for the scenario sweep (typed, up-front).
+
+    On top of the shared name checks, families whose registry entry
+    marks ``packet_ok=False`` (capacity-traced workloads) are rejected
+    when the packet engine is requested.
+    """
+    validate_sweep_axes(schemes, (), engines, families=families)
+    needs_packet = [e for e in engines if e != "fluid"]
+    if needs_packet:
+        traced = [f for f in families if not get_family(f).packet_ok]
+        if traced:
+            raise ConfigError(
+                f"families {traced} drive a capacity trace and only run "
+                f"on the fluid engine; drop them or use --engines fluid")
+
+
+def run_scenario_cell(scheme: str, family: str, engine: str,
+                      trials: int = 2, quick: bool = True,
+                      seeds=None) -> ScenarioCell:
+    """Run one (scheme, family, engine) cell across its seeds.
+
+    ``seeds`` defaults to ``range(trials)``; passing it explicitly lets
+    a task payload carry its own seeds (the parallel-layer contract).
+    """
+    start = time.perf_counter()
+    if seeds is None:
+        seeds = range(trials)
+    jfi, util, rtt_ms, loss = [], [], [], []
+    for seed in seeds:
+        scenario = build_scenario(family, cc=scheme, quick=quick, seed=seed)
+        result = run_engine_scenario(scenario, engine)
+        fg = result.foreground_indices()
+        jfi.append(result.mean_jain(warmup_s=WARMUP_S, indices=fg))
+        util.append(result.utilization(skip_s=WARMUP_S))
+        rtt_ms.append(result.mean_rtt_s(skip_s=WARMUP_S) * 1e3)
+        loss.append(result.mean_loss_rate(skip_s=WARMUP_S))
+    cell = ScenarioCell(
+        scheme=scheme, family=family, engine=engine, trials=len(jfi),
+        jfi=float(np.mean(jfi)), utilization=float(np.mean(util)),
+        mean_rtt_ms=float(np.mean(rtt_ms)),
+        mean_loss_rate=float(np.mean(loss)))
+    return dc_replace(cell, elapsed_s=time.perf_counter() - start)
+
+
+def _run_cell_task(task: dict) -> ScenarioCell:
+    """Module-level worker for :func:`parallel_map` (spawn-picklable)."""
+    return run_scenario_cell(task["scheme"], task["family"], task["engine"],
+                             trials=len(task["seeds"]), quick=task["quick"],
+                             seeds=task["seeds"])
+
+
+def _describe_cell_task(task: dict) -> str:
+    return f"cell {task['engine']}/{task['scheme']}/{task['family']}"
+
+
+def run_scenario_sweep(schemes=ALL_SCHEMES, families=SWEEP_FAMILIES,
+                       engines=ENGINES, trials: int = 2, quick: bool = True,
+                       progress=None, workers: int | None = None) -> dict:
+    """The full sweep: every scheme x family x engine.
+
+    Returns a JSON-serialisable payload with one entry per cell;
+    ``progress`` and the worker-count determinism contract match
+    :func:`~repro.bench.robustness.run_robustness_sweep` (only the
+    timing fields ``elapsed_s``/``workers`` may differ between runs).
+    """
+    validate_scenario_axes(schemes, families, engines)
+    start = time.perf_counter()
+    n_workers = resolve_workers(workers)
+    tasks = [
+        {"scheme": s, "family": f, "engine": e,
+         "seeds": list(range(trials)), "quick": quick}
+        for e in engines for s in schemes for f in families
+    ]
+    cells = parallel_map(
+        _run_cell_task, tasks, workers=n_workers,
+        describe=_describe_cell_task,
+        progress=(None if progress is None else
+                  lambda done, total, index, cell: progress(done, total,
+                                                            cell)))
+    return {
+        "schemes": list(schemes),
+        "families": list(families),
+        "engines": list(engines),
+        "trials": trials,
+        "quick": quick,
+        "workers": n_workers,
+        "elapsed_s": time.perf_counter() - start,
+        "cells": [c.as_dict() for c in cells],
+    }
+
+
+TABLE_HEADERS = ["scheme", "family", "engine", "JFI", "utilization",
+                 "mean RTT (ms)", "loss rate"]
+
+
+def table_rows(payload: dict) -> list[list]:
+    """Rows of the report table, family-major then scheme then engine."""
+    rows = []
+    cells = sorted(payload["cells"],
+                   key=lambda c: (c["family"], c["scheme"], c["engine"]))
+    for c in cells:
+        rows.append([
+            c["scheme"], c["family"], c["engine"],
+            c["jfi"], c["utilization"], c["mean_rtt_ms"],
+            c["mean_loss_rate"],
+        ])
+    return rows
+
+
+def markdown_report(payload: dict) -> str:
+    """The scenario report as a markdown document."""
+    mode = "quick" if payload.get("quick") else "full"
+    lines = [
+        "# Scenario report — JFI x utilization per workload family",
+        "",
+        f"{payload['trials']} trial(s) per cell; {mode}-mode scenarios; "
+        f"fairness over foreground flows only (unresponsive cross "
+        f"traffic excluded).",
+        "",
+        markdown_table(TABLE_HEADERS, table_rows(payload)),
+        "",
+        "Families: `incast` (synchronized short-flow waves vs elephants), "
+        "`asymmetric-rtt` (per-flow base RTTs spread 1x-4x), "
+        "`background-udp` (unresponsive constant-rate cross traffic).",
+    ]
+    return "\n".join(lines)

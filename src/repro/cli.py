@@ -7,8 +7,8 @@ Commands
 ``compare``   run one canonical multi-flow scenario per scheme and print
               a side-by-side summary table.
 ``template``  emit a scenario-description JSON template to stdout.
-``info``      list registered schemes, traces, queue disciplines and the
-              shipped pretrained models.
+``info``      list registered schemes, traces, queue disciplines,
+              scenario families and the shipped pretrained models.
 ``models``    model-artifact integrity: ``verify`` the checksummed
               manifest (non-zero exit on any damaged bundle — the CI
               gate), ``info`` per-bundle status, ``regenerate`` rebuild
@@ -28,7 +28,11 @@ Commands
 ``bench``     benchmark sweeps; ``bench robustness`` runs the
               scheme x fault-kind x engine recovery sweep and writes the
               JSON artifact plus markdown table under
-              ``benchmarks/results/``; ``bench scaling`` measures the
+              ``benchmarks/results/``; ``bench scenarios`` sweeps
+              schemes x workload families (incast, asymmetric-rtt,
+              background-udp from the scenario registry) on both
+              engines and writes JFI x utilization per cell into
+              ``BENCH_scenarios.json``; ``bench scaling`` measures the
               serial-vs-parallel speedup of the small sweep and writes
               ``BENCH_parallel.json``; ``bench engine`` measures the
               fluid engine's vectorized fast path against the per-tick
@@ -140,6 +144,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print("queue disciplines:")
     for name in sorted(_QDISC_FACTORIES):
         print(f"  {name}")
+    print("scenario families:")
+    from .scenarios import describe_families
+
+    for line in describe_families().splitlines():
+        print(f"  {line}")
     print("pretrained models:")
     for scheme in DEFAULT_POLICY_NAMES:
         path = default_policy_path(scheme)
@@ -374,6 +383,72 @@ def _cmd_bench_robustness(args: argparse.Namespace) -> int:
     else:
         json_path = reporting.save_results(exp_id, payload)
         md_path = reporting.save_markdown(exp_id, report)
+    print(report)
+    print(f"\nJSON artifact: {json_path}\nmarkdown table: {md_path}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_scenarios(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import reporting
+    from .bench.robustness import ALL_SCHEMES, ENGINES
+    from .bench.scenariobench import (
+        BENCH_ID,
+        SMALL_SCHEMES,
+        SWEEP_FAMILIES,
+        markdown_report,
+        run_scenario_sweep,
+    )
+    from .errors import ReproError
+
+    def split(value, default):
+        if value is None or value == "all":
+            return default
+        return tuple(v.strip() for v in value.split(",") if v.strip())
+
+    if args.small:
+        # The smoke subset, but explicit axis flags still win.
+        schemes = split(args.schemes, SMALL_SCHEMES)
+        families = split(args.families, SWEEP_FAMILIES)
+        engines = split(args.engines, ENGINES)
+        trials = 1
+    else:
+        schemes = split(args.schemes, ALL_SCHEMES)
+        families = split(args.families, SWEEP_FAMILIES)
+        engines = split(args.engines, ENGINES)
+        trials = args.trials
+
+    def progress(done, total, cell):
+        print(f"[{done}/{total}] {cell.engine}/{cell.scheme}/{cell.family}: "
+              f"jfi={cell.jfi:.3f} util={cell.utilization:.3f}",
+              file=sys.stderr)
+
+    try:
+        payload = run_scenario_sweep(
+            schemes=schemes, families=families, engines=engines,
+            trials=trials, quick=not args.full, progress=progress,
+            workers=args.workers)
+    except ReproError as exc:
+        print(f"scenario sweep failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        # No partial artifacts: the sweep either completes and writes
+        # both files, or leaves the output directory untouched.
+        print("scenario sweep interrupted; no artifacts written",
+              file=sys.stderr)
+        return 130
+    report = markdown_report(payload)
+    if args.out_dir:
+        out = Path(args.out_dir)
+        json_path = reporting.write_results_file(out / f"{BENCH_ID}.json",
+                                                 payload)
+        md_path = persist.write_text_atomic(out / f"{BENCH_ID}.md",
+                                            report + "\n")
+    else:
+        json_path = reporting.save_results(BENCH_ID, payload)
+        md_path = reporting.save_markdown(BENCH_ID, report)
     print(report)
     print(f"\nJSON artifact: {json_path}\nmarkdown table: {md_path}",
           file=sys.stderr)
@@ -815,6 +890,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size for the sweep cells "
                             "(default: $REPRO_WORKERS, else serial)")
     p_rob.set_defaults(func=_cmd_bench_robustness)
+
+    p_scn = bench_sub.add_parser(
+        "scenarios",
+        help="JFI x utilization per (scheme, workload family, engine) "
+             "over the incast/asymmetric-rtt/background-udp families "
+             "(writes BENCH_scenarios.json)")
+    p_scn.add_argument("--schemes", default=None,
+                       help="comma-separated scheme names (default: all)")
+    p_scn.add_argument("--families", default=None,
+                       help="comma-separated registry family names "
+                            "(default: incast,asymmetric-rtt,"
+                            "background-udp; see 'repro info')")
+    p_scn.add_argument("--engines", default=None,
+                       help="comma-separated engines: fluid, packet, socket "
+                            "(default: fluid,packet)")
+    p_scn.add_argument("--trials", type=int, default=2,
+                       help="seeds per (scheme, family, engine) cell")
+    p_scn.add_argument("--small", action="store_true",
+                       help="CI smoke subset: 3 schemes x 3 families on "
+                            "both engines, 1 trial (explicit --schemes/"
+                            "--families/--engines still override)")
+    p_scn.add_argument("--full", action="store_true",
+                       help="full-length scenarios instead of quick ones")
+    p_scn.add_argument("--out-dir", default=None,
+                       help="write artifacts here instead of "
+                            "benchmarks/results/")
+    p_scn.add_argument("--workers", type=int, default=None,
+                       help="process-pool size for the sweep cells "
+                            "(default: $REPRO_WORKERS, else serial)")
+    p_scn.set_defaults(func=_cmd_bench_scenarios)
 
     p_scale = bench_sub.add_parser(
         "scaling",

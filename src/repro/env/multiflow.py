@@ -26,6 +26,10 @@ from ..netsim.topology import TopologyConfig
 from ..netsim.traces import create_trace
 from ..units import mbps_to_pps
 
+#: Scheme names that model unresponsive load (they never react to
+#: congestion) — excluded from :meth:`ScenarioResult.foreground_indices`.
+UNRESPONSIVE_CCS = frozenset({"constant-rate"})
+
 
 @dataclass
 class FlowLog:
@@ -96,11 +100,31 @@ class ScenarioResult:
                     matrix[i, t] = last
         return times, matrix, active
 
-    def jain_series(self, grid_s: float = 0.1) -> tuple[np.ndarray, np.ndarray]:
-        """Jain fairness index over time, at slots with >= 2 active flows."""
+    def foreground_indices(self) -> tuple[int, ...]:
+        """Indices of the flows under evaluation.
+
+        Unresponsive cross-traffic (see :data:`UNRESPONSIVE_CCS`) is
+        load, not a fairness participant — fairness metrics should not
+        reward or punish a scheme for the blaster's fixed share.
+        """
+        return tuple(i for i, f in enumerate(self.flows)
+                     if f.cc_name not in UNRESPONSIVE_CCS)
+
+    def jain_series(self, grid_s: float = 0.1,
+                    indices: tuple[int, ...] | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Jain fairness index over time, at slots with >= 2 active flows.
+
+        ``indices`` restricts the index to a subset of flows (e.g.
+        :meth:`foreground_indices` to exclude unresponsive cross
+        traffic); by default all flows participate.
+        """
         from ..metrics.fairness import jain_index
 
         times, matrix, active = self.throughput_matrix(grid_s)
+        if indices is not None:
+            sel = np.asarray(indices, dtype=int)
+            matrix, active = matrix[sel], active[sel]
         out_t, out_j = [], []
         for t in range(len(times)):
             live = active[:, t]
@@ -109,9 +133,10 @@ class ScenarioResult:
                 out_j.append(jain_index(matrix[live, t]))
         return np.asarray(out_t), np.asarray(out_j)
 
-    def mean_jain(self, grid_s: float = 0.1, warmup_s: float = 2.0) -> float:
+    def mean_jain(self, grid_s: float = 0.1, warmup_s: float = 2.0,
+                  indices: tuple[int, ...] | None = None) -> float:
         """Average Jain index over all multi-flow slots after a warmup."""
-        t, j = self.jain_series(grid_s)
+        t, j = self.jain_series(grid_s, indices=indices)
         if len(j) == 0:
             return float("nan")
         keep = t >= (t[0] + warmup_s)

@@ -10,9 +10,9 @@ layer: the same scheme under the same :class:`FaultSchedule` must tell the
 same macro story on both substrates.
 
 The packet engine registers all flows up front and runs a single event
-loop, so this runner supports the (dominant) scenario shape where every
-flow starts at ``t = 0`` and lives to the end of the run; staggered-arrival
-scenarios stay on the fluid engine.
+loop; per-flow ``start_s``/``duration_s`` windows (staggered arrivals,
+incast bursts) map onto the engine's send-window guards.  Traced
+(variable-capacity) scenarios stay on the fluid engine.
 """
 
 from __future__ import annotations
@@ -39,7 +39,7 @@ class _PacketFlowDriver:
     """
 
     def __init__(self, controller: CongestionController, base_rtt_s: float,
-                 mtp_s: float, log: FlowLog):
+                 mtp_s: float, log: FlowLog, start_s: float = 0.0):
         self._controller = controller
         self._base_rtt_s = base_rtt_s
         self._mtp_s = mtp_s
@@ -48,8 +48,8 @@ class _PacketFlowDriver:
         self._net: PacketNetwork | None = None
         self._fid = -1
         self._pacing_pps: float | None = None
-        self._next_ctrl_s = mtp_s
-        self._window_start_s = 0.0
+        self._next_ctrl_s = start_s + mtp_s
+        self._window_start_s = start_s
         self._sent = self._delivered = self._lost = 0.0
         self._rtt_weighted = 0.0
         self._rtt_min = float("inf")
@@ -125,12 +125,6 @@ def run_scenario_packet(scenario: ScenarioConfig,
         raise SimulationError(
             "the packet runner does not support capacity traces; "
             "run traced scenarios on the fluid engine")
-    for f in scenario.flows:
-        if f.start_s != 0.0 or f.end_s() < scenario.duration_s:
-            raise SimulationError(
-                "the packet runner requires every flow to start at t=0 and "
-                "run for the whole scenario; use the fluid engine for "
-                "staggered arrivals")
     net = PacketNetwork(scenario.link, seed=scenario.seed,
                         mtp_s=scenario.mtp_s, faults=scenario.faults)
     logs = []
@@ -141,12 +135,14 @@ def run_scenario_packet(scenario: ScenarioConfig,
             controller = create(cfg.cc, **cfg.cc_kwargs)
         controller.reset()
         base_rtt_s = scenario.link.rtt_s + cfg.extra_rtt_ms / 1e3
-        log = FlowLog(cc_name=cfg.cc, start_s=0.0,
-                      end_s=scenario.duration_s)
+        stop_s = min(cfg.end_s(), scenario.duration_s)
+        log = FlowLog(cc_name=cfg.cc, start_s=cfg.start_s,
+                      end_s=stop_s)
         driver = _PacketFlowDriver(controller, base_rtt_s, scenario.mtp_s,
-                                   log)
+                                   log, start_s=cfg.start_s)
         fid = net.add_flow(base_rtt_s=base_rtt_s,
-                           cwnd=controller.initial_cwnd, on_mtp=driver)
+                           cwnd=controller.initial_cwnd, on_mtp=driver,
+                           start_s=cfg.start_s, stop_s=stop_s)
         driver.bind(net, fid)
         logs.append(log)
     net.run(scenario.duration_s)

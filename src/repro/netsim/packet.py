@@ -60,6 +60,8 @@ class _Flow:
     base_rtt_s: float
     max_cwnd: float = float("inf")
     pacing_pps: float | None = None
+    start_s: float = 0.0
+    stop_s: float = float("inf")
     inflight: int = 0
     next_send_ok: float = 0.0
     send_event_at: float = -1.0
@@ -99,10 +101,19 @@ class PacketNetwork:
 
     def add_flow(self, base_rtt_s: float, cwnd: float = 10.0,
                  pacing_pps: float | None = None,
-                 on_mtp=None) -> int:
-        """Register a flow; returns its id.  Must be called before run()."""
+                 on_mtp=None, start_s: float = 0.0,
+                 stop_s: float = float("inf")) -> int:
+        """Register a flow; returns its id.  Must be called before run().
+
+        The flow sends only inside ``[start_s, stop_s)``; in-flight
+        packets launched before ``stop_s`` still drain normally.
+        """
         if base_rtt_s <= 0:
             raise SimulationError("base rtt must be positive")
+        if start_s < 0:
+            raise SimulationError("flow start must be >= 0")
+        if stop_s <= start_s:
+            raise SimulationError("flow stop must be after its start")
         fid = len(self._flows)
         # Cap the acceptable window at the pipe limit (buffer plus a few
         # bandwidth-delay products).  Every packet beyond it is an
@@ -114,7 +125,8 @@ class PacketNetwork:
         max_cwnd = self._buffer_pkts + 4.0 * self._capacity_pps * base_rtt_s
         self._flows[fid] = _Flow(fid=fid, cwnd=min(cwnd, max_cwnd),
                                  base_rtt_s=base_rtt_s, max_cwnd=max_cwnd,
-                                 pacing_pps=pacing_pps)
+                                 pacing_pps=pacing_pps, start_s=start_s,
+                                 stop_s=stop_s)
         if on_mtp is not None:
             self._callbacks[fid] = on_mtp
         return fid
@@ -135,6 +147,9 @@ class PacketNetwork:
 
     def _try_send(self, flow: _Flow) -> None:
         """Send as permitted by cwnd and pacing; schedules follow-ups."""
+        if (self.now < flow.start_s - 1e-12
+                or self.now >= flow.stop_s - 1e-12):
+            return
         while flow.inflight < int(flow.cwnd):
             if flow.pacing_pps is not None and self.now < flow.next_send_ok:
                 # One pending wake-up per flow: every ACK retries the send,
@@ -237,7 +252,8 @@ class PacketNetwork:
                 self.set_cwnd(fid, float(new_cwnd), flow.pacing_pps)
         flow.mtp_delivered = flow.mtp_lost = flow.mtp_sent = 0
         flow.mtp_rtt_sum = 0.0
-        self._push(self.now + self._mtp_s, _MTP, fid)
+        if self.now < flow.stop_s - 1e-12:
+            self._push(self.now + self._mtp_s, _MTP, fid)
         self._try_send(flow)
 
     # ------------------------------------------------------------------
@@ -248,8 +264,9 @@ class PacketNetwork:
             raise SimulationError("duration must be positive")
         end = self.now + duration_s
         for flow in self._flows.values():
-            self._push(self.now, _SEND, flow.fid)
-            self._push(self.now + self._mtp_s, _MTP, flow.fid)
+            start = max(self.now, flow.start_s)
+            self._push(start, _SEND, flow.fid)
+            self._push(start + self._mtp_s, _MTP, flow.fid)
         while self._events:
             t, _, kind, fid, payload = heapq.heappop(self._events)
             if t > end:

@@ -1,16 +1,12 @@
-"""Back-compat shim: the scenario builders live in :mod:`repro.scenarios`.
+"""Scenario registry and workload families.
 
-Scenario construction moved into the registry package
-(:mod:`repro.scenarios.families` holds the builders,
-:mod:`repro.scenarios.registry` the name -> builder mapping); this
-module re-exports the historical names so existing imports keep
-working.  New code should call :func:`repro.scenarios.build_scenario`.
+Importing this package registers every built-in family (the module-level
+``register_family`` calls in :mod:`repro.scenarios.families` run at
+import time); :func:`build_scenario` / :func:`available_families` are
+the main entry points.
 """
 
-from __future__ import annotations
-
-from ..netsim.topology import TopologyConfig
-from ..scenarios.families import (
+from .families import (
     BACKGROUND_SCHEMES,
     DEFAULT_SCHEMES,
     ROBUSTNESS_KINDS,
@@ -32,14 +28,27 @@ from ..scenarios.families import (
     incast_scenario,
     robustness_scenario,
 )
+from .registry import (
+    ScenarioFamily,
+    available_families,
+    build_scenario,
+    describe_families,
+    describe_family,
+    get_family,
+    register_family,
+)
 
 __all__ = [
     "BACKGROUND_SCHEMES",
     "DEFAULT_SCHEMES",
     "ROBUSTNESS_KINDS",
-    "TopologyConfig",
+    "ScenarioFamily",
     "asymmetric_rtt_scenario",
+    "available_families",
     "background_udp_scenario",
+    "build_scenario",
+    "describe_families",
+    "describe_family",
     "fig1a_scenario",
     "fig1b_scenario",
     "fig6_scenario",
@@ -53,6 +62,8 @@ __all__ = [
     "fig19_scenario",
     "fig20_scenario",
     "fig22_scenario",
+    "get_family",
     "incast_scenario",
+    "register_family",
     "robustness_scenario",
 ]

@@ -1,0 +1,464 @@
+"""Workload-family builders and their registry entries.
+
+The paper's canonical experiment scenarios (every ``fig*`` builder
+mirrors the parameters the evaluation section quotes), the robustness
+(mid-run link impairment) family, and three families the Astraea paper
+does not evaluate but datacenter RL-CC work treats as signature
+workloads:
+
+* ``incast`` — many-to-one: synchronized waves of short flows pile into
+  one bottleneck against long elephants (Tessler et al.,
+  arXiv:2102.09337; Ketabi et al., arXiv:2301.12558).
+* ``asymmetric-rtt`` — same bottleneck, per-flow base RTTs spread 2-10x,
+  the adversarial regime for RTT-unfairness.
+* ``background-udp`` — unresponsive constant-rate cross traffic the
+  schemes must model as non-reacting load: yield and you starve, fight
+  and you overflow the buffer.
+
+``quick=True`` shrinks time axes (not the network parameters) so full
+benchmark sweeps complete on one CPU.  Every public builder keeps its
+historical signature; the registry entries at the bottom of this module
+adapt them to the uniform ``(cc, quick, seed, **params)`` calling
+convention of :mod:`repro.scenarios.registry`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import FlowConfig, LinkConfig, ScenarioConfig
+from ..errors import ConfigError
+from ..netsim.flowgen import heterogeneous_rtt_flows, staggered_flows
+from ..netsim.topology import TopologyConfig, parking_lot
+from ..units import bdp_packets
+from .registry import register_family
+
+DEFAULT_SCHEMES = ("astraea", "cubic", "bbr", "vegas", "copa", "vivace",
+                   "orca", "reno")
+
+#: Scheme names that model unresponsive cross traffic rather than a
+#: congestion controller under evaluation.  Fairness metrics exclude
+#: these flows (they are load, not participants).
+BACKGROUND_SCHEMES = frozenset({"constant-rate"})
+
+
+def fig6_scenario(cc: str, quick: bool = False, seed: int = 0,
+                  **cc_kwargs) -> ScenarioConfig:
+    """§5.1.1: 100 Mbps, 30 ms, 1 BDP; 3 flows at 40 s intervals, 120 s each."""
+    interval = 20.0 if quick else 40.0
+    flow_len = 60.0 if quick else 120.0
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+    flows = staggered_flows(3, cc=cc, interval_s=interval,
+                            duration_s=flow_len, **cc_kwargs)
+    return ScenarioConfig(link=link, flows=flows,
+                          duration_s=interval * 2 + flow_len, seed=seed)
+
+
+def fig1a_scenario(quick: bool = False, seed: int = 0) -> ScenarioConfig:
+    """§2: Aurora on 80 Mbps / 60 ms / 4.8 MB buffer; second flow at 40 s."""
+    start2 = 15.0 if quick else 40.0
+    total = 60.0 if quick else 120.0
+    link = LinkConfig(bandwidth_mbps=80.0, rtt_ms=60.0,
+                      buffer_packets=4_800_000 / 1500.0)
+    flows = (FlowConfig(cc="aurora", start_s=0.0),
+             FlowConfig(cc="aurora", start_s=start2))
+    return ScenarioConfig(link=link, flows=flows, duration_s=total, seed=seed)
+
+
+def fig1b_scenario(rtt_ms: float = 120.0, theta0: float = 1.0,
+                   quick: bool = False, seed: int = 0) -> ScenarioConfig:
+    """§2: Vivace on 100 Mbps, 1 BDP; 3 flows at 40 s intervals."""
+    interval = 20.0 if quick else 40.0
+    flow_len = 60.0 if quick else 120.0
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=rtt_ms, buffer_bdp=1.0)
+    flows = staggered_flows(3, cc="vivace", interval_s=interval,
+                            duration_s=flow_len, theta0=theta0)
+    return ScenarioConfig(link=link, flows=flows,
+                          duration_s=interval * 2 + flow_len, seed=seed)
+
+
+def fig8_scenario(cc: str, quick: bool = False, seed: int = 0,
+                  ) -> ScenarioConfig:
+    """§5.1.2: five long flows, base RTTs evenly spaced 40-200 ms."""
+    duration = 40.0 if quick else 120.0
+    # The paper sizes the 1 BDP buffer with the 200 ms RTT.
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=40.0,
+                      buffer_packets=bdp_packets(100.0, 0.200))
+    flows = heterogeneous_rtt_flows(5, cc, (40.0, 200.0), link_rtt_ms=40.0)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
+def fig9_scenario(cc: str, bandwidth_mbps: float, rtt_ms: float, n_flows: int,
+                  quick: bool = False, seed: int = 0) -> ScenarioConfig:
+    """§5.1.3: fairness grid over bandwidth x RTT with 2-8 staggered flows."""
+    interval = 8.0 if quick else 20.0
+    flow_len = interval * (n_flows + 1)
+    link = LinkConfig(bandwidth_mbps=bandwidth_mbps, rtt_ms=rtt_ms,
+                      buffer_bdp=1.0)
+    flows = staggered_flows(n_flows, cc=cc, interval_s=interval,
+                            duration_s=flow_len)
+    return ScenarioConfig(link=link, flows=flows,
+                          duration_s=interval * (n_flows - 1) + flow_len,
+                          seed=seed)
+
+
+def fig10_scenario(cc: str, n_flows: int, quick: bool = False,
+                   seed: int = 0) -> ScenarioConfig:
+    """§5.1.3: many competing flows on 600 Mbps / 20 ms."""
+    duration = 20.0 if quick else 60.0
+    link = LinkConfig(bandwidth_mbps=600.0, rtt_ms=20.0, buffer_bdp=1.0)
+    flows = staggered_flows(n_flows, cc=cc, interval_s=0.0, duration_s=None)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
+def fig11_topology(cc: str, n_fs1: int, quick: bool = False,
+                   seed: int = 0) -> TopologyConfig:
+    """§5.1.4: the two-bottleneck parking lot (Link1 100, Link2 20 Mbps).
+
+    Returns a :class:`TopologyConfig`, not a :class:`ScenarioConfig`, so
+    it lives outside the (single-bottleneck) scenario registry.
+    """
+    return parking_lot(n_fs1=n_fs1, n_fs2=2, cc=cc,
+                       duration_s=20.0 if quick else 40.0, seed=seed)
+
+
+def fig13_scenario(cc: str, quick: bool = False, seed: int = 0,
+                   ) -> ScenarioConfig:
+    """§5.2: LTE-like cellular link, 40 ms RTT, deep buffer."""
+    duration = 30.0 if quick else 60.0
+    link = LinkConfig(bandwidth_mbps=12.0, rtt_ms=40.0, buffer_packets=2000)
+    flows = (FlowConfig(cc=cc, start_s=0.0),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          trace="lte", trace_kwargs={"seed": seed},
+                          seed=seed)
+
+
+def fig14_scenario(cc: str, n_cubic: int, quick: bool = False,
+                   seed: int = 0, **cc_kwargs) -> ScenarioConfig:
+    """§5.3.1: one evaluated flow against ``n_cubic`` CUBIC flows."""
+    duration = 30.0 if quick else 60.0
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+    flows = (FlowConfig(cc=cc, start_s=0.0, cc_kwargs=dict(cc_kwargs)),) + \
+        staggered_flows(n_cubic, cc="cubic", interval_s=0.0, duration_s=None)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
+def fig15_scenario(cc: str, kind: str = "intra", quick: bool = False,
+                   seed: int = 0) -> ScenarioConfig:
+    """§5.3.2: synthetic WAN path standing in for the Internet deployment.
+
+    Intra-continental paths are short (35 ms) with mild cross traffic;
+    inter-continental paths long (150 ms) with heavy bursty cross traffic
+    and a little stochastic loss, as on real transoceanic routes.
+    """
+    duration = 30.0 if quick else 60.0
+    if kind == "intra":
+        link = LinkConfig(bandwidth_mbps=900.0, rtt_ms=35.0, buffer_bdp=1.5,
+                          random_loss=0.0001)
+    else:
+        link = LinkConfig(bandwidth_mbps=800.0, rtt_ms=150.0, buffer_bdp=1.5,
+                          random_loss=0.0005)
+    flows = (FlowConfig(cc=cc, start_s=0.0),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          trace="wan",
+                          trace_kwargs={"kind": kind, "seed": seed},
+                          seed=seed, tick_s=0.001)
+
+
+def fig19_scenario(cc: str, buffer_bdp: float, quick: bool = False,
+                   seed: int = 0) -> ScenarioConfig:
+    """App. B.1: 100 Mbps / 30 ms with buffer from 0.1 to 16 BDP."""
+    duration = 20.0 if quick else 60.0
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0,
+                      buffer_bdp=buffer_bdp)
+    flows = (FlowConfig(cc=cc, start_s=0.0),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
+def fig20_scenario(cc: str, quick: bool = False, seed: int = 0,
+                   ) -> ScenarioConfig:
+    """App. B.2: satellite link — 42 Mbps, 800 ms, 1 BDP, 0.74% loss."""
+    duration = 60.0 if quick else 100.0
+    link = LinkConfig(bandwidth_mbps=42.0, rtt_ms=800.0, buffer_bdp=1.0,
+                      random_loss=0.0074)
+    flows = (FlowConfig(cc=cc, start_s=0.0),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed, tick_s=0.005)
+
+
+def fig22_scenario(cc: str, quick: bool = False, seed: int = 0,
+                   ) -> ScenarioConfig:
+    """App. B.4: high-speed WAN — 10 Gbps, 10 ms base RTT."""
+    duration = 10.0 if quick else 30.0
+    link = LinkConfig(bandwidth_mbps=10_000.0, rtt_ms=10.0, buffer_bdp=1.0)
+    flows = (FlowConfig(cc=cc, start_s=0.0),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed, tick_s=0.001)
+
+
+#: Impairment kinds of the robustness family (see :mod:`repro.netsim.faults`).
+ROBUSTNESS_KINDS = ("blackout", "flap", "loss-burst", "delay-spike",
+                    "reorder", "mixed")
+
+
+def robustness_scenario(cc: str, kind: str = "blackout", quick: bool = False,
+                        seed: int = 0) -> ScenarioConfig:
+    """Runtime-resilience family: a mid-run link impairment on the
+    canonical 100 Mbps / 30 ms / 1 BDP bottleneck with two long flows.
+
+    ``kind`` picks one impairment primitive (placed so the run contains a
+    clean warm-up, the fault, and a recovery tail), or ``"mixed"`` for a
+    seed-determined random :meth:`FaultSchedule.sample` schedule.  The
+    schemes' throughput/latency during and after the fault window show
+    how each recovers from conditions the training envelope never
+    contains.
+    """
+    from ..netsim.faults import (
+        BandwidthFlap,
+        Blackout,
+        DelaySpike,
+        FaultSchedule,
+        LossBurst,
+        ReorderWindow,
+    )
+
+    duration = 30.0 if quick else 90.0
+    start = duration * 0.4
+    if kind == "blackout":
+        faults = FaultSchedule((Blackout(start, duration * 0.03),))
+    elif kind == "flap":
+        faults = FaultSchedule((
+            BandwidthFlap(start, duration * 0.2, factor=0.25),))
+    elif kind == "loss-burst":
+        faults = FaultSchedule((
+            LossBurst(start, duration * 0.1, loss_rate=0.05),))
+    elif kind == "delay-spike":
+        faults = FaultSchedule((
+            DelaySpike(start, duration * 0.1, extra_ms=80.0),))
+    elif kind == "reorder":
+        faults = FaultSchedule((
+            ReorderWindow(start, duration * 0.15, rate=0.02),))
+    elif kind == "mixed":
+        faults = FaultSchedule.sample(duration, seed=seed + 1)
+    else:
+        raise ConfigError(
+            f"unknown robustness kind {kind!r}; known: {ROBUSTNESS_KINDS}")
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+    flows = (FlowConfig(cc=cc, start_s=0.0),
+             FlowConfig(cc=cc, start_s=0.0))
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed, faults=faults)
+
+
+# ---------------------------------------------------------------------------
+# Datacenter / asymmetric / adversarial families (beyond the paper).
+# ---------------------------------------------------------------------------
+
+
+def incast_scenario(cc: str, quick: bool = False, seed: int = 0,
+                    n_senders: int = 8, n_elephants: int = 1,
+                    period_s: float | None = None,
+                    burst_s: float | None = None) -> ScenarioConfig:
+    """Many-to-one incast: synchronized waves of short flows vs elephants.
+
+    ``n_elephants`` long flows hold the 200 Mbps / 10 ms / 0.5 BDP
+    bottleneck for the whole run; every ``period_s`` a wave of
+    ``n_senders`` short flows (the "partition-aggregate" response
+    pattern) starts simultaneously and lasts ``burst_s``.  The shallow
+    buffer makes each wave a queue-buildup-and-overflow event — the
+    regime where schemes differ most on both fairness (do the short
+    flows get a share?) and efficiency (does the link stay busy between
+    waves?).
+    """
+    if n_senders < 2:
+        raise ConfigError(f"incast needs >= 2 senders, got {n_senders}")
+    if n_elephants < 1:
+        raise ConfigError(f"incast needs >= 1 elephant, got {n_elephants}")
+    duration = 12.0 if quick else 36.0
+    period = period_s if period_s is not None else 4.0
+    burst = burst_s if burst_s is not None else period * 0.5
+    if period <= 0 or burst <= 0 or burst > period:
+        raise ConfigError(
+            f"incast needs 0 < burst_s <= period_s, got burst={burst}, "
+            f"period={period}")
+    link = LinkConfig(bandwidth_mbps=200.0, rtt_ms=10.0, buffer_bdp=0.5)
+    flows = [FlowConfig(cc=cc, start_s=0.0) for _ in range(n_elephants)]
+    t = period * 0.5
+    while t < duration - 1e-9:
+        flows.extend(
+            FlowConfig(cc=cc, start_s=t,
+                       duration_s=min(burst, duration - t))
+            for _ in range(n_senders))
+        t += period
+    return ScenarioConfig(link=link, flows=tuple(flows), duration_s=duration,
+                          seed=seed, tick_s=0.001)
+
+
+def asymmetric_rtt_scenario(cc: str, quick: bool = False, seed: int = 0,
+                            n_flows: int = 4,
+                            spread: float = 4.0) -> ScenarioConfig:
+    """Same bottleneck, base RTTs evenly spread ``1x..spread x``.
+
+    All flows start together on a 100 Mbps / 20 ms link; per-flow extra
+    propagation delay spreads their base RTTs from 20 ms up to
+    ``20 * spread`` ms (the buffer is one BDP of the *longest* RTT, as
+    in Fig. 8).  Window-based schemes give short-RTT flows a large
+    advantage here; the family quantifies how much of it each scheme
+    claws back.
+    """
+    if n_flows < 2:
+        raise ConfigError(f"asymmetric-rtt needs >= 2 flows, got {n_flows}")
+    if not 1.0 <= spread <= 16.0:
+        raise ConfigError(
+            f"asymmetric-rtt spread must lie in [1, 16], got {spread}")
+    duration = 20.0 if quick else 60.0
+    base_ms = 20.0
+    link = LinkConfig(
+        bandwidth_mbps=100.0, rtt_ms=base_ms,
+        buffer_packets=bdp_packets(100.0, base_ms * spread / 1e3))
+    rtts = np.linspace(base_ms, base_ms * spread, n_flows)
+    flows = tuple(FlowConfig(cc=cc, start_s=0.0,
+                             extra_rtt_ms=float(r - base_ms))
+                  for r in rtts)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
+def background_udp_scenario(cc: str, quick: bool = False, seed: int = 0,
+                            n_flows: int = 2,
+                            udp_fraction: float = 0.3) -> ScenarioConfig:
+    """Unresponsive constant-rate cross traffic on the canonical link.
+
+    ``n_flows`` flows of the evaluated scheme share 100 Mbps / 30 ms /
+    1 BDP with a ``constant-rate`` blaster pinned at ``udp_fraction`` of
+    capacity.  The blaster never backs off, so the controlled flows must
+    model it as non-reacting load: the fair outcome is an even split of
+    the *residual* capacity, and utilization should still approach 1.
+    Fairness metrics exclude the blaster (see
+    :data:`BACKGROUND_SCHEMES`).
+    """
+    if n_flows < 2:
+        raise ConfigError(f"background-udp needs >= 2 flows, got {n_flows}")
+    if not 0.0 < udp_fraction < 1.0:
+        raise ConfigError(
+            f"udp_fraction must lie in (0, 1), got {udp_fraction}")
+    duration = 16.0 if quick else 48.0
+    link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)
+    flows = tuple(FlowConfig(cc=cc, start_s=0.0) for _ in range(n_flows)) + (
+        FlowConfig(cc="constant-rate", start_s=0.0,
+                   cc_kwargs={"rate_mbps": udp_fraction
+                              * link.bandwidth_mbps}),)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Registry entries.  Builders keep their historical signatures; these
+# adapters map them onto the uniform (cc, quick, seed, **params) calling
+# convention.  Families that pin their scheme (fig1a is the Aurora
+# motivation, fig1b the Vivace one) ignore ``cc`` and say so in their
+# description.
+# ---------------------------------------------------------------------------
+
+register_family(
+    "fig6", lambda cc, quick, seed: fig6_scenario(cc, quick=quick, seed=seed),
+    description="§5.1.1 convergence: 3 staggered flows, 100 Mbps / 30 ms",
+    tags=("paper", "convergence"))
+register_family(
+    "fig1a",
+    lambda cc, quick, seed: fig1a_scenario(quick=quick, seed=seed),
+    description="§2 motivation: two Aurora flows (pins cc=aurora)",
+    tags=("paper", "pinned-cc"))
+register_family(
+    "fig1b",
+    lambda cc, quick, seed, rtt_ms, theta0: fig1b_scenario(
+        rtt_ms=rtt_ms, theta0=theta0, quick=quick, seed=seed),
+    description="§2 motivation: three Vivace flows (pins cc=vivace)",
+    params={"rtt_ms": 120.0, "theta0": 1.0}, tags=("paper", "pinned-cc"))
+register_family(
+    "fig8", lambda cc, quick, seed: fig8_scenario(cc, quick=quick, seed=seed),
+    description="§5.1.2 RTT fairness: 5 flows, base RTTs 40-200 ms",
+    tags=("paper", "fairness"))
+register_family(
+    "fig9",
+    lambda cc, quick, seed, bandwidth_mbps, rtt_ms, n_flows: fig9_scenario(
+        cc, bandwidth_mbps, rtt_ms, n_flows, quick=quick, seed=seed),
+    description="§5.1.3 fairness grid cell: staggered flows on bw x RTT",
+    params={"bandwidth_mbps": 100.0, "rtt_ms": 30.0, "n_flows": 4},
+    tags=("paper", "fairness"))
+register_family(
+    "fig10",
+    lambda cc, quick, seed, n_flows: fig10_scenario(
+        cc, n_flows, quick=quick, seed=seed),
+    description="§5.1.3 many flows: n simultaneous flows on 600 Mbps",
+    params={"n_flows": 8}, tags=("paper", "fairness"))
+register_family(
+    "fig13",
+    lambda cc, quick, seed: fig13_scenario(cc, quick=quick, seed=seed),
+    description="§5.2 cellular: LTE capacity trace, deep buffer",
+    tags=("paper", "trace"), packet_ok=False)
+register_family(
+    "fig14",
+    lambda cc, quick, seed, n_cubic: fig14_scenario(
+        cc, n_cubic, quick=quick, seed=seed),
+    description="§5.3.1 TCP friendliness: one flow vs n CUBIC flows",
+    params={"n_cubic": 3}, tags=("paper", "friendliness"))
+register_family(
+    "fig15",
+    lambda cc, quick, seed, kind: fig15_scenario(
+        cc, kind=kind, quick=quick, seed=seed),
+    description="§5.3.2 WAN paths: traced intra/inter-continental routes",
+    params={"kind": "intra"}, tags=("paper", "trace"), packet_ok=False)
+register_family(
+    "fig19",
+    lambda cc, quick, seed, buffer_bdp: fig19_scenario(
+        cc, buffer_bdp, quick=quick, seed=seed),
+    description="App. B.1 buffer sweep: one flow, 0.1-16 BDP buffers",
+    params={"buffer_bdp": 1.0}, tags=("paper",))
+register_family(
+    "fig20",
+    lambda cc, quick, seed: fig20_scenario(cc, quick=quick, seed=seed),
+    description="App. B.2 satellite: 42 Mbps / 800 ms / 0.74% loss",
+    tags=("paper",))
+register_family(
+    "fig22",
+    lambda cc, quick, seed: fig22_scenario(cc, quick=quick, seed=seed),
+    description="App. B.4 high-speed WAN: 10 Gbps / 10 ms",
+    tags=("paper",))
+register_family(
+    "robustness",
+    lambda cc, quick, seed, kind: robustness_scenario(
+        cc, kind=kind, quick=quick, seed=seed),
+    description="mid-run link impairment (blackout/flap/loss-burst/"
+                "delay-spike/reorder/mixed) with two long flows",
+    params={"kind": "blackout"}, tags=("faults",))
+register_family(
+    "incast",
+    lambda cc, quick, seed, n_senders, n_elephants, period_s, burst_s:
+        incast_scenario(cc, quick=quick, seed=seed, n_senders=n_senders,
+                        n_elephants=n_elephants, period_s=period_s,
+                        burst_s=burst_s),
+    description="datacenter many-to-one: waves of synchronized short "
+                "flows vs long elephants on a shallow buffer",
+    params={"n_senders": 8, "n_elephants": 1, "period_s": None,
+            "burst_s": None},
+    tags=("datacenter",))
+register_family(
+    "asymmetric-rtt",
+    lambda cc, quick, seed, n_flows, spread: asymmetric_rtt_scenario(
+        cc, quick=quick, seed=seed, n_flows=n_flows, spread=spread),
+    description="one bottleneck, per-flow base RTTs spread 1x-4x "
+                "(RTT-unfairness stress)",
+    params={"n_flows": 4, "spread": 4.0}, tags=("asymmetric",))
+register_family(
+    "background-udp",
+    lambda cc, quick, seed, n_flows, udp_fraction: background_udp_scenario(
+        cc, quick=quick, seed=seed, n_flows=n_flows,
+        udp_fraction=udp_fraction),
+    description="unresponsive constant-rate cross traffic at a fixed "
+                "fraction of capacity (adversarial non-reacting load)",
+    params={"n_flows": 2, "udp_fraction": 0.3}, tags=("adversarial",))

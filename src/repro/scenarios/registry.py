@@ -1,0 +1,138 @@
+"""Scenario registry: name -> parameterized ScenarioConfig generator.
+
+Every workload family this repository can express — the paper's ``fig*``
+evaluation scenarios, the robustness (fault-injection) family, and the
+datacenter/asymmetric/adversarial families — registers itself here under
+a stable name with metadata, so that schemes x families x faults sweeps
+compose in one place instead of each benchmark hand-rolling its own
+constructors.
+
+The contract of a registered family:
+
+* ``build(name, cc=..., quick=..., seed=..., **params)`` returns a fully
+  validated :class:`~repro.config.ScenarioConfig`.
+* **Seed discipline** — the builder is a pure function of its arguments:
+  the same ``(cc, quick, seed, params)`` always yields an identical
+  config, and the supplied seed is embedded as ``config.seed`` (the
+  registry enforces this after every build).  All randomness therefore
+  lives in the engines, keyed by the scenario seed.
+* ``quick=True`` shrinks time axes only, never the network parameters,
+  so CI subsets stress the same regime the full runs do.
+* Unknown family names and unknown parameter names raise a typed
+  :class:`~repro.errors.ConfigError` listing the known values.
+
+Introspection: :func:`available_families` lists names,
+:func:`get_family` returns the :class:`ScenarioFamily` record, and
+:func:`describe_family` renders a human-readable card (the ``repro
+info`` CLI prints one per family).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from ..config import ScenarioConfig
+from ..errors import ConfigError
+
+_FAMILIES: dict[str, "ScenarioFamily"] = {}
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One registered workload family.
+
+    ``builder`` is called as ``builder(cc=..., quick=..., seed=...,
+    **params)`` and must honour the seed discipline documented in the
+    module docstring.  ``params`` maps every extra tunable the family
+    accepts to its default value; callers may override any subset and
+    nothing else.  ``packet_ok`` marks families the discrete-event
+    packet engine can run (families driving a capacity trace cannot).
+    """
+
+    name: str
+    builder: Callable[..., ScenarioConfig] = field(repr=False)
+    description: str = ""
+    params: Mapping[str, object] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+    packet_ok: bool = True
+
+    def build(self, cc: str = "cubic", quick: bool = False, seed: int = 0,
+              **params) -> ScenarioConfig:
+        """Build one scenario of this family (the registry entry point)."""
+        unknown = sorted(set(params) - set(self.params))
+        if unknown:
+            raise ConfigError(
+                f"unknown parameter(s) {unknown} for scenario family "
+                f"{self.name!r}; known: {sorted(self.params)}")
+        merged = {**self.params, **params}
+        config = self.builder(cc=cc, quick=quick, seed=seed, **merged)
+        if not isinstance(config, ScenarioConfig):
+            raise ConfigError(
+                f"family {self.name!r} built a "
+                f"{type(config).__name__}, not a ScenarioConfig")
+        if config.seed != seed:
+            raise ConfigError(
+                f"family {self.name!r} broke seed discipline: asked for "
+                f"seed {seed}, built seed {config.seed}")
+        return config
+
+    def describe(self) -> str:
+        """A human-readable card: description, parameters, tags."""
+        lines = [f"{self.name}: {self.description}"]
+        if self.params:
+            defaults = ", ".join(f"{k}={v!r}"
+                                 for k, v in sorted(self.params.items()))
+            lines.append(f"  parameters: {defaults}")
+        if self.tags:
+            lines.append(f"  tags: {', '.join(self.tags)}")
+        lines.append(f"  engines: fluid{', packet' if self.packet_ok else ''}")
+        return "\n".join(lines)
+
+
+def register_family(name: str, builder: Callable[..., ScenarioConfig], *,
+                    description: str = "",
+                    params: Mapping[str, object] | None = None,
+                    tags: tuple[str, ...] = (),
+                    packet_ok: bool = True) -> ScenarioFamily:
+    """Register a family under ``name``; duplicate names are rejected."""
+    if name in _FAMILIES:
+        raise ConfigError(f"scenario family {name!r} is already registered")
+    family = ScenarioFamily(name=name, builder=builder,
+                            description=description,
+                            params=dict(params or {}), tags=tuple(tags),
+                            packet_ok=packet_ok)
+    _FAMILIES[name] = family
+    return family
+
+
+def available_families() -> tuple[str, ...]:
+    """Names of every registered family, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look a family up by name; unknown names raise a typed error."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario family {name!r}; known: "
+            f"{list(available_families())}") from None
+
+
+def build_scenario(name: str, cc: str = "cubic", quick: bool = False,
+                   seed: int = 0, **params) -> ScenarioConfig:
+    """Build one scenario of the named family (module-level convenience)."""
+    return get_family(name).build(cc=cc, quick=quick, seed=seed, **params)
+
+
+def describe_family(name: str) -> str:
+    """The human-readable card of one family."""
+    return get_family(name).describe()
+
+
+def describe_families() -> str:
+    """Cards for every registered family, one per line group."""
+    return "\n".join(get_family(name).describe()
+                     for name in available_families())

@@ -89,6 +89,31 @@ class TestSweepPlumbing:
 
     def test_validate_sweep_axes_accepts_known_values(self):
         validate_sweep_axes(ALL_SCHEMES, FAULT_KINDS, ("fluid", "packet"))
+        validate_sweep_axes(ALL_SCHEMES, FAULT_KINDS, ("fluid",),
+                            families=("incast", "robustness"))
+
+    def test_validate_sweep_axes_rejects_unknown_family(self):
+        with pytest.raises(ConfigError,
+                           match=r"unknown scenario families.*incats"):
+            validate_sweep_axes(("cubic",), ("blackout",), ("fluid",),
+                                families=("incast", "incats"))
+
+    def test_run_cell_goes_through_the_registry(self, monkeypatch):
+        # The robustness sweep must build its scenarios through the
+        # scenario registry (one construction path for every sweep),
+        # not a private constructor.
+        import repro.scenarios.registry as registry_mod
+
+        seen = []
+        original = registry_mod.ScenarioFamily.build
+
+        def spying(self, *args, **kwargs):
+            seen.append(self.name)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(registry_mod.ScenarioFamily, "build", spying)
+        run_cell("cubic", "blackout", "fluid", trials=1, quick=True)
+        assert seen == ["robustness"]
 
     def test_all_schemes_matches_registry(self):
         # The sweep's scheme list must not silently drift from the

@@ -210,3 +210,176 @@ class TestReorderConformance:
         pre_p, dur_p, _ = phases(runs["packet"])
         assert mean(dur_p, "delivered_pps") < \
             0.95 * mean(pre_p, "delivered_pps")
+
+
+# ---------------------------------------------------------------------------
+# Multi-flow workload-family conformance (incast, asymmetric-RTT,
+# background-UDP).  Same method as above — fixed-cwnd senders, binned
+# series on both engines — but with several flows, per-flow base RTTs,
+# start/stop windows and pacing caps.  Flow specs are dicts:
+# {cwnd, start, stop, extra_rtt_s, pacing_pps}; start/stop must land on
+# bin edges so both engines see identical activity windows.
+# ---------------------------------------------------------------------------
+
+#: Shared bottleneck of the multi-flow tests (capacity ~1666.7 pkt/s).
+MF_LINK = LinkConfig(bandwidth_mbps=20.0, rtt_ms=30.0, buffer_bdp=2.0)
+MF_CAPACITY_PPS = 20e6 / (1500 * 8)
+
+
+def fluid_multi(link, specs, seconds=SECONDS):
+    from repro.netsim import FluidNetwork as _Fluid
+
+    net = _Fluid(link)
+    fids = [None] * len(specs)
+    stopped = [False] * len(specs)
+    records = [[] for _ in specs]
+    per_bin = int(round(BIN_S / TICK_S))
+    for b in range(int(round(seconds / BIN_S))):
+        t0 = b * BIN_S
+        for i, s in enumerate(specs):
+            stop = s.get("stop", seconds)
+            if fids[i] is not None and not stopped[i] and stop <= t0 + 1e-9:
+                net.remove_flow(fids[i])
+                stopped[i] = True
+            if fids[i] is None and s.get("start", 0.0) <= t0 + 1e-9:
+                fids[i] = net.add_flow(
+                    base_rtt_s=link.rtt_ms / 1e3 + s.get("extra_rtt_s", 0.0),
+                    cwnd_pkts=s["cwnd"], pacing_pps=s.get("pacing_pps"))
+        for _ in range(per_bin):
+            net.advance(TICK_S)
+        for i, s in enumerate(specs):
+            if fids[i] is None or stopped[i]:
+                continue
+            stats = net.monitor(fids[i]).collect(
+                net.now, s["cwnd"], 0.0, net.pkts_in_flight(fids[i]))
+            records[i].append({"t": net.now,
+                               "delivered_pps": stats.throughput_pps,
+                               "rtt_s": stats.avg_rtt_s,
+                               "lost": stats.lost_pkts,
+                               "sent": stats.sent_pkts})
+    return records
+
+
+def packet_multi(link, specs, seconds=SECONDS, seed=0):
+    records = [[] for _ in specs]
+    net = PacketNetwork(link, seed=seed, mtp_s=BIN_S)
+    for i, s in enumerate(specs):
+        def on_mtp(stats, i=i):
+            records[i].append({"t": stats["time_s"],
+                               "delivered_pps": stats["throughput_pps"],
+                               "rtt_s": stats["avg_rtt_s"],
+                               "lost": stats["lost_pkts"],
+                               "sent": stats["sent_pkts"]})
+            return None  # fixed cwnd
+        net.add_flow(
+            base_rtt_s=link.rtt_ms / 1e3 + s.get("extra_rtt_s", 0.0),
+            cwnd=s["cwnd"], pacing_pps=s.get("pacing_pps"), on_mtp=on_mtp,
+            start_s=s.get("start", 0.0), stop_s=s.get("stop", float("inf")))
+    net.run(seconds)
+    return records
+
+
+def both_multi(link, specs):
+    return {"fluid": fluid_multi(link, specs),
+            "packet": packet_multi(link, specs)}
+
+
+def steady(records):
+    """Bins after a 2 s warmup, for always-on flows."""
+    return select(records, 2.0, SECONDS)
+
+
+class TestIncastConformance:
+    """One elephant vs a synchronized 4-flow burst in [4 s, 6 s).
+
+    Combined demand during the burst (80 + 4 x 25 = 180 pkts) exceeds
+    pipe + buffer (50 + 100), so the burst must fill the queue: the
+    elephant's RTT inflates toward base + buffer/capacity (~+60 ms) and
+    its delivery drops toward its cwnd share, on *both* engines.
+    """
+
+    SPECS = [{"cwnd": 80.0}] + [
+        {"cwnd": 25.0, "start": FAULT[0], "stop": FAULT[1]}
+        for _ in range(4)]
+
+    def test_queue_buildup_and_recovery(self):
+        runs = both_multi(MF_LINK, self.SPECS)
+        bumps, shares = {}, {}
+        for engine, records in runs.items():
+            pre, during, post = phases(records[0])
+            base = mean(pre, "delivered_pps")
+            assert base > 0.8 * MF_CAPACITY_PPS, engine
+            bumps[engine] = mean(during, "rtt_s") - mean(pre, "rtt_s")
+            shares[engine] = mean(during, "delivered_pps") / base
+            # Queue buildup: at least 20 ms of extra queueing delay.
+            assert bumps[engine] > 0.020, engine
+            # The elephant yields capacity to the burst, then recovers.
+            assert shares[engine] < 0.8, engine
+            assert mean(post, "delivered_pps") > 0.8 * base, engine
+        assert bumps["fluid"] == pytest.approx(bumps["packet"], abs=0.025)
+        assert shares["fluid"] == pytest.approx(shares["packet"], abs=0.15)
+
+    def test_link_stays_saturated_through_burst(self):
+        runs = both_multi(MF_LINK, self.SPECS)
+        for engine, records in runs.items():
+            total = sum(
+                mean(select(r, FAULT[0] + MARGIN, FAULT[1]), "delivered_pps")
+                for r in records)
+            assert total == pytest.approx(MF_CAPACITY_PPS, rel=0.15), engine
+
+
+class TestAsymmetricRttConformance:
+    """Equal windows at base RTTs 30/90/150 ms on one bottleneck.
+
+    Fixed-cwnd throughput is cwnd/RTT, so both engines must rank the
+    flows by RTT — the raw-engine root of the RTT-unfairness the
+    asymmetric-rtt family measures on full controllers.
+    """
+
+    SPECS = [{"cwnd": 40.0},
+             {"cwnd": 40.0, "extra_rtt_s": 0.060},
+             {"cwnd": 40.0, "extra_rtt_s": 0.120}]
+
+    def test_throughput_ordering_matches(self):
+        runs = both_multi(MF_LINK, self.SPECS)
+        thr = {}
+        for engine, records in runs.items():
+            thr[engine] = [mean(steady(r), "delivered_pps") for r in records]
+            # Strict ordering with a real gap, not a tie within noise.
+            assert thr[engine][0] > 1.5 * thr[engine][1], engine
+            assert thr[engine][1] > 1.2 * thr[engine][2], engine
+        for i in range(len(self.SPECS)):
+            assert thr["fluid"][i] == pytest.approx(thr["packet"][i],
+                                                    rel=0.20), i
+
+    def test_aggregate_saturates_link(self):
+        runs = both_multi(MF_LINK, self.SPECS)
+        for engine, records in runs.items():
+            total = sum(mean(steady(r), "delivered_pps") for r in records)
+            assert total == pytest.approx(MF_CAPACITY_PPS, rel=0.10), engine
+
+
+class TestBackgroundUdpConformance:
+    """A cwnd-limited flow vs an unresponsive 500 pkt/s paced blaster.
+
+    The blaster never backs off (pacing cap, window never binding), so
+    both engines must deliver it its full rate and leave the foreground
+    flow exactly the residual capacity, with the link still saturated.
+    """
+
+    UDP_PPS = 500.0
+    SPECS = [{"cwnd": 80.0},
+             {"cwnd": 200.0, "pacing_pps": UDP_PPS}]
+
+    def test_residual_capacity_split(self):
+        runs = both_multi(MF_LINK, self.SPECS)
+        fg = {}
+        for engine, records in runs.items():
+            fg[engine] = mean(steady(records[0]), "delivered_pps")
+            udp = mean(steady(records[1]), "delivered_pps")
+            # The blaster gets its configured rate...
+            assert udp == pytest.approx(self.UDP_PPS, rel=0.10), engine
+            # ...and the foreground flow the residual capacity.
+            assert fg[engine] == pytest.approx(
+                MF_CAPACITY_PPS - self.UDP_PPS, rel=0.10), engine
+        assert fg["fluid"] == pytest.approx(fg["packet"], rel=0.10)

@@ -77,6 +77,56 @@ class TestCallbacks:
         assert measured == pytest.approx(20.0 / 0.030, rel=0.10)
 
 
+class TestStartStopWindows:
+    def test_flow_sends_only_inside_its_window(self):
+        link = small_link(buffer_bdp=4.0)
+        net = PacketNetwork(link, seed=0)
+        f = net.add_flow(base_rtt_s=0.030, cwnd=10.0, start_s=2.0,
+                         stop_s=4.0)
+        net.run(6.0)
+        stats = net.stats(f)
+        # ~2 s of window-limited sending, nothing before or after.
+        assert stats.delivered == pytest.approx(2.0 * 10.0 / 0.030,
+                                                rel=0.10)
+
+    def test_windows_observed_via_mtp_timestamps(self):
+        link = small_link(buffer_bdp=4.0)
+        net = PacketNetwork(link, seed=0, mtp_s=0.25)
+        windows = []
+
+        def on_mtp(stats):
+            if stats["throughput_pps"] > 0:
+                windows.append(stats["time_s"])
+            return None
+
+        net.add_flow(base_rtt_s=0.030, cwnd=10.0, on_mtp=on_mtp,
+                     start_s=2.0, stop_s=4.0)
+        net.run(6.0)
+        assert windows, "flow never delivered"
+        # First delivering window ends just after start; none after stop.
+        assert min(windows) == pytest.approx(2.25, abs=0.26)
+        assert max(windows) <= 4.0 + 1e-9
+
+    def test_late_starter_takes_capacity_from_incumbent(self):
+        link = small_link(buffer_bdp=2.0)
+        cap = mbps_to_pps(12.0)
+        net = PacketNetwork(link, seed=0)
+        a = net.add_flow(base_rtt_s=0.030, cwnd=200.0)
+        b = net.add_flow(base_rtt_s=0.030, cwnd=200.0, start_s=5.0)
+        net.run(10.0)
+        # Flow a had the link alone for 5 s, then shared it for 5 s.
+        assert net.stats(a).delivered / 10.0 == pytest.approx(0.75 * cap,
+                                                              rel=0.10)
+        assert net.stats(b).delivered / 10.0 == pytest.approx(0.25 * cap,
+                                                              rel=0.15)
+
+    def test_default_window_is_whole_run(self):
+        net = PacketNetwork(small_link(), seed=0)
+        f = net.add_flow(base_rtt_s=0.030, cwnd=10.0)
+        net.run(3.0)
+        assert net.stats(f).delivered > 0
+
+
 class TestValidation:
     def test_rejects_bad_rtt(self):
         net = PacketNetwork(small_link())
@@ -88,3 +138,13 @@ class TestValidation:
         net.add_flow(base_rtt_s=0.03)
         with pytest.raises(SimulationError):
             net.run(0.0)
+
+    def test_rejects_negative_start(self):
+        net = PacketNetwork(small_link())
+        with pytest.raises(SimulationError):
+            net.add_flow(base_rtt_s=0.03, start_s=-1.0)
+
+    def test_rejects_stop_before_start(self):
+        net = PacketNetwork(small_link())
+        with pytest.raises(SimulationError):
+            net.add_flow(base_rtt_s=0.03, start_s=2.0, stop_s=2.0)

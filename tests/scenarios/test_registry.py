@@ -1,0 +1,167 @@
+"""Scenario registry: introspection, typed errors, and the builder
+contract (determinism under a fixed seed, valid configs) as hypothesis
+properties over every registered family."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ScenarioConfig
+from repro.errors import ConfigError
+from repro.scenarios import (
+    available_families,
+    build_scenario,
+    describe_families,
+    describe_family,
+    get_family,
+    register_family,
+)
+from repro.scenarios.registry import ScenarioFamily
+
+#: Families whose default parameters every property below must hold for.
+FAMILIES = available_families()
+
+#: Schemes cheap to name in configs (builders never instantiate them).
+SCHEMES = ("cubic", "bbr", "astraea", "vegas")
+
+family_names = st.sampled_from(FAMILIES)
+schemes = st.sampled_from(SCHEMES)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestIntrospection:
+    def test_catalog_contains_all_expected_families(self):
+        expected = {"fig6", "fig8", "fig9", "fig10", "fig13", "fig14",
+                    "fig15", "fig19", "fig20", "fig22", "fig1a", "fig1b",
+                    "robustness", "incast", "asymmetric-rtt",
+                    "background-udp"}
+        assert expected <= set(FAMILIES)
+
+    def test_available_families_is_sorted(self):
+        assert list(FAMILIES) == sorted(FAMILIES)
+
+    def test_describe_family_renders_a_card(self):
+        card = describe_family("incast")
+        assert card.startswith("incast:")
+        assert "n_senders" in card and "tags" in card and "engines" in card
+
+    def test_describe_families_covers_every_name(self):
+        text = describe_families()
+        for name in FAMILIES:
+            assert f"{name}:" in text
+
+    def test_traced_families_are_marked_fluid_only(self):
+        for name in ("fig13", "fig15"):
+            family = get_family(name)
+            assert not family.packet_ok
+            assert "packet" not in family.describe().splitlines()[-1]
+        assert get_family("incast").packet_ok
+
+
+class TestTypedErrors:
+    def test_unknown_family_raises_config_error_listing_known(self):
+        with pytest.raises(ConfigError) as exc:
+            build_scenario("no-such-family")
+        message = str(exc.value)
+        assert "no-such-family" in message
+        for name in FAMILIES:
+            assert name in message
+
+    def test_get_family_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown scenario family"):
+            get_family("incats")
+
+    def test_unknown_parameter_raises_config_error_listing_known(self):
+        with pytest.raises(ConfigError) as exc:
+            build_scenario("incast", n_sneders=4)
+        message = str(exc.value)
+        assert "n_sneders" in message and "n_senders" in message
+
+    def test_parameterless_family_rejects_any_parameter(self):
+        with pytest.raises(ConfigError, match="unknown parameter"):
+            build_scenario("fig6", n_flows=5)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_family(
+                "incast", lambda cc, quick, seed: None)
+
+    def test_seed_discipline_enforced_post_build(self):
+        broken = ScenarioFamily(
+            name="broken",
+            builder=lambda cc, quick, seed: build_scenario(
+                "fig6", cc=cc, quick=quick, seed=seed + 1))
+        with pytest.raises(ConfigError, match="seed discipline"):
+            broken.build(seed=3)
+
+    def test_non_scenario_result_rejected(self):
+        bad = ScenarioFamily(name="bad",
+                             builder=lambda cc, quick, seed: {"not": "one"})
+        with pytest.raises(ConfigError, match="not a ScenarioConfig"):
+            bad.build()
+
+
+class TestBuilderContract:
+    @settings(max_examples=40, deadline=None)
+    @given(name=family_names, cc=schemes, seed=seeds,
+           quick=st.booleans())
+    def test_deterministic_under_fixed_seed(self, name, cc, seed, quick):
+        # ScenarioConfig and everything it nests are frozen dataclasses,
+        # so equality is deep structural equality.
+        a = build_scenario(name, cc=cc, quick=quick, seed=seed)
+        b = build_scenario(name, cc=cc, quick=quick, seed=seed)
+        assert a == b
+
+    @settings(max_examples=40, deadline=None)
+    @given(name=family_names, cc=schemes, seed=seeds,
+           quick=st.booleans())
+    def test_builds_valid_scenario(self, name, cc, seed, quick):
+        config = build_scenario(name, cc=cc, quick=quick, seed=seed)
+        assert isinstance(config, ScenarioConfig)
+        assert config.seed == seed
+        assert math.isfinite(config.duration_s) and config.duration_s > 0
+        assert config.tick_s <= config.mtp_s
+        assert len(config.flows) >= 1
+        for flow in config.flows:
+            assert 0.0 <= flow.start_s < config.duration_s
+            assert flow.end_s() > flow.start_s
+
+    @settings(max_examples=20, deadline=None)
+    @given(name=family_names, seed=seeds)
+    def test_quick_shrinks_time_axis_only(self, name, seed):
+        quick = build_scenario(name, quick=True, seed=seed)
+        full = build_scenario(name, quick=False, seed=seed)
+        assert quick.duration_s <= full.duration_s
+        assert quick.link == full.link
+
+    def test_cc_reaches_the_flows(self):
+        for name in ("incast", "asymmetric-rtt", "background-udp",
+                     "fig6", "robustness"):
+            config = build_scenario(name, cc="vegas", quick=True)
+            assert any(f.cc == "vegas" for f in config.flows), name
+
+    def test_param_overrides_reach_the_builder(self):
+        base = build_scenario("incast", quick=True)
+        more = build_scenario("incast", quick=True, n_senders=12)
+        assert len(more.flows) > len(base.flows)
+        spread = build_scenario("asymmetric-rtt", quick=True, spread=8.0)
+        assert max(f.extra_rtt_ms for f in spread.flows) == \
+            pytest.approx(20.0 * 7.0)
+        udp = build_scenario("background-udp", quick=True, udp_fraction=0.5)
+        assert udp.flows[-1].cc_kwargs["rate_mbps"] == pytest.approx(50.0)
+
+    def test_invalid_family_params_raise_config_error(self):
+        with pytest.raises(ConfigError):
+            build_scenario("incast", n_senders=1)
+        with pytest.raises(ConfigError):
+            build_scenario("incast", period_s=2.0, burst_s=3.0)
+        with pytest.raises(ConfigError):
+            build_scenario("asymmetric-rtt", spread=99.0)
+        with pytest.raises(ConfigError):
+            build_scenario("background-udp", udp_fraction=1.5)
+        with pytest.raises(ConfigError):
+            build_scenario("robustness", kind="earthquake")
