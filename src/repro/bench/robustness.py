@@ -137,12 +137,16 @@ def aggregate_reports(scheme: str, kind: str, engine: str,
 
 def run_cell(scheme: str, kind: str, engine: str, trials: int = 2,
              quick: bool = True, threshold: float = 0.9,
-             seeds=None) -> RecoveryCell:
+             seeds=None, policy: str | None = None) -> RecoveryCell:
     """Run one (scheme, fault kind, engine) cell across its seeds.
 
     ``seeds`` defaults to ``range(trials)``; passing it explicitly lets
     a task payload carry its own seeds (the parallel-layer contract).
-    The returned cell records the wall-clock it took (``elapsed_s``).
+    ``policy`` overrides the model bundle of every flow running
+    ``scheme`` (learned schemes only) — how a candidate bundle, e.g. a
+    fault-hardened retrain, is diffed against the shipped one on the
+    identical fault grid.  The returned cell records the wall-clock it
+    took (``elapsed_s``).
     """
     start = time.perf_counter()
     if seeds is None:
@@ -151,6 +155,12 @@ def run_cell(scheme: str, kind: str, engine: str, trials: int = 2,
     for seed in seeds:
         scenario = build_scenario("robustness", cc=scheme, kind=kind,
                                   quick=quick, seed=seed)
+        if policy is not None:
+            flows = tuple(
+                dc_replace(f, cc_kwargs={**f.cc_kwargs, "policy": policy})
+                if f.cc == scheme else f
+                for f in scenario.flows)
+            scenario = dc_replace(scenario, flows=flows)
         result = run_engine_scenario(scenario, engine)
         reports.append(recovery_report(result, scenario.faults,
                                        threshold=threshold))
@@ -162,7 +172,8 @@ def _run_cell_task(task: dict) -> RecoveryCell:
     """Module-level worker for :func:`parallel_map` (spawn-picklable)."""
     return run_cell(task["scheme"], task["kind"], task["engine"],
                     trials=len(task["seeds"]), quick=task["quick"],
-                    threshold=task["threshold"], seeds=task["seeds"])
+                    threshold=task["threshold"], seeds=task["seeds"],
+                    policy=task.get("policy"))
 
 
 def _describe_cell_task(task: dict) -> str:
@@ -205,22 +216,25 @@ def validate_sweep_axes(schemes, kinds, engines, families=()) -> None:
 def run_robustness_sweep(schemes=ALL_SCHEMES, kinds=FAULT_KINDS,
                          engines=ENGINES, trials: int = 2,
                          quick: bool = True, threshold: float = 0.9,
-                         progress=None, workers: int | None = None) -> dict:
+                         progress=None, workers: int | None = None,
+                         policy: str | None = None) -> dict:
     """The full sweep: every scheme x fault kind x engine.
 
     Returns a JSON-serialisable payload with one entry per cell.
     ``progress`` is an optional callback ``(done, total, cell)`` invoked
     as cells complete (the CLI uses it for stderr progress lines); with
     ``workers > 1`` it fires in completion order with a monotone done
-    count.  The payload is identical for any worker count except for
-    the timing fields (``elapsed_s``, ``workers``) — asserted by test.
+    count.  ``policy`` substitutes a model bundle path into every
+    matching-scheme flow (see :func:`run_cell`).  The payload is
+    identical for any worker count except for the timing fields
+    (``elapsed_s``, ``workers``) — asserted by test.
     """
     validate_sweep_axes(schemes, kinds, engines)
     start = time.perf_counter()
     n_workers = resolve_workers(workers)
     tasks = [
         {"scheme": s, "kind": k, "engine": e, "seeds": list(range(trials)),
-         "quick": quick, "threshold": threshold}
+         "quick": quick, "threshold": threshold, "policy": policy}
         for e in engines for s in schemes for k in kinds
     ]
     cells = parallel_map(
@@ -236,6 +250,7 @@ def run_robustness_sweep(schemes=ALL_SCHEMES, kinds=FAULT_KINDS,
         "trials": trials,
         "quick": quick,
         "threshold": threshold,
+        "policy": policy,
         "workers": n_workers,
         "elapsed_s": time.perf_counter() - start,
         "cells": [c.as_dict() for c in cells],

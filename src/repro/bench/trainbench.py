@@ -1,0 +1,243 @@
+"""Training-rollout benchmark: batched RL hot loop vs per-flow reference.
+
+``repro bench train`` measures the training fast path end to end —
+scenario driver, observer, action selection and replay writes — in three
+modes over the same warm-learner episodes:
+
+* **serial**: the honest per-flow reference (one
+  :meth:`~repro.core.learner.Learner.act` call per flow, the shared
+  reward recomputed per callback);
+* **batched**: one stacked forward per controller pass, the shared
+  reward computed once per pass, transitions buffered for block replay
+  writes;
+* **batched+workers**: a frozen-policy :class:`~repro.env.pool.
+  EnvironmentPool` stride shipping whole episodes through the process
+  pool.
+
+It also replays one pinned episode — cross traffic, update bursts,
+exploration — through both the serial and batched legs and embeds the
+bitwise verdict (replay contents, cursor, actor parameters, rewards), so
+the artifact itself witnesses the equivalence contract the speedup rests
+on.  The result persists as ``benchmarks/results/BENCH_train.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..config import (
+    FlowConfig,
+    LinkConfig,
+    ScenarioConfig,
+    TrainingConfig,
+    replace,
+)
+from ..core.learner import Learner
+from ..env.episode import run_training_episode
+from ..env.pool import EnvironmentPool
+
+BENCH_ID = "BENCH_train"
+
+NOISE_STD = 0.15
+
+#: The equivalence contract is bitwise — zero tolerance.
+EQUIVALENCE_TOL = 0.0
+
+_REPLAY_ARRAYS = ("_local", "_global", "_action", "_reward",
+                  "_next_local", "_next_global", "_done")
+
+
+def _timing_config() -> TrainingConfig:
+    """Paper-sized networks, warm fast, updates parked out of the way.
+
+    The update burst runs identical code in every mode; pushing the
+    interval beyond any episode keeps the measurement on the rollout
+    loop itself (act, observe, reward, replay) that this PR batches.
+    """
+    return replace(TrainingConfig(), warmup_transitions=256,
+                   update_interval_s=1e9, seed=7)
+
+
+def _equivalence_config() -> TrainingConfig:
+    """Small nets, low warmup, frequent bursts: every code path exercised."""
+    return replace(TrainingConfig(), hidden_layers=(32, 32),
+                   warmup_transitions=128, batch_size=32,
+                   update_interval_s=2.0, update_steps=4, seed=7)
+
+
+def _train_scenario(n_flows: int, duration_s: float,
+                    cross_traffic: bool = False,
+                    seed: int = 17) -> ScenarioConfig:
+    flows = [FlowConfig(cc="astraea", start_s=0.0, duration_s=duration_s)
+             for _ in range(n_flows)]
+    if cross_traffic:
+        flows.append(FlowConfig(cc="cubic", start_s=1.0,
+                                duration_s=duration_s - 1.0))
+    return ScenarioConfig(
+        link=LinkConfig(bandwidth_mbps=96.0, rtt_ms=30.0, buffer_bdp=1.5),
+        flows=tuple(flows),
+        duration_s=duration_s,
+        seed=seed,
+    )
+
+
+def _initial_cwnds(n_flows: int) -> list[float]:
+    return [16.0 + 2.0 * i for i in range(n_flows)]
+
+
+def _warm_learner(cfg: TrainingConfig) -> Learner:
+    """A learner whose replay is already past warmup.
+
+    Seeded synthetic transitions flow in through
+    :meth:`~repro.rl.replay.ReplayBuffer.add_batch`; they only matter
+    for the warm flag (and, in the equivalence episode, as identical
+    update-batch material), so the measured episodes exercise the policy
+    act path from the first pass.
+    """
+    learner = Learner(cfg)
+    rng = np.random.default_rng(123)
+    n = max(cfg.warmup_transitions, cfg.batch_size) + cfg.batch_size
+    learner.replay.add_batch(
+        rng.normal(size=(n, learner.local_dim)),
+        rng.normal(size=(n, learner.global_dim)),
+        rng.normal(size=(n, 1)),
+        rng.normal(size=n),
+        rng.normal(size=(n, learner.local_dim)),
+        rng.normal(size=(n, learner.global_dim)),
+        np.zeros(n))
+    return learner
+
+
+def measure_rollouts(n_flows: int, duration_s: float, episodes: int,
+                     workers: int = 2, progress=None) -> dict:
+    """Episodes/s and steps/s of the three rollout modes.
+
+    Every mode runs the same ``episodes`` warm-learner episodes over the
+    same scenario; ``steps`` counts harvested transitions.  The pooled
+    mode pays the process-spawn cost inside its measurement — that is
+    the cost a real ``parallel_envs`` stride pays.
+    """
+
+    def report(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    cfg = _timing_config()
+    scenario = _train_scenario(n_flows, duration_s)
+    cwnds = _initial_cwnds(n_flows)
+    out = {}
+    for mode, batched in (("serial", False), ("batched", True)):
+        report(f"{mode}: {episodes} episode(s) at {n_flows} flows...")
+        learner = _warm_learner(cfg)
+        steps = 0
+        start = time.perf_counter()
+        for episode in range(episodes):
+            stats = run_training_episode(
+                learner, scenario, noise_std=NOISE_STD,
+                initial_cwnds=cwnds, episode=episode, batched=batched)
+            steps += stats.transitions
+        elapsed = time.perf_counter() - start
+        out[mode] = {
+            "elapsed_s": elapsed,
+            "episodes_per_s": episodes / elapsed if elapsed > 0 else None,
+            "steps_per_s": steps / elapsed if elapsed > 0 else None,
+            "steps": steps,
+        }
+    report(f"batched+workers: {episodes} episode(s) on {workers} "
+           f"worker(s)...")
+    learner = _warm_learner(cfg)
+    pool = EnvironmentPool(
+        learner, [scenario] * episodes, noise_std=NOISE_STD,
+        initial_cwnds=[cwnds] * episodes,
+        episodes=list(range(episodes)), workers=workers)
+    start = time.perf_counter()
+    stats = pool.run()
+    elapsed = time.perf_counter() - start
+    out["batched_workers"] = {
+        "elapsed_s": elapsed,
+        "episodes_per_s": episodes / elapsed if elapsed > 0 else None,
+        "steps_per_s": stats.transitions / elapsed if elapsed > 0 else None,
+        "steps": stats.transitions,
+        "workers": workers,
+    }
+    serial = out["serial"]["steps_per_s"]
+    batched = out["batched"]["steps_per_s"]
+    out["speedup_steps"] = batched / serial if serial and batched else None
+    return out
+
+
+def check_equivalence() -> dict:
+    """Replay the pinned episode serially and batched; compare bitwise.
+
+    The pinned episode covers the full path: cross traffic, epsilon and
+    Gaussian exploration, warmup-crossing replay writes and real update
+    bursts.  Compared: transition count, reward sum, update bursts, the
+    entire replay memory (contents and cursor) and every actor
+    parameter.  ``max_delta`` is the worst absolute difference across
+    replay and actor arrays — the contract is exact, so any non-zero
+    delta fails.
+    """
+    scenario = _train_scenario(4, 8.0, cross_traffic=True, seed=5)
+    cwnds = _initial_cwnds(5)
+
+    def leg(batched: bool):
+        learner = _warm_learner(_equivalence_config())
+        stats = run_training_episode(
+            learner, scenario, noise_std=NOISE_STD, initial_cwnds=cwnds,
+            episode=3, batched=batched)
+        return learner, stats
+
+    ref_learner, ref_stats = leg(False)
+    fast_learner, fast_stats = leg(True)
+    counts_match = (
+        ref_stats.transitions == fast_stats.transitions
+        and ref_stats.update_bursts == fast_stats.update_bursts
+        and len(ref_learner.replay) == len(fast_learner.replay)
+        and ref_learner.replay._cursor == fast_learner.replay._cursor
+    )
+    max_delta = abs(ref_stats.reward_sum - fast_stats.reward_sum)
+    for name in _REPLAY_ARRAYS:
+        a = getattr(ref_learner.replay, name)
+        b = getattr(fast_learner.replay, name)
+        max_delta = max(max_delta, float(np.max(np.abs(a - b))))
+    for pa, pb in zip(ref_learner.td3.actor.get_state(),
+                      fast_learner.td3.actor.get_state()):
+        max_delta = max(max_delta, float(np.max(np.abs(pa - pb))))
+    return {
+        "passed": bool(counts_match and max_delta <= EQUIVALENCE_TOL),
+        "max_delta": max_delta,
+        "rows": ref_stats.transitions,
+        "update_bursts": ref_stats.update_bursts,
+        "tolerance": EQUIVALENCE_TOL,
+    }
+
+
+def run_train_benchmark(n_flows: int = 8, duration_s: float = 10.0,
+                        episodes: int = 3, workers: int = 2,
+                        progress=None) -> dict:
+    """Full benchmark: three rollout modes plus the equivalence verdict.
+
+    Returns the ``BENCH_train`` payload; ``progress`` (if given) is
+    called with one status line per stage.
+    """
+
+    def report(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    modes = measure_rollouts(n_flows, duration_s, episodes,
+                             workers=workers, progress=progress)
+    report("serial-vs-batched equivalence check...")
+    equivalence = check_equivalence()
+    return {
+        "bench": BENCH_ID,
+        "n_flows": n_flows,
+        "duration_s": duration_s,
+        "episodes": episodes,
+        "workers": workers,
+        "modes": {k: v for k, v in modes.items() if k != "speedup_steps"},
+        "speedup_steps": modes["speedup_steps"],
+        "equivalence": equivalence,
+    }

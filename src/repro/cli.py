@@ -362,7 +362,7 @@ def _cmd_bench_robustness(args: argparse.Namespace) -> int:
         payload = run_robustness_sweep(
             schemes=schemes, kinds=kinds, engines=engines, trials=trials,
             quick=not args.full, threshold=args.threshold,
-            progress=progress, workers=args.workers)
+            progress=progress, workers=args.workers, policy=args.policy)
     except ReproError as exc:
         print(f"robustness sweep failed: {exc}", file=sys.stderr)
         return 1
@@ -559,6 +559,68 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
           f"(speedup {ep['speedup']:.2f}x)")
     print(f"equivalence: passed={eq['passed']} "
           f"max_delta={eq['max_delta']:.3g} over {eq['rows']} rows")
+    print(f"JSON artifact: {path}", file=sys.stderr)
+    return 0 if eq["passed"] else 1
+
+
+def _cmd_bench_train(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import reporting
+    from .bench.trainbench import (
+        BENCH_ID,
+        check_equivalence,
+        run_train_benchmark,
+    )
+    from .errors import ReproError
+
+    if args.check_only:
+        verdict = check_equivalence()
+        if verdict["passed"]:
+            print(f"batched rollout equals the per-flow reference on the "
+                  f"pinned episode ({verdict['rows']} transitions, "
+                  f"{verdict['update_bursts']} update bursts, max delta "
+                  f"{verdict['max_delta']:g} <= {verdict['tolerance']:g})")
+            return 0
+        print(f"TRAIN-PATH DIVERGENCE: {verdict}", file=sys.stderr)
+        return 1
+
+    if args.small:
+        duration_s, episodes = 3.0, 2
+    else:
+        duration_s, episodes = args.duration, args.episodes
+
+    try:
+        payload = run_train_benchmark(
+            n_flows=args.flows, duration_s=duration_s, episodes=episodes,
+            workers=args.workers,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    except ReproError as exc:
+        print(f"train benchmark failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("train benchmark interrupted; no artifacts written",
+              file=sys.stderr)
+        return 130
+    if args.out_dir:
+        path = reporting.write_results_file(
+            Path(args.out_dir) / f"{BENCH_ID}.json", payload)
+    else:
+        path = reporting.save_results(BENCH_ID, payload)
+
+    from .bench import print_table
+    serial = payload["modes"]["serial"]["steps_per_s"]
+    print_table(
+        "Training rollouts: batched fast path vs per-flow reference",
+        ["mode", "episodes/s", "steps/s", "speedup"],
+        [[mode, row["episodes_per_s"], row["steps_per_s"],
+          row["steps_per_s"] / serial if serial else None]
+         for mode, row in payload["modes"].items()],
+    )
+    eq = payload["equivalence"]
+    print(f"\nequivalence: passed={eq['passed']} "
+          f"max_delta={eq['max_delta']:g} over {eq['rows']} transitions, "
+          f"{eq['update_bursts']} update bursts")
     print(f"JSON artifact: {path}", file=sys.stderr)
     return 0 if eq["passed"] else 1
 
@@ -889,6 +951,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_rob.add_argument("--workers", type=int, default=None,
                        help="process-pool size for the sweep cells "
                             "(default: $REPRO_WORKERS, else serial)")
+    p_rob.add_argument("--policy", default=None,
+                       help="model-bundle path substituted into every "
+                            "matching-scheme flow (learned schemes only; "
+                            "diff a candidate bundle against the shipped "
+                            "one)")
     p_rob.set_defaults(func=_cmd_bench_robustness)
 
     p_scn = bench_sub.add_parser(
@@ -961,6 +1028,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the artifact here instead of "
                             "benchmarks/results/")
     p_eng.set_defaults(func=_cmd_bench_engine)
+
+    p_train = bench_sub.add_parser(
+        "train",
+        help="training-rollout throughput: serial vs batched vs "
+             "batched+workers (writes BENCH_train.json)")
+    p_train.add_argument("--flows", type=int, default=8,
+                         help="agent flows per episode (default 8)")
+    p_train.add_argument("--duration", type=float, default=10.0,
+                         help="simulated seconds per episode (default 10)")
+    p_train.add_argument("--episodes", type=int, default=3,
+                         help="episodes per mode (default 3)")
+    p_train.add_argument("--workers", type=int, default=2,
+                         help="pool size of the batched+workers mode "
+                              "(default 2)")
+    p_train.add_argument("--small", action="store_true",
+                         help="CI smoke subset: 2 episodes of 3 s")
+    p_train.add_argument("--check-only", action="store_true",
+                         help="only run the pinned serial-vs-batched "
+                              "equivalence episode; non-zero exit on any "
+                              "divergence, no artifact written")
+    p_train.add_argument("--out-dir", default=None,
+                         help="write the artifact here instead of "
+                              "benchmarks/results/")
+    p_train.set_defaults(func=_cmd_bench_train)
 
     p_srv = bench_sub.add_parser(
         "serve",

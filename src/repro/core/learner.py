@@ -124,36 +124,101 @@ class Learner:
         self._last_update_env_s = 0.0
         self.total_updates = 0
         self.total_transitions = 0
+        self._deferred: list | None = None
 
     # ------------------------------------------------------------------
 
     def act(self, local_state: np.ndarray, noise_std: float = 0.0) -> float:
         """Shared-policy action for one stacked local state.
 
-        A non-finite action triggers a guard rollback and one retry; if
-        the restored actor still emits garbage the guard's budget decides
-        whether to keep decaying or raise TrainingDivergedError.
+        A non-finite action triggers a guard rollback and a retry,
+        capped at the guard's rollback budget per call: an actor that
+        stays non-finite through every restored snapshot raises
+        :class:`TrainingDivergedError` instead of spinning.
         """
-        action = float(self.td3.act(local_state[None, :], noise_std)[0, 0])
-        while not np.isfinite(action):
+        return float(self.act_batch(local_state[None, :], noise_std)[0])
+
+    def act_batch(self, local_states: np.ndarray,
+                  noise_std: float = 0.0) -> np.ndarray:
+        """Shared-policy actions for a ``(k, local_dim)`` stack of states.
+
+        Row ``i`` is bitwise identical to ``act(local_states[i])`` run in
+        sequence — the forward kernel is row-consistent and the noise
+        stream consumes identically (see :meth:`TD3Learner.act`).  Any
+        non-finite row triggers a guard rollback and a full re-draw of
+        the batch, bounded by the rollback budget.
+        """
+        actions = self.td3.act(local_states, noise_std)[:, 0]
+        retries = 0
+        while not np.isfinite(actions).all():
+            if retries >= self.guard.budget:
+                raise TrainingDivergedError(
+                    f"actor output stayed non-finite through {retries} "
+                    f"rollback retries")
             self.guard.rollback("non-finite action from actor")
-            action = float(self.td3.act(local_state[None, :],
-                                        noise_std)[0, 0])
-        return action
+            actions = self.td3.act(local_states, noise_std)[:, 0]
+            retries += 1
+        return actions
 
     def add_transition(self, global_state, local_state, action: float,
                        reward: float, next_global, next_local,
                        done: bool = False) -> None:
-        """Store one (g, s, a, r, g', s') tuple in replay memory."""
-        self.replay.add(local_state, global_state, np.array([action]), reward,
-                        next_local, next_global, done)
+        """Store one (g, s, a, r, g', s') tuple in replay memory.
+
+        In deferred mode (:meth:`set_deferred`) the tuple is buffered in
+        arrival order and lands in replay via one
+        :meth:`~repro.rl.replay.ReplayBuffer.add_batch` flush before the
+        next update burst — identical final replay contents and cursor.
+        """
+        if self._deferred is not None:
+            self._deferred.append((np.asarray(local_state, dtype=float),
+                                   np.asarray(global_state, dtype=float),
+                                   float(action), float(reward),
+                                   np.asarray(next_local, dtype=float),
+                                   np.asarray(next_global, dtype=float),
+                                   float(done)))
+        else:
+            self.replay.add(local_state, global_state, np.array([action]),
+                            reward, next_local, next_global, done)
         self.total_transitions += 1
+
+    def set_deferred(self, deferred: bool) -> None:
+        """Toggle deferred transition buffering (the batched-rollout mode).
+
+        Turning it off flushes anything still pending.
+        """
+        if deferred:
+            if self._deferred is None:
+                self._deferred = []
+        else:
+            self.flush_transitions()
+            self._deferred = None
+
+    def flush_transitions(self) -> None:
+        """Write all buffered transitions to replay in one block."""
+        pending = self._deferred
+        if not pending:
+            return
+        self.replay.add_batch(
+            np.stack([t[0] for t in pending]),
+            np.stack([t[1] for t in pending]),
+            np.array([[t[2]] for t in pending]),
+            np.array([t[3] for t in pending]),
+            np.stack([t[4] for t in pending]),
+            np.stack([t[5] for t in pending]),
+            np.array([t[6] for t in pending]))
+        pending.clear()
 
     @property
     def warm(self) -> bool:
-        """Whether replay holds enough experience to start updating."""
-        return len(self.replay) >= max(self.cfg.warmup_transitions,
-                                       self.cfg.batch_size)
+        """Whether replay holds enough experience to start updating.
+
+        Buffered-but-unflushed transitions count: the serial path would
+        already have them in replay at the same point in the episode.
+        """
+        pending = len(self._deferred) if self._deferred is not None else 0
+        return len(self.replay) + pending >= max(self.cfg.warmup_transitions,
+                                                 self.cfg.batch_size)
 
     def update_burst(self) -> dict[str, float]:
         """Run one burst of ``model_update_steps`` gradient steps.
@@ -166,6 +231,7 @@ class Learner:
         """
         if not self.warm:
             return {"critic_loss": float("nan"), "actor_loss": float("nan")}
+        self.flush_transitions()
         losses = {}
         with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
             for _ in range(self.cfg.update_steps):

@@ -253,10 +253,13 @@ def train_astraea(cfg: TrainingConfig | None = None, use_global: bool = True,
 
     ``init_policy`` warm-starts the actor (fine-tuning an earlier bundle).
 
-    ``workers`` parallelises the periodic held-out evaluation pass (the
-    training loop itself stays serial — its RNG stream ordering is what
-    bit-exact resume depends on); ``checkpoint_keep`` retains the last N
-    checkpoint payloads for rollback instead of exactly one.
+    ``workers`` parallelises the periodic held-out evaluation pass and,
+    when ``cfg.parallel_envs > 1``, the per-stride episode rollouts
+    (frozen-policy collection through
+    :class:`~repro.env.pool.EnvironmentPool` — bit-identical at any
+    worker count, so checkpoint resume stays exact);
+    ``checkpoint_keep`` retains the last N checkpoint payloads for
+    rollback instead of exactly one.
 
     ``checkpoint_dir`` enables periodic crash-safe checkpoints (every
     ``cfg.checkpoint_every`` episodes); ``resume_from`` restores one and
@@ -338,7 +341,8 @@ def train_astraea(cfg: TrainingConfig | None = None, use_global: bool = True,
                 pool = EnvironmentPool(
                     learner, scenarios, noise_std=noise,
                     initial_cwnds=initials, reward_config=cfg.reward,
-                    episodes=[episode + i for i in range(cfg.parallel_envs)])
+                    episodes=[episode + i for i in range(cfg.parallel_envs)],
+                    workers=workers)
                 stats = pool.run()
         except TrainingDivergedError:
             raise  # guard exhaustion is terminal, never quarantined

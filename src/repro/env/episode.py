@@ -5,9 +5,18 @@ executing the shared policy with exploration noise.  The
 :class:`Observer` gathers the latest per-flow statistics (the paper's
 world-observation exchange), compiles the Table 2 global state, evaluates
 the global reward, assembles ``(g, s, a, r, g', s')`` transitions, and
-triggers the Learner's update bursts on the Table 4 cadence — all from the
-``on_interval`` callback of the scenario runner (the flow-driven control
-paradigm: flows request actions, the controller relays).
+tracks per-episode statistics.
+
+:func:`run_training_episode` drives the scenario through the two-phase
+driver protocol (:meth:`~repro.env.multiflow.ScenarioDriver.step_collect`
+/ :meth:`~repro.env.multiflow.ScenarioDriver.finish_flow`): every pass
+first publishes all due flows' stats at the same instant, then selects
+actions — per flow, or stacked into a single batched forward for the
+whole pass — and finally applies every decision and lets the Learner
+update on the Table 4 cadence.  The serial and batched legs are bitwise
+identical: the forward kernel is row-consistent, exploration randomness
+lives on per-controller streams, and the shared global reward is a
+deterministic function of the same published snapshot either way.
 """
 
 from __future__ import annotations
@@ -29,7 +38,7 @@ from ..core.learner import Learner
 from ..core.reward import FlowSnapshot, RewardBlock
 from ..core.state import LocalStateBlock, global_state_vector
 from ..netsim.stats import MtpStats
-from .multiflow import run_scenario
+from .multiflow import build_driver
 
 
 class TrainFlowController(CongestionController):
@@ -41,7 +50,17 @@ class TrainFlowController(CongestionController):
     three mechanisms: uniform random actions until the replay buffer is
     warm, an epsilon of uniform actions afterwards (Gaussian noise added
     after the tanh cannot escape a saturated actor), and the Gaussian
-    perturbation itself.
+    perturbation itself.  Every random draw — epsilon, uniform action and
+    the Gaussian noise — comes from this controller's own stream, so the
+    episode's randomness is independent of *how* actions were computed
+    (one flow at a time or one stacked batch per pass).
+
+    The decision is split in two: :meth:`begin_interval` folds the new
+    stats into the local state block and either stages an exploratory
+    action (returning ``None``) or returns the state the policy should
+    act on; :meth:`finish_interval` takes the (possibly batched) policy
+    action back, perturbs and applies it.  :meth:`on_interval` composes
+    the two for standalone use.
     """
 
     EPSILON_UNIFORM = 0.10
@@ -75,20 +94,55 @@ class TrainFlowController(CongestionController):
         self.cwnd = self._initial_cwnd
         self.last_state: np.ndarray | None = None
         self.last_action: float = 0.0
+        self._staged_state: np.ndarray | None = None
+        self._staged_action: float | None = None
 
-    def on_interval(self, stats: MtpStats) -> Decision:
+    def begin_interval(self, stats: MtpStats) -> np.ndarray | None:
+        """First half of a decision: observe, and choose *how* to act.
+
+        Returns the local state the shared policy should act on, or
+        ``None`` when this interval explores with a uniform random action
+        (not warm yet, or the epsilon draw fired) — the uniform action is
+        staged internally for :meth:`finish_interval`.
+        """
         state = self.state_block.update(stats)
+        self._staged_state = state
         if not self.learner.warm \
                 or self._rng.random() < self.EPSILON_UNIFORM:
-            action = float(self._rng.uniform(-0.999, 0.999))
+            self._staged_action = float(self._rng.uniform(-0.999, 0.999))
+            return None
+        self._staged_action = None
+        return state
+
+    def finish_interval(self, stats: MtpStats,
+                        action: float | None) -> Decision:
+        """Second half: perturb and apply the action chosen for this pass.
+
+        ``action`` is the clean policy output for the state returned by
+        :meth:`begin_interval` (Gaussian exploration noise is added here,
+        from this controller's stream), or ``None`` to use the staged
+        uniform action.  Must be preceded by :meth:`begin_interval` on
+        the same stats.
+        """
+        state = self._staged_state
+        if action is None:
+            action = self._staged_action
         else:
-            action = self.learner.act(state, noise_std=self.noise_std)
+            if self.noise_std > 0:
+                action = action + float(self._rng.normal(0.0,
+                                                         self.noise_std))
+            action = float(np.clip(action, -0.999, 0.999))
         self.cwnd = apply_action(self.cwnd, action, self.alpha)
         self.last_state = state
         self.last_action = action
         pacing = pacing_from_cwnd(self.cwnd, max(stats.srtt_s, 1e-6)) \
             if self.use_pacing else None
         return Decision(cwnd_pkts=self.cwnd, pacing_pps=pacing)
+
+    def on_interval(self, stats: MtpStats) -> Decision:
+        state = self.begin_interval(stats)
+        action = None if state is None else self.learner.act(state)
+        return self.finish_interval(stats, action)
 
 
 @dataclass
@@ -107,13 +161,20 @@ class EpisodeStats:
 
 
 class Observer:
-    """Gathers world observations and feeds the Learner (§3.2 Controller)."""
+    """Gathers world observations and feeds the Learner (§3.2 Controller).
+
+    ``transition_sink`` redirects assembled transitions away from the
+    learner: the rollout workers of :mod:`repro.env.pool` capture them
+    (with timestamps) for shipping back to the parent process instead of
+    writing a replay buffer they don't own.
+    """
 
     def __init__(self, learner: Learner, link: LinkConfig,
                  flows: tuple[FlowConfig, ...],
                  controllers: list[TrainFlowController],
                  reward_config: RewardConfig | None = None,
-                 local_reward=None, do_updates: bool = True):
+                 local_reward=None, do_updates: bool = True,
+                 transition_sink=None):
         self.learner = learner
         self.link = link
         self.flows = flows
@@ -121,11 +182,34 @@ class Observer:
         self.reward_block = RewardBlock(link, reward_config)
         self.local_reward = local_reward
         self.do_updates = do_updates
+        self.transition_sink = transition_sink
         self._latest: dict[int, MtpStats] = {}
         self._pending: dict[int, tuple[np.ndarray, np.ndarray, float]] = {}
+        self._pass_now: float | None = None
+        self._pass_share = False
+        self._pass_cache: tuple[float, np.ndarray] | None = None
         self.stats = EpisodeStats()
 
     # ------------------------------------------------------------------
+
+    def begin_pass(self, now: float, updates: list[tuple[int, MtpStats]],
+                   share_reward: bool = False) -> None:
+        """Publish all due flows' stats at the same instant.
+
+        The two-phase runner calls this before any controller decides, so
+        every agent in the pass observes the identical world snapshot —
+        the paper's synchronous world-observation exchange.  With
+        ``share_reward`` the (global) reward and global-state vector are
+        computed once per pass and reused across the pass's callbacks;
+        they are deterministic functions of the snapshot, so sharing is
+        bitwise identical to recomputing per flow, and skipping the
+        recomputation is most of the batched rollout speedup.
+        """
+        for idx, stats in updates:
+            self._latest[idx] = stats
+        self._pass_now = now
+        self._pass_share = share_reward and self.local_reward is None
+        self._pass_cache = None
 
     def _active_indices(self, now: float) -> list[int]:
         """Active *agent* flows (cross-traffic competitors are part of the
@@ -158,12 +242,19 @@ class Observer:
         active = self._active_indices(now)
         if not active:
             return
-        if self.local_reward is not None:
-            reward = self.local_reward(stats, self.link)
+        if self._pass_share and self._pass_now == now \
+                and self._pass_cache is not None:
+            reward, g_now = self._pass_cache
         else:
-            reward = self.reward_block.compute(self._snapshots(active)).total
-        g_now = global_state_vector([self._latest[i] for i in active],
-                                    self.link)
+            if self.local_reward is not None:
+                reward = self.local_reward(stats, self.link)
+            else:
+                reward = self.reward_block.compute(
+                    self._snapshots(active)).total
+            g_now = global_state_vector([self._latest[i] for i in active],
+                                        self.link)
+            if self._pass_share and self._pass_now == now:
+                self._pass_cache = (reward, g_now)
         ctl = self.controllers[idx]
         s_now, a_now = ctl.last_state, ctl.last_action
         if s_now is None:
@@ -174,8 +265,12 @@ class Observer:
             return
         if idx in self._pending:
             g_prev, s_prev, a_prev = self._pending[idx]
-            self.learner.add_transition(g_prev, s_prev, a_prev, reward,
-                                        g_now, s_now)
+            if self.transition_sink is not None:
+                self.transition_sink(now, g_prev, s_prev, a_prev, reward,
+                                     g_now, s_now)
+            else:
+                self.learner.add_transition(g_prev, s_prev, a_prev, reward,
+                                            g_now, s_now)
             self.stats.transitions += 1
             self.stats.reward_sum += reward
             self.stats.reward_count += 1
@@ -188,12 +283,89 @@ class Observer:
                 self.stats.last_losses = losses
 
 
+def _drive_episode(learner, driver, observer, batched: bool,
+                   do_updates: bool) -> None:
+    """Run one training episode through the two-phase driver protocol.
+
+    Each pass: collect all due flows' stats, publish them at the same
+    instant, let every agent choose how to act, compute the policy
+    actions — one stacked :meth:`~repro.core.learner.Learner.act_batch`
+    call when ``batched``, per-flow :meth:`~repro.core.learner.Learner.act`
+    calls otherwise — then apply every decision and give the Learner one
+    shot at an update burst.  The two legs are bitwise identical (see the
+    module docstring); updates firing at the pass boundary rather than
+    inside a flow's callback is what makes that possible.
+    """
+    while True:
+        due = driver.step_collect()
+        if due is None:
+            break
+        now = driver.now
+        observer.begin_pass(now, [(rf.index, stats) for rf, stats in due],
+                            share_reward=batched)
+        needs_policy: list[tuple[int, np.ndarray]] = []
+        for slot, (rf, stats) in enumerate(due):
+            ctl = rf.controller
+            if isinstance(ctl, TrainFlowController):
+                state = ctl.begin_interval(stats)
+                if state is not None:
+                    needs_policy.append((slot, state))
+        actions: dict[int, float] = {}
+        if needs_policy:
+            if batched:
+                acts = learner.act_batch(
+                    np.stack([state for _, state in needs_policy]))
+            else:
+                acts = [learner.act(state) for _, state in needs_policy]
+            for (slot, _), a in zip(needs_policy, acts):
+                actions[slot] = float(a)
+        for slot, (rf, stats) in enumerate(due):
+            ctl = rf.controller
+            if isinstance(ctl, TrainFlowController):
+                decision = ctl.finish_interval(stats, actions.get(slot))
+            else:
+                decision = ctl.on_interval(stats)
+            driver.finish_flow(rf, stats, decision)
+        if do_updates:
+            losses = learner.maybe_update(now)
+            if losses is not None:
+                observer.stats.update_bursts += 1
+                observer.stats.last_losses = losses
+
+
+def build_training_controllers(learner, scenario: ScenarioConfig,
+                               noise_std: float,
+                               initial_cwnds: list[float],
+                               episode: int = 0) -> list:
+    """One controller per flow: agents for ``astraea``, cross traffic else.
+
+    ``learner`` only needs ``cfg.seed``, ``cfg.history_length``, ``warm``
+    and the act methods — a frozen policy snapshot
+    (:class:`repro.env.pool.FrozenPolicy`) works as well as the live
+    :class:`~repro.core.learner.Learner`.
+    """
+    from ..cc import create as create_cc
+
+    controllers = []
+    for flow_index, (cfg_flow, cw) in enumerate(zip(scenario.flows,
+                                                    initial_cwnds)):
+        if cfg_flow.cc == "astraea":
+            controllers.append(TrainFlowController(
+                learner, noise_std=noise_std, mtp_s=scenario.mtp_s,
+                initial_cwnd=cw, episode=episode, flow_index=flow_index))
+        else:
+            controllers.append(create_cc(cfg_flow.cc, **cfg_flow.cc_kwargs))
+    return controllers
+
+
 def run_training_episode(learner: Learner, scenario: ScenarioConfig,
                          noise_std: float, initial_cwnds: list[float],
                          reward_config: RewardConfig | None = None,
                          local_reward=None,
                          do_updates: bool = True,
-                         episode: int = 0) -> EpisodeStats:
+                         episode: int = 0,
+                         batched: bool = True,
+                         transition_sink=None) -> EpisodeStats:
     """Collect one episode of experience (and update on the Table 4 cadence).
 
     ``local_reward`` switches the reward from Astraea's global objective to
@@ -207,27 +379,32 @@ def run_training_episode(learner: Learner, scenario: ScenarioConfig,
     ``episode`` seeds each flow's exploration stream (together with the
     learner seed and the flow index), which keeps runs reproducible — and
     checkpoint resume bit-exact — regardless of process history.
-    """
-    controllers: list[CongestionController | None] = []
-    for flow_index, (cfg_flow, cw) in enumerate(zip(scenario.flows,
-                                                    initial_cwnds)):
-        if cfg_flow.cc == "astraea":
-            controllers.append(TrainFlowController(
-                learner, noise_std=noise_std, mtp_s=scenario.mtp_s,
-                initial_cwnd=cw, episode=episode, flow_index=flow_index))
-        else:
-            controllers.append(None)
-    observer_controllers = []
-    from ..cc import create as create_cc
 
-    for cfg_flow, ctl in zip(scenario.flows, controllers):
-        if ctl is None:
-            ctl = create_cc(cfg_flow.cc, **cfg_flow.cc_kwargs)
-        observer_controllers.append(ctl)
+    ``batched`` selects the fast path: all policy actions of a pass in
+    one stacked forward, the shared reward computed once per pass, and
+    transitions buffered for block writes into replay.  ``batched=False``
+    runs the honest per-flow path; both produce bitwise-identical
+    episodes (the contract ``repro bench train`` verifies).
+
+    ``transition_sink`` forwards transitions to a callable instead of the
+    learner's replay buffer (the rollout-worker capture path).
+    """
+    controllers = build_training_controllers(learner, scenario, noise_std,
+                                             initial_cwnds, episode=episode)
     observer = Observer(learner, scenario.link, scenario.flows,
-                        observer_controllers, reward_config=reward_config,
-                        local_reward=local_reward, do_updates=do_updates)
+                        controllers, reward_config=reward_config,
+                        local_reward=local_reward, do_updates=False,
+                        transition_sink=transition_sink)
+    driver = build_driver(scenario, controllers=controllers,
+                          on_interval=observer, align_intervals=True)
     learner.reset_update_clock()
-    run_scenario(scenario, controllers=observer_controllers,
-                 on_interval=observer)
+    defer = batched and hasattr(learner, "set_deferred")
+    if defer:
+        learner.set_deferred(True)
+    try:
+        _drive_episode(learner, driver, observer, batched=batched,
+                       do_updates=do_updates)
+    finally:
+        if defer:
+            learner.set_deferred(False)
     return observer.stats

@@ -208,7 +208,7 @@ class ScenarioDriver:
     def __init__(self, engine: FluidNetwork, scenario_flows, paths,
                  base_rtt_fn, duration_s: float, tick_s: float, controllers,
                  bottleneck_mbps: float, base_rtt_s: float,
-                 on_interval=None):
+                 on_interval=None, align_intervals: bool = False):
         self._engine = engine
         self._flows = scenario_flows
         self._paths = paths
@@ -217,6 +217,7 @@ class ScenarioDriver:
         self._tick_s = tick_s
         self._controllers = controllers
         self._on_interval = on_interval
+        self._align_intervals = align_intervals
         self._logs = [FlowLog(cc_name=f.cc, start_s=f.start_s,
                               end_s=min(f.end_s(), duration_s))
                       for f in scenario_flows]
@@ -230,6 +231,22 @@ class ScenarioDriver:
     @property
     def now(self) -> float:
         return self._engine.now
+
+    def _next_deadline(self, now: float, interval_s: float,
+                       grid_s: float) -> float:
+        """The next controller deadline after ``now``.
+
+        With ``align_intervals`` the deadline snaps up to the next
+        multiple of the controller's MTP, so every same-cadence flow of
+        the scenario decides in the *same* pass — the property the
+        batched training runner needs to stack whole-pool action
+        selection into one matmul.  Flows started at staggered offsets
+        otherwise keep pairwise-irrational deadlines forever.
+        """
+        t = now + max(interval_s, self._tick_s)
+        if not self._align_intervals or grid_s <= 0:
+            return t
+        return max(1, int(np.ceil(t / grid_s - 1e-9))) * grid_s
 
     def _start_due_flows(self, now: float) -> None:
         while self._pending and \
@@ -250,7 +267,8 @@ class ScenarioDriver:
             )
             self._running.append(_RunningFlow(
                 index=i, engine_id=fid, controller=controller,
-                next_ctrl_s=now + controller.mtp_s,
+                next_ctrl_s=self._next_deadline(now, controller.mtp_s,
+                                                controller.mtp_s),
                 end_s=min(cfg.end_s(), self.duration_s),
             ))
 
@@ -311,33 +329,79 @@ class ScenarioDriver:
 
     def _controller_pass(self, now: float) -> None:
         """Run every controller whose monitoring interval has expired."""
+        for rf, stats in self.collect_due(now):
+            self.finish_flow(rf, stats, rf.controller.on_interval(stats))
+
+    def collect_due(self, now: float) -> list:
+        """Stats for every flow whose monitoring interval has expired.
+
+        Pure collection: per-flow monitor reads only, no controller call
+        and no engine mutation — so gathering all due flows up front is
+        bitwise identical to the historical interleaved walk (one flow's
+        ``set_cwnd`` never alters another flow's already-recorded
+        monitoring history).  Returns ``(running_flow, stats)`` pairs in
+        ``_running`` order.
+        """
         engine = self._engine
+        due = []
         for rf in self._running:
             if now + 1e-12 < rf.next_ctrl_s:
                 continue
-            monitor = engine.monitor(rf.engine_id)
-            stats = monitor.collect(
+            stats = engine.monitor(rf.engine_id).collect(
                 now,
                 cwnd_pkts=engine.cwnd(rf.engine_id),
                 pacing_pps=engine.flow_rate_pps(rf.engine_id),
                 pkts_in_flight=engine.pkts_in_flight(rf.engine_id),
             )
-            decision = rf.controller.on_interval(stats)
-            engine.set_cwnd(rf.engine_id, decision.cwnd_pkts,
-                            decision.pacing_pps)
-            log = self._logs[rf.index]
-            log.times.append(now)
-            log.throughput_mbps.append(stats.throughput_mbps)
-            log.rtt_s.append(stats.avg_rtt_s)
-            log.loss_rate.append(stats.loss_rate)
-            log.cwnd_pkts.append(decision.cwnd_pkts)
-            log.send_rate_mbps.append(
-                decision.cwnd_pkts / max(stats.srtt_s, 1e-6)
-                / mbps_to_pps(1.0))
-            if self._on_interval is not None:
-                self._on_interval(now, rf.index, stats, rf.controller)
-            rf.next_ctrl_s = now + max(
-                rf.controller.interval_s(stats.srtt_s), self._tick_s)
+            due.append((rf, stats))
+        return due
+
+    def finish_flow(self, rf: _RunningFlow, stats, decision) -> None:
+        """Apply one controller decision collected by :meth:`collect_due`:
+        set the window, log the interval, fire the observer callback and
+        schedule the flow's next deadline."""
+        now = self._engine.now
+        self._engine.set_cwnd(rf.engine_id, decision.cwnd_pkts,
+                              decision.pacing_pps)
+        log = self._logs[rf.index]
+        log.times.append(now)
+        log.throughput_mbps.append(stats.throughput_mbps)
+        log.rtt_s.append(stats.avg_rtt_s)
+        log.loss_rate.append(stats.loss_rate)
+        log.cwnd_pkts.append(decision.cwnd_pkts)
+        log.send_rate_mbps.append(
+            decision.cwnd_pkts / max(stats.srtt_s, 1e-6)
+            / mbps_to_pps(1.0))
+        if self._on_interval is not None:
+            self._on_interval(now, rf.index, stats, rf.controller)
+        rf.next_ctrl_s = self._next_deadline(
+            now, rf.controller.interval_s(stats.srtt_s), rf.controller.mtp_s)
+
+    def step_collect(self) -> list | None:
+        """First half of a two-phase block step (the training fast path).
+
+        Advances the engine to the next controller/flow event (exactly
+        like :meth:`step_block`) and returns the due ``(running_flow,
+        stats)`` pairs *without* invoking any controller; the caller
+        decides — per flow or batched across the whole pass — and hands
+        each decision back through :meth:`finish_flow`.  Returns ``None``
+        once the scenario has finished.
+        """
+        if not self._begin_step():
+            return None
+        engine = self._engine
+        now = engine.now
+        horizon = self.duration_s
+        if self._pending:
+            horizon = min(horizon, self._flows[self._pending[0]].start_s)
+        for rf in self._running:
+            if rf.next_ctrl_s < horizon:
+                horizon = rf.next_ctrl_s
+            if rf.end_s < horizon:
+                horizon = rf.end_s
+        n_ticks = max(1, int((horizon - now) / self._tick_s))
+        engine.advance_block(self._tick_s, n_ticks)
+        return self.collect_due(engine.now)
 
     def result(self) -> ScenarioResult:
         """Logs collected so far (complete once :meth:`step` returns False)."""
@@ -363,7 +427,8 @@ def _drive(engine: FluidNetwork, scenario_flows, paths, base_rtt_fn,
 
 def build_driver(scenario: ScenarioConfig,
                  controllers: list[CongestionController | None] | None = None,
-                 on_interval=None) -> ScenarioDriver:
+                 on_interval=None,
+                 align_intervals: bool = False) -> ScenarioDriver:
     """Create a steppable driver for a single-bottleneck scenario."""
     traces = None
     if scenario.trace is not None:
@@ -381,6 +446,7 @@ def build_driver(scenario: ScenarioConfig,
         bottleneck_mbps=scenario.link.bandwidth_mbps,
         base_rtt_s=scenario.link.rtt_s,
         on_interval=on_interval,
+        align_intervals=align_intervals,
     )
 
 

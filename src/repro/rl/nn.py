@@ -129,6 +129,35 @@ class MLP:
             out = np.tanh(out)
         return out
 
+    def infer_rows(self, x: np.ndarray) -> np.ndarray:
+        """Row-consistent inference: row ``i`` of a batched call is
+        bitwise identical to inferring row ``i`` alone.
+
+        BLAS ``@`` picks different kernels (blocking, FMA grouping) per
+        matrix height, so :meth:`infer` on a stacked batch can differ
+        from per-row calls in the last ulp — enough to diverge a chaotic
+        rollout.  ``np.einsum`` without ``optimize`` reduces every output
+        element in a fixed order regardless of batch size, which makes
+        serial-vs-batched action selection bit-exact.  Slower than BLAS
+        per call; use only where that equivalence is the contract (the
+        training act path).
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.ndim != 2 or x.shape[1] != self.in_dim:
+            raise ModelError(
+                f"expected input dim {self.in_dim}, got {x.shape[-1]}")
+        h = x
+        for layer in self.layers[:-1]:
+            h = np.maximum(
+                np.einsum("ij,jk->ik", h, layer.W) + layer.b, 0.0)
+        out = np.einsum("ij,jk->ik", h, self.layers[-1].W) \
+            + self.layers[-1].b
+        if self.output == "tanh":
+            out = np.tanh(out)
+        return out
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backprop ``dLoss/dOutput``; returns ``dLoss/dInput``.
 

@@ -63,8 +63,17 @@ class TD3Learner:
 
     def act(self, local_state: np.ndarray, noise_std: float = 0.0) -> np.ndarray:
         """Deterministic action for one or more local states, optionally
-        perturbed by Gaussian exploration noise and clipped to (-1, 1)."""
-        action = self.actor.infer(local_state)
+        perturbed by Gaussian exploration noise and clipped to (-1, 1).
+
+        Uses the row-consistent forward kernel
+        (:meth:`~repro.rl.nn.MLP.infer_rows`), so acting on a stacked
+        batch of states is bitwise identical to acting on each state
+        alone — the contract the serial-vs-batched rollout equivalence
+        rests on.  The exploration noise stream (``self._rng``) is
+        likewise batch-shape-invariant: drawing ``(k, 1)`` normals
+        consumes the stream exactly as ``k`` sequential ``(1, 1)`` draws.
+        """
+        action = self.actor.infer_rows(local_state)
         if noise_std > 0:
             action = action + self._rng.normal(0.0, noise_std, size=action.shape)
         return np.clip(action, -0.999, 0.999)

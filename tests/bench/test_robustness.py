@@ -123,6 +123,37 @@ class TestSweepPlumbing:
         helpers = {"astraea-ref", "constant-rate"}
         assert sorted(ALL_SCHEMES) == sorted(set(available()) - helpers)
 
+    def test_run_cell_policy_substitutes_matching_flows_only(self,
+                                                             monkeypatch):
+        # --policy diffs a candidate bundle against the shipped one on
+        # the identical fault grid: every flow of the target scheme gets
+        # the bundle path, cross-traffic flows stay untouched.
+        from types import SimpleNamespace
+
+        seen = []
+
+        def capture(scenario, engine):
+            seen.append(scenario)
+            return "stub-result"
+
+        stub = SimpleNamespace(recovered=True, recovery_time_s=1.0,
+                               jain_reconvergence_s=1.0,
+                               peak_rtt_overshoot_ms=0.0,
+                               goodput_lost_mbit=0.0, baseline_mbps=10.0)
+        monkeypatch.setattr(robustness_mod, "run_engine_scenario", capture)
+        monkeypatch.setattr(robustness_mod, "recovery_report",
+                            lambda result, faults, threshold: stub)
+        cell = robustness_mod.run_cell("astraea", "blackout", "fluid",
+                                       trials=1,
+                                       policy="models/candidate.npz")
+        assert cell.trials == 1 and cell.recovered == 1
+        targets = [f for f in seen[0].flows if f.cc == "astraea"]
+        others = [f for f in seen[0].flows if f.cc != "astraea"]
+        assert targets
+        assert all(f.cc_kwargs.get("policy") == "models/candidate.npz"
+                   for f in targets)
+        assert all("policy" not in f.cc_kwargs for f in others)
+
     def test_sweep_payload_shape_and_progress(self):
         seen = []
         payload = run_robustness_sweep(

@@ -7,7 +7,11 @@ import pytest
 
 from repro.config import TrainingConfig, replace
 from repro.core.learner import Learner
-from repro.errors import ModelError
+from repro.errors import (
+    ModelError,
+    TrainingDivergedError,
+    TrainingInstabilityWarning,
+)
 
 SMALL = replace(TrainingConfig(), hidden_layers=(16, 16), batch_size=16,
                 warmup_transitions=20, update_steps=3,
@@ -84,3 +88,65 @@ class TestLearner:
         fill(learner, 40)
         learner.update_burst()
         assert np.allclose(bundle.actor.get_state()[0], before)
+
+
+REPLAY_ARRAYS = ("_local", "_global", "_action", "_reward",
+                 "_next_local", "_next_global", "_done")
+
+
+class TestBatchedAct:
+    def test_act_batch_matches_sequential_act_bitwise(self):
+        batched, serial = Learner(SMALL), Learner(SMALL)
+        states = np.random.default_rng(1).normal(
+            size=(5, batched.local_dim))
+        stack = batched.act_batch(states)
+        rows = np.array([serial.act(s) for s in states])
+        np.testing.assert_array_equal(stack, rows)
+
+    def test_act_batch_noise_stream_is_batch_shape_invariant(self):
+        # One (k, 1) draw must consume the noise stream exactly as k
+        # sequential (1, 1) draws — the batched rollout contract.
+        batched, serial = Learner(SMALL), Learner(SMALL)
+        states = np.random.default_rng(2).normal(
+            size=(6, batched.local_dim))
+        stack = batched.act_batch(states, noise_std=0.3)
+        rows = np.array([serial.act(s, noise_std=0.3) for s in states])
+        np.testing.assert_array_equal(stack, rows)
+
+    def test_act_batch_raises_after_exhausting_rollback_budget(self):
+        learner = Learner(SMALL)
+        for p in learner.td3.actor.parameters():
+            p[:] = np.nan
+        # Snapshot the poisoned state too, so every rollback restores a
+        # still-broken actor and the bounded retry must give up.
+        learner.guard._snapshot = learner.td3.state_dict()
+        with pytest.warns(TrainingInstabilityWarning), \
+                pytest.raises(TrainingDivergedError):
+            learner.act_batch(np.zeros((3, learner.local_dim)))
+        assert learner.guard.rollbacks == SMALL.rollback_budget
+
+
+class TestDeferredTransitions:
+    def test_deferred_flush_matches_direct_adds_bitwise(self):
+        direct, deferred = Learner(SMALL), Learner(SMALL)
+        fill(direct, 30)
+        deferred.set_deferred(True)
+        fill(deferred, 30)
+        assert len(deferred.replay) == 0          # buffered, not written
+        assert deferred.warm == direct.warm       # pending rows count
+        assert deferred.total_transitions == direct.total_transitions
+        deferred.set_deferred(False)              # flushes
+        assert len(deferred.replay) == len(direct.replay)
+        assert deferred.replay._cursor == direct.replay._cursor
+        for name in REPLAY_ARRAYS:
+            np.testing.assert_array_equal(getattr(deferred.replay, name),
+                                          getattr(direct.replay, name))
+
+    def test_update_burst_flushes_pending_first(self):
+        learner = Learner(SMALL)
+        learner.set_deferred(True)
+        fill(learner, 30)
+        assert learner.warm and len(learner.replay) == 0
+        learner.update_burst()
+        assert len(learner.replay) == 30
+        assert learner.total_updates == SMALL.update_steps

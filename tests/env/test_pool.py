@@ -1,7 +1,8 @@
-"""Parallel environment pool (Appendix A)."""
+"""Parallel environment pool (Appendix A): frozen-policy strides."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.config import (
@@ -17,6 +18,9 @@ from repro.netsim import staggered_flows
 SMALL = replace(TrainingConfig(), hidden_layers=(16, 16), batch_size=16,
                 warmup_transitions=50, update_steps=2,
                 update_interval_s=2.0)
+
+REPLAY_ARRAYS = ("_local", "_global", "_action", "_reward",
+                 "_next_local", "_next_global", "_done")
 
 
 def scenario(bw=100.0, duration=6.0):
@@ -35,7 +39,6 @@ class TestEnvironmentPool:
             learner, [scenario(100.0), scenario(50.0)], noise_std=0.1,
             initial_cwnds=[[30.0, 30.0], [20.0, 20.0]])
         stats = pool.run()
-        single = 0
         # A single instance of the same shape yields roughly half the
         # transitions the pool collects.
         learner2 = Learner(SMALL)
@@ -88,17 +91,30 @@ class TestEnvironmentPool:
 
 
 class TestPoolRobustness:
-    def test_stats_aggregate_across_observers(self):
-        learner = Learner(SMALL)
-        pool = EnvironmentPool(
-            learner, [scenario(100.0), scenario(50.0)], noise_std=0.1,
-            initial_cwnds=[[30.0, 30.0], [30.0, 30.0]])
-        combined = pool.run()
-        per = [o.stats for o in pool._observers]
-        assert combined.transitions == sum(s.transitions for s in per)
-        assert combined.reward_count == sum(s.reward_count for s in per)
+    def test_stats_aggregate_across_instances(self):
+        """The pooled counters are the exact sum of per-instance episodes.
+
+        The policy is frozen per stride, so running each scenario alone
+        against a fresh (identically cold) learner reproduces exactly
+        the episodes the combined stride collects.
+        """
+        a, b = scenario(100.0), scenario(50.0)
+        single_a = EnvironmentPool(Learner(SMALL), [a], noise_std=0.1,
+                                   initial_cwnds=[[30.0, 30.0]],
+                                   episodes=[0]).run()
+        single_b = EnvironmentPool(Learner(SMALL), [b], noise_std=0.1,
+                                   initial_cwnds=[[30.0, 30.0]],
+                                   episodes=[1]).run()
+        combined = EnvironmentPool(
+            Learner(SMALL), [a, b], noise_std=0.1,
+            initial_cwnds=[[30.0, 30.0], [30.0, 30.0]],
+            episodes=[0, 1]).run()
+        assert combined.transitions == \
+            single_a.transitions + single_b.transitions
+        assert combined.reward_count == \
+            single_a.reward_count + single_b.reward_count
         assert combined.reward_sum == pytest.approx(
-            sum(s.reward_sum for s in per))
+            single_a.reward_sum + single_b.reward_sum)
         assert combined.mean_reward == pytest.approx(
             combined.reward_sum / combined.reward_count)
 
@@ -110,10 +126,10 @@ class TestPoolRobustness:
                             initial_cwnds=[[30.0, 30.0], [30.0, 30.0]],
                             episodes=[0])
 
-    def test_controller_exception_propagates(self, monkeypatch):
+    def test_controller_exception_quarantines_stride(self, monkeypatch):
         """The pool must not swallow failures — train_astraea's quarantine
         layer is responsible for containment, and it can only react if the
-        error surfaces."""
+        error surfaces.  Nothing from a failed stride may reach replay."""
         from repro.env.episode import TrainFlowController
         from repro.errors import SimulationError
 
@@ -124,16 +140,50 @@ class TestPoolRobustness:
         def boom(self, stats):
             raise SimulationError("controller blew up mid-episode")
 
-        monkeypatch.setattr(TrainFlowController, "on_interval", boom)
+        monkeypatch.setattr(TrainFlowController, "begin_interval", boom)
         with pytest.raises(SimulationError):
             pool.run()
+        assert len(learner.replay) == 0
 
     def test_episode_ids_seed_exploration_per_instance(self):
+        from repro.env.episode import build_training_controllers
+
         learner = Learner(SMALL)
-        pool = EnvironmentPool(
-            learner, [scenario(), scenario()], noise_std=0.1,
-            initial_cwnds=[[30.0, 30.0], [30.0, 30.0]],
-            episodes=[4, 5])
-        ctls = [d for obs in pool._observers for d in obs.controllers]
+        ctls = [
+            c
+            for episode in (4, 5)
+            for c in build_training_controllers(
+                learner, scenario(), noise_std=0.1,
+                initial_cwnds=[30.0, 30.0], episode=episode)
+        ]
         draws = [c._rng.random() for c in ctls]
         assert len(set(draws)) == len(draws)
+
+
+class TestWorkerEquivalence:
+    def test_workers_match_serial_bitwise(self):
+        """A stride on 2 pool workers is bit-identical to the in-process
+        run: same counters, same replay contents and cursor, same actor
+        parameters afterwards."""
+        def run(workers):
+            learner = Learner(SMALL)
+            stats = EnvironmentPool(
+                learner, [scenario(duration=4.0), scenario(50.0, 4.0)],
+                noise_std=0.1,
+                initial_cwnds=[[30.0, 30.0], [20.0, 20.0]],
+                episodes=[2, 3], workers=workers).run()
+            return learner, stats
+
+        serial_learner, serial_stats = run(1)
+        pooled_learner, pooled_stats = run(2)
+        assert serial_stats.transitions == pooled_stats.transitions
+        assert serial_stats.reward_sum == pooled_stats.reward_sum
+        assert serial_stats.update_bursts == pooled_stats.update_bursts
+        assert len(serial_learner.replay) == len(pooled_learner.replay)
+        assert serial_learner.replay._cursor == pooled_learner.replay._cursor
+        for name in REPLAY_ARRAYS:
+            assert np.array_equal(getattr(serial_learner.replay, name),
+                                  getattr(pooled_learner.replay, name))
+        for p_s, p_w in zip(serial_learner.td3.actor.get_state(),
+                            pooled_learner.td3.actor.get_state()):
+            assert np.array_equal(p_s, p_w)

@@ -67,3 +67,78 @@ class TestReplayBuffer:
         add_n(b, 8)
         sa, sb = a.sample(4), b.sample(4)
         assert np.allclose(sa["reward"], sb["reward"])
+
+    def test_sample_rejects_nonpositive_batch(self):
+        buf = make()
+        add_n(buf, 4)
+        with pytest.raises(ModelError, match="batch size"):
+            buf.sample(0)
+        with pytest.raises(ModelError, match="batch size"):
+            buf.sample(-3)
+
+    def test_add_rejects_wrong_width_naming_field(self):
+        buf = make()
+        with pytest.raises(ModelError, match="'local'"):
+            buf.add(np.zeros(4), np.zeros(2), np.array([0.0]), 0.0,
+                    np.zeros(3), np.zeros(2), False)
+        with pytest.raises(ModelError, match="'next_global'"):
+            buf.add(np.zeros(3), np.zeros(2), np.array([0.0]), 0.0,
+                    np.zeros(3), np.zeros(5), False)
+        assert len(buf) == 0  # rejected rows never land
+
+
+ARRAYS = ("_local", "_global", "_action", "_reward",
+          "_next_local", "_next_global", "_done")
+
+
+def batch_of(n, rng):
+    return (rng.normal(size=(n, 3)), rng.normal(size=(n, 2)),
+            rng.normal(size=(n, 1)), rng.normal(size=n),
+            rng.normal(size=(n, 3)), rng.normal(size=(n, 2)),
+            (rng.random(n) < 0.2).astype(float))
+
+
+class TestAddBatch:
+    """add_batch == N sequential adds, through every wraparound regime."""
+
+    # capacity 7, cursor offset 4: n spans no-wrap (1, 3), exact fit,
+    # wraparound (5, 7) and the n >= capacity overwrite path (9, 20).
+    @pytest.mark.parametrize("n", [1, 3, 5, 7, 9, 20])
+    def test_matches_sequential_adds(self, n):
+        rng = np.random.default_rng(n)
+        rows = batch_of(n, rng)
+        serial, batched = make(capacity=7), make(capacity=7)
+        add_n(serial, 4, value=100.0)   # offset the cursor first
+        add_n(batched, 4, value=100.0)
+        for i in range(n):
+            serial.add(rows[0][i], rows[1][i], rows[2][i], rows[3][i],
+                       rows[4][i], rows[5][i], bool(rows[6][i]))
+        batched.add_batch(*rows)
+        assert len(serial) == len(batched)
+        assert serial._cursor == batched._cursor
+        for name in ARRAYS:
+            np.testing.assert_array_equal(getattr(serial, name),
+                                          getattr(batched, name))
+
+    def test_empty_batch_is_noop(self):
+        buf = make()
+        add_n(buf, 2)
+        cursor = buf._cursor
+        buf.add_batch(np.zeros((0, 3)), np.zeros((0, 2)), np.zeros((0, 1)),
+                      np.zeros(0), np.zeros((0, 3)), np.zeros((0, 2)),
+                      np.zeros(0))
+        assert len(buf) == 2 and buf._cursor == cursor
+
+    def test_rejects_wrong_width_naming_field(self):
+        buf = make()
+        with pytest.raises(ModelError, match="'global'"):
+            buf.add_batch(np.zeros((4, 3)), np.zeros((4, 5)),
+                          np.zeros((4, 1)), np.zeros(4), np.zeros((4, 3)),
+                          np.zeros((4, 2)), np.zeros(4))
+
+    def test_rejects_done_length_mismatch(self):
+        buf = make()
+        with pytest.raises(ModelError, match="'done'"):
+            buf.add_batch(np.zeros((4, 3)), np.zeros((4, 2)),
+                          np.zeros((4, 1)), np.zeros(4), np.zeros((4, 3)),
+                          np.zeros((4, 2)), np.zeros(3))

@@ -174,3 +174,27 @@ class TestSocketParser:
         args = build_parser().parse_args(
             ["bench", "robustness", "--small", "--engines", "socket"])
         assert args.engines == "socket"
+
+
+class TestTrainBenchParser:
+    def test_bench_train_defaults(self):
+        args = build_parser().parse_args(["bench", "train"])
+        assert args.flows == 8
+        assert args.episodes == 3
+        assert args.workers == 2
+        assert not args.small
+        assert not args.check_only
+        assert args.func is not None
+
+    def test_bench_train_check_only_and_small(self):
+        args = build_parser().parse_args(["bench", "train", "--check-only"])
+        assert args.check_only
+        args = build_parser().parse_args(
+            ["bench", "train", "--small", "--out-dir", "/tmp/x"])
+        assert args.small and args.out_dir == "/tmp/x"
+
+    def test_bench_robustness_accepts_policy_override(self):
+        args = build_parser().parse_args(
+            ["bench", "robustness", "--schemes", "astraea",
+             "--policy", "models/candidate.npz"])
+        assert args.policy == "models/candidate.npz"
