@@ -45,7 +45,13 @@ Commands
               (wire segments/s, goodput efficiency under a seeded 5%
               loss schedule, post-fault recovery time) and writes
               ``BENCH_socket.json`` (``--smoke`` is the gating CI
-              reliability check).
+              reliability check); ``bench train`` measures training
+              rollout throughput (serial vs batched vs batched+workers)
+              with the embedded equivalence verdict in
+              ``BENCH_train.json``; ``bench fleet`` runs the sharded
+              fleet scaling sweep (10 -> 10,000 flows across many
+              bottlenecks, serial vs sharded legs, bit-identical
+              aggregate verdict) and writes ``BENCH_fleet.json``.
 
 Sweep-shaped commands accept ``--workers N`` (default: the
 ``REPRO_WORKERS`` environment variable, else serial) to fan tasks out
@@ -625,6 +631,87 @@ def _cmd_bench_train(args: argparse.Namespace) -> int:
     return 0 if eq["passed"] else 1
 
 
+def _cmd_bench_fleet(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import reporting
+    from .bench.fleetbench import (
+        BENCH_ID,
+        FLEET_POINTS,
+        SMALL_POINTS,
+        fleet_table_rows,
+        run_fleet_benchmark,
+    )
+    from .errors import ReproError
+    from .fleet import check_equivalence
+
+    if args.check_only:
+        verdict = check_equivalence(workers=args.workers)
+        if verdict["passed"]:
+            spec = verdict["spec"]
+            print(f"fleet aggregates identical for workers "
+                  f"{verdict['workers_compared']} on the pinned fleet "
+                  f"({spec['n_shards']} shards x {spec['flows_per_shard']} "
+                  f"flows, seed {spec['seed']})")
+            return 0
+        print(f"FLEET DIVERGENCE: {verdict}", file=sys.stderr)
+        return 1
+
+    points = SMALL_POINTS if args.small else FLEET_POINTS
+    if args.points:
+        try:
+            points = tuple(
+                tuple(int(v) for v in pair.split("x"))
+                for pair in args.points.split(",") if pair.strip())
+            if any(len(p) != 2 for p in points):
+                raise ValueError(points)
+        except ValueError:
+            print(f"--points must look like '4x25,25x40', got "
+                  f"{args.points!r}", file=sys.stderr)
+            return 2
+
+    try:
+        payload = run_fleet_benchmark(
+            points=points, cc=args.cc, seed=args.seed, workers=args.workers,
+            small=args.small,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    except ReproError as exc:
+        print(f"fleet benchmark failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("fleet benchmark interrupted; no artifacts written",
+              file=sys.stderr)
+        return 130
+    if args.out_dir:
+        path = reporting.write_results_file(
+            Path(args.out_dir) / f"{BENCH_ID}.json", payload)
+    else:
+        path = reporting.save_results(BENCH_ID, payload)
+
+    from .bench import print_table
+    print_table(
+        "Fleet scaling: flow-ticks per wall-second, serial vs sharded",
+        ["shards x flows", "flows", "serial ft/s", "sharded ft/s",
+         "speedup", "jain", "util"],
+        fleet_table_rows(payload),
+    )
+    eq = payload["equivalence"]
+    gate = payload["speedup_gate"]
+    print(f"\nequivalence: {eq['verdict']} for workers "
+          f"{eq['workers_compared']}")
+    if gate["applicable"]:
+        print(f"speedup gate (>= {gate['required_speedup']:g}x at >= "
+              f"{gate['min_flows']} flows): met={gate['met']} "
+              f"(best {gate['best_speedup']:.2f}x on "
+              f"{gate['cpu_count']} CPUs)")
+    else:
+        print(f"speedup gate not applicable on this host "
+              f"({gate['cpu_count']} CPU(s) < {gate['min_cores']} or no "
+              f">= {gate['min_flows']}-flow point measured)")
+    print(f"JSON artifact: {path}", file=sys.stderr)
+    return 0 if eq["passed"] else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .errors import ReproError
     from .service.daemon import serve_main
@@ -1052,6 +1139,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the artifact here instead of "
                               "benchmarks/results/")
     p_train.set_defaults(func=_cmd_bench_train)
+
+    p_fleet = bench_sub.add_parser(
+        "fleet",
+        help="fleet scaling sweep: flows per wall-second 10 -> 10k, "
+             "serial vs sharded (writes BENCH_fleet.json)")
+    p_fleet.add_argument("--points", default=None,
+                         help="comma-separated shard-count x flows-per-"
+                              "shard pairs, e.g. '4x25,25x40' "
+                              "(default: the 10 -> 10,000 ladder)")
+    p_fleet.add_argument("--cc", default="cubic",
+                         help="scheme every fleet flow runs (default cubic)")
+    p_fleet.add_argument("--seed", type=int, default=0,
+                         help="fleet seed (default 0)")
+    p_fleet.add_argument("--workers", type=int, default=2,
+                         help="pool size of the sharded leg (default 2)")
+    p_fleet.add_argument("--small", action="store_true",
+                         help="CI smoke subset: the 10- and 100-flow points")
+    p_fleet.add_argument("--check-only", action="store_true",
+                         help="only run the pinned serial-vs-sharded "
+                              "equivalence fleet; non-zero exit unless the "
+                              "aggregates are identical, no artifact "
+                              "written")
+    p_fleet.add_argument("--out-dir", default=None,
+                         help="write the artifact here instead of "
+                              "benchmarks/results/")
+    p_fleet.set_defaults(func=_cmd_bench_fleet)
 
     p_srv = bench_sub.add_parser(
         "serve",

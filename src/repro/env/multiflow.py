@@ -232,6 +232,16 @@ class ScenarioDriver:
     def now(self) -> float:
         return self._engine.now
 
+    @property
+    def engine(self) -> FluidNetwork:
+        """The underlying network engine (read-only observer access)."""
+        return self._engine
+
+    @property
+    def running_flows(self) -> list[_RunningFlow]:
+        """Currently active flows (engine id + scenario index pairs)."""
+        return list(self._running)
+
     def _next_deadline(self, now: float, interval_s: float,
                        grid_s: float) -> float:
         """The next controller deadline after ``now``.
@@ -249,6 +259,11 @@ class ScenarioDriver:
         return max(1, int(np.ceil(t / grid_s - 1e-9))) * grid_s
 
     def _start_due_flows(self, now: float) -> None:
+        # Gather every due flow first and register the whole batch with
+        # one ``add_flows`` call: simultaneous starts (a fleet shard
+        # starts all its flows at t=0) would otherwise rebuild the
+        # engine's SoA state once per flow — O(n^2) for an n-flow shard.
+        due = []
         while self._pending and \
                 self._flows[self._pending[0]].start_s <= now + 1e-12:
             i = self._pending.pop(0)
@@ -259,12 +274,19 @@ class ScenarioDriver:
             else:
                 controller = create(cfg.cc, **cfg.cc_kwargs)
             controller.reset()
-            fid = self._engine.add_flow(
-                base_rtt_s=self._base_rtt_fn(i),
-                path=list(self._paths[i]) if self._paths is not None
+            due.append((i, cfg, controller))
+        if not due:
+            return
+        fids = self._engine.add_flows([
+            {
+                "base_rtt_s": self._base_rtt_fn(i),
+                "path": list(self._paths[i]) if self._paths is not None
                 else None,
-                cwnd_pkts=controller.initial_cwnd,
-            )
+                "cwnd_pkts": controller.initial_cwnd,
+            }
+            for i, _cfg, controller in due
+        ])
+        for fid, (i, cfg, controller) in zip(fids, due):
             self._running.append(_RunningFlow(
                 index=i, engine_id=fid, controller=controller,
                 next_ctrl_s=self._next_deadline(now, controller.mtp_s,

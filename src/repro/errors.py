@@ -88,6 +88,13 @@ class ModelFallbackWarning(UserWarning):
     """
 
 
+class ShardFailureWarning(UserWarning):
+    """A fleet shard failed and was quarantined: the fleet run continued
+    without it, and the message names the shard index, the fleet seed,
+    and the derived shard seed so the failure is reproducible in
+    isolation (``build_scenario("fleet", seed=..., shard_index=...)``)."""
+
+
 class CheckpointError(ModelError):
     """A training checkpoint is missing, damaged, or incompatible with
     the resuming configuration."""

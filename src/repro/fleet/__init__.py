@@ -1,0 +1,22 @@
+"""Fleet-scale sharded simulation: thousands of flows, many bottlenecks.
+
+:class:`FleetSpec` describes the fleet (shard count, flows per shard,
+seeds); :func:`run_fleet` partitions it into independent
+``FluidNetwork`` shards executed inside :mod:`repro.parallel` workers
+and merges per-shard sufficient statistics into one fairness /
+utilization aggregate; :func:`check_equivalence` pins the bit-identical
+any-worker-count contract.  ``repro bench fleet`` turns all of it into
+the scaling headline (``BENCH_fleet.json``).
+"""
+
+from .runner import FleetResult, check_equivalence, run_fleet
+from .spec import MAX_SHARDS, MAX_TOTAL_FLOWS, FleetSpec
+
+__all__ = [
+    "FleetResult",
+    "FleetSpec",
+    "MAX_SHARDS",
+    "MAX_TOTAL_FLOWS",
+    "check_equivalence",
+    "run_fleet",
+]

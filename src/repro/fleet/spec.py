@@ -1,0 +1,110 @@
+"""Fleet specifications: how many shards, how many flows, which seeds.
+
+A fleet is a set of *independent* shards — each one a single-bottleneck
+scenario built by the ``fleet`` family (:func:`repro.scenarios.
+fleet_scenario`) with its own seed-derived bottleneck parameters.  The
+spec is the unit of reproducibility: a :class:`FleetSpec` plus a worker
+count fully determines the run, and any single shard can be rebuilt in
+isolation from ``(seed, shard_index)`` alone (the quarantine contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+from ..scenarios.families import FLEET_MAX_FLOWS, fleet_shard_seed
+
+#: Hard caps catching spec typos before a run allocates anything.
+MAX_SHARDS = 4096
+MAX_TOTAL_FLOWS = 1_000_000
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A fleet of ``n_shards`` independent bottlenecks, each carrying
+    ``flows_per_shard`` flows of scheme ``cc``.
+
+    ``epochs`` sets how many synchronization epochs the run is divided
+    into: shards snapshot their sufficient statistics at each epoch
+    boundary (the shard state stays worker-resident across boundaries —
+    epochs shape the reporting granularity, not the dispatch count).
+    ``quick`` follows the scenario registry's quick-shrinks-time-only
+    contract.
+    """
+
+    cc: str = "cubic"
+    n_shards: int = 4
+    flows_per_shard: int = 25
+    seed: int = 0
+    quick: bool = True
+    epochs: int = 4
+
+    def __post_init__(self):
+        if not isinstance(self.cc, str) or not self.cc:
+            raise ConfigError(f"fleet cc must be a scheme name, got {self.cc!r}")
+        if not isinstance(self.n_shards, int) or isinstance(self.n_shards, bool):
+            raise ConfigError(
+                f"n_shards must be an integer, got {self.n_shards!r}")
+        if not 1 <= self.n_shards <= MAX_SHARDS:
+            raise ConfigError(
+                f"n_shards must lie in [1, {MAX_SHARDS}], got {self.n_shards}")
+        if not isinstance(self.flows_per_shard, int) or \
+                isinstance(self.flows_per_shard, bool):
+            raise ConfigError(
+                f"flows_per_shard must be an integer, got "
+                f"{self.flows_per_shard!r}")
+        if not 1 <= self.flows_per_shard <= FLEET_MAX_FLOWS:
+            raise ConfigError(
+                f"flows_per_shard must lie in [1, {FLEET_MAX_FLOWS}], "
+                f"got {self.flows_per_shard}")
+        total = self.n_shards * self.flows_per_shard
+        if total > MAX_TOTAL_FLOWS:
+            raise ConfigError(
+                f"fleet of {self.n_shards} x {self.flows_per_shard} = "
+                f"{total} flows exceeds the {MAX_TOTAL_FLOWS}-flow cap")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise ConfigError(
+                f"fleet seed must be a non-negative integer, got {self.seed!r}")
+        if not isinstance(self.epochs, int) or isinstance(self.epochs, bool) \
+                or self.epochs < 1:
+            raise ConfigError(
+                f"epochs must be a positive integer, got {self.epochs!r}")
+
+    @property
+    def total_flows(self) -> int:
+        return self.n_shards * self.flows_per_shard
+
+    def shard_seed(self, shard_index: int) -> int:
+        """Derived seed of shard ``shard_index`` (stable across runs)."""
+        if not 0 <= shard_index < self.n_shards:
+            raise ConfigError(
+                f"shard_index must lie in [0, {self.n_shards}), "
+                f"got {shard_index}")
+        return fleet_shard_seed(self.seed, shard_index)
+
+    def with_(self, **changes) -> "FleetSpec":
+        """A copy with fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (inverse of :meth:`from_dict`)."""
+        return {"cc": self.cc, "n_shards": self.n_shards,
+                "flows_per_shard": self.flows_per_shard, "seed": self.seed,
+                "quick": self.quick, "epochs": self.epochs}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FleetSpec":
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"fleet spec payload must be a dict, got "
+                f"{type(payload).__name__}")
+        known = {"cc", "n_shards", "flows_per_shard", "seed", "quick",
+                 "epochs"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown fleet spec keys {sorted(unknown)}; "
+                f"known: {sorted(known)}")
+        return cls(**payload)

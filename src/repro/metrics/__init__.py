@@ -10,7 +10,12 @@ from .convergence import (
     mean_convergence_time,
     mean_stability,
 )
-from .fairness import astraea_fairness_metric, jain_index, max_min_fair_shares
+from .fairness import (
+    FairnessAccumulator,
+    astraea_fairness_metric,
+    jain_index,
+    max_min_fair_shares,
+)
 from .recovery import (
     NEVER_RECOVERED,
     RecoveryReport,
@@ -26,6 +31,7 @@ __all__ = [
     "recovery_report",
     "recovery_time_s",
     "steady_state_mbps",
+    "FairnessAccumulator",
     "jain_index",
     "astraea_fairness_metric",
     "max_min_fair_shares",

@@ -1,6 +1,16 @@
-"""Fairness metrics: Jain index, Astraea's R_fair, and max-min shares."""
+"""Fairness metrics: Jain index, Astraea's R_fair, and max-min shares.
+
+Also home to :class:`FairnessAccumulator`, the mergeable
+sufficient-statistics form of the Jain index used by the sharded fleet
+runner: each shard reduces its flows to ``(count, sum, sum of squares,
+capacity)`` and the parent merges those tuples instead of shipping raw
+per-tick traces between processes.
+"""
 
 from __future__ import annotations
+
+import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,6 +36,93 @@ def jain_index(throughputs) -> float:
     # overflow/underflow of the squared sums at extreme magnitudes.
     x = x / peak
     return float(x.sum() ** 2 / (x.size * np.sum(x ** 2)))
+
+
+@dataclass
+class FairnessAccumulator:
+    """Mergeable sufficient statistics for Jain fairness and utilization.
+
+    The Jain index ``(sum x)^2 / (n * sum x^2)`` and link utilization
+    ``sum x / capacity`` are both functions of ``(n, sum x, sum x^2,
+    capacity)`` only, and every component is additive.  Shards therefore
+    reduce their flows locally and the parent merges fixed-size tuples:
+    merging in a deterministic order (plain float adds, shard index
+    order) makes the aggregate bit-identical for any worker count.
+
+    ``batches`` counts ``add``/non-empty ``merge`` contributions — one
+    per shard in fleet runs — purely for diagnostics.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    sum_sq: float = 0.0
+    capacity: float = 0.0
+    batches: int = 0
+
+    def add(self, throughputs, capacity: float = 0.0) -> "FairnessAccumulator":
+        """Fold one batch of per-flow throughputs (plus their shared
+        ``capacity``, in the same unit) into the statistics."""
+        x = np.asarray(throughputs, dtype=float)
+        if x.size and (not np.all(np.isfinite(x)) or np.any(x < 0)):
+            raise ConfigError(
+                "throughputs must be finite and non-negative")
+        if not math.isfinite(capacity) or capacity < 0:
+            raise ConfigError(
+                f"capacity must be finite and non-negative, got {capacity!r}")
+        self.count += int(x.size)
+        self.total += float(x.sum())
+        self.sum_sq += float(np.sum(x * x))
+        self.capacity += float(capacity)
+        self.batches += 1
+        return self
+
+    def merge(self, other: "FairnessAccumulator") -> "FairnessAccumulator":
+        """Fold another accumulator in (plain float adds; order matters
+        for bit-identical aggregates, so callers merge in shard order)."""
+        self.count += other.count
+        self.total += other.total
+        self.sum_sq += other.sum_sq
+        self.capacity += other.capacity
+        self.batches += other.batches
+        return self
+
+    def jain(self) -> float:
+        """Jain index over every flow folded in so far.
+
+        Matches :func:`jain_index` on the concatenated allocation (the
+        index is scale-invariant, so the raw — unnormalized — sums agree
+        with the peak-normalized form for any physical magnitude).
+        """
+        if self.count == 0:
+            raise ConfigError("jain index of an empty allocation is undefined")
+        if self.sum_sq == 0.0:
+            return 1.0
+        return float(self.total ** 2 / (self.count * self.sum_sq))
+
+    def utilization(self) -> float:
+        """Aggregate throughput over aggregate capacity."""
+        if self.capacity <= 0.0:
+            raise ConfigError(
+                "utilization undefined without positive capacity")
+        return float(self.total / self.capacity)
+
+    def as_dict(self) -> dict:
+        """JSON/pickle-friendly form (inverse of :meth:`from_dict`)."""
+        return {"count": self.count, "total": self.total,
+                "sum_sq": self.sum_sq, "capacity": self.capacity,
+                "batches": self.batches}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FairnessAccumulator":
+        try:
+            return cls(count=int(payload["count"]),
+                       total=float(payload["total"]),
+                       sum_sq=float(payload["sum_sq"]),
+                       capacity=float(payload["capacity"]),
+                       batches=int(payload["batches"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"malformed FairnessAccumulator payload: {exc!r}") from exc
 
 
 def astraea_fairness_metric(avg_throughputs) -> float:

@@ -230,25 +230,23 @@ class FluidNetwork:
     # Flow management
     # ------------------------------------------------------------------
 
-    def add_flow(self, base_rtt_s: float, path: list[str] | None = None,
-                 cwnd_pkts: float = INITIAL_CWND_PKTS,
-                 pacing_pps: float | None = None) -> int:
-        """Register a flow and return its engine id.
-
-        ``path`` lists link names in traversal order; ``None`` means "all
-        links in network order", which is the single-bottleneck default.
-        """
+    def _resolve_path(self, base_rtt_s: float,
+                      path: list[str] | None) -> tuple[int, ...]:
+        """Validate one flow spec and resolve its path to link indices."""
         if base_rtt_s <= 0:
             raise SimulationError(f"base rtt must be positive, got {base_rtt_s}")
         if path is None:
-            link_ids = tuple(range(len(self._links)))
-        else:
-            try:
-                link_ids = tuple(self._link_index[name] for name in path)
-            except KeyError as exc:
-                raise SimulationError(f"unknown link in path: {exc}") from None
-            if not link_ids:
-                raise SimulationError("a flow path needs at least one link")
+            return tuple(range(len(self._links)))
+        try:
+            link_ids = tuple(self._link_index[name] for name in path)
+        except KeyError as exc:
+            raise SimulationError(f"unknown link in path: {exc}") from None
+        if not link_ids:
+            raise SimulationError("a flow path needs at least one link")
+        return link_ids
+
+    def _register_flow(self, base_rtt_s: float, link_ids: tuple[int, ...],
+                       cwnd_pkts: float, pacing_pps: float | None) -> int:
         fid = self._next_flow_id
         self._next_flow_id += 1
         flow = _FlowState(
@@ -261,8 +259,58 @@ class FluidNetwork:
         )
         flow.last_rtt_s = base_rtt_s
         self._flows[fid] = flow
+        return fid
+
+    def add_flow(self, base_rtt_s: float, path: list[str] | None = None,
+                 cwnd_pkts: float = INITIAL_CWND_PKTS,
+                 pacing_pps: float | None = None) -> int:
+        """Register a flow and return its engine id.
+
+        ``path`` lists link names in traversal order; ``None`` means "all
+        links in network order", which is the single-bottleneck default.
+        """
+        link_ids = self._resolve_path(base_rtt_s, path)
+        fid = self._register_flow(base_rtt_s, link_ids, cwnd_pkts, pacing_pps)
         self._rebuild_soa()
         return fid
+
+    def add_flows(self, specs) -> list[int]:
+        """Register a batch of flows with one SoA rebuild for the batch.
+
+        ``specs`` is an iterable of dicts accepting the same keys as
+        :meth:`add_flow` (``base_rtt_s`` required; ``path``,
+        ``cwnd_pkts``, ``pacing_pps`` optional).  Every spec is validated
+        before any flow is registered, so a bad spec leaves the network
+        unchanged.  Registering n flows one by one rebuilds the
+        structure-of-arrays state n times (O(n^2) total work when
+        building a large shard); this path rebuilds once.
+        """
+        specs = list(specs)
+        known = {"base_rtt_s", "path", "cwnd_pkts", "pacing_pps"}
+        resolved = []
+        for spec in specs:
+            if not isinstance(spec, dict):
+                raise SimulationError(
+                    f"flow spec must be a dict, got {type(spec).__name__}")
+            unknown = set(spec) - known
+            if unknown:
+                raise SimulationError(
+                    f"unknown flow-spec keys {sorted(unknown)}; "
+                    f"known: {sorted(known)}")
+            if "base_rtt_s" not in spec:
+                raise SimulationError("flow spec needs base_rtt_s")
+            resolved.append(
+                self._resolve_path(spec["base_rtt_s"], spec.get("path")))
+        fids = [
+            self._register_flow(
+                spec["base_rtt_s"], link_ids,
+                spec.get("cwnd_pkts", INITIAL_CWND_PKTS),
+                spec.get("pacing_pps"))
+            for spec, link_ids in zip(specs, resolved)
+        ]
+        if fids:
+            self._rebuild_soa()
+        return fids
 
     def remove_flow(self, fid: int) -> None:
         """Deregister a flow (its remaining queued fluid is discarded)."""
@@ -315,6 +363,10 @@ class FluidNetwork:
     def flow_goodput_pps(self, fid: int) -> float:
         """Instantaneous delivery rate of a flow (pkts/s)."""
         return self._require(fid).last_goodput_pps
+
+    def flow_delivered_pkts(self, fid: int) -> float:
+        """Cumulative packets delivered to a flow since registration."""
+        return self._require(fid).total_delivered_pkts
 
     def pkts_in_flight(self, fid: int) -> float:
         """Approximate packets in flight (rate times RTT, capped by cwnd)."""

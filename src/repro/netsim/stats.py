@@ -144,6 +144,17 @@ class FlowMonitor:
         """Current smoothed RTT estimate in seconds."""
         return self._srtt
 
+    @property
+    def capacity(self) -> int:
+        """Rows the ring buffer currently holds memory for.
+
+        Bounded by roughly twice the peak *live* (undrained) sample count
+        of the run: :meth:`collect` compacts the consumed prefix away and
+        shrinks the buffer once the live region falls to a quarter of
+        capacity, so a long run's history is never retained.
+        """
+        return len(self._buf)
+
     def __len__(self) -> int:
         return self._end - self._start
 
@@ -173,6 +184,31 @@ class FlowMonitor:
             new_buf = np.empty((new_cap, N_SAMPLE_COLS))
             new_buf[:live] = self._buf[self._start:self._end]
             self._buf = new_buf
+        self._start = 0
+        self._end = live
+
+    def _compact(self) -> None:
+        """Release the consumed prefix after a drain.
+
+        Moves the live region to the front so consumed sample history is
+        overwritten by the next push instead of lingering until the next
+        ``_reserve``, and reallocates the buffer down (4x hysteresis, so
+        steady-state cycles never thrash) when a burst has left it far
+        larger than the live region needs.  Pure memory movement: sample
+        values and drain order are untouched, so collected statistics
+        stay bit-identical.
+        """
+        live = self._end - self._start
+        cap = len(self._buf)
+        if cap > _INITIAL_CAPACITY and cap >= 4 * max(live, 1):
+            new_cap = _INITIAL_CAPACITY
+            while new_cap < 2 * live:
+                new_cap *= 2
+            new_buf = np.empty((new_cap, N_SAMPLE_COLS))
+            new_buf[:live] = self._buf[self._start:self._end]
+            self._buf = new_buf
+        elif self._start > 0:
+            self._buf[:live] = self._buf[self._start:self._end]
         self._start = 0
         self._end = live
 
@@ -292,6 +328,7 @@ class FlowMonitor:
             if self._start == self._end:
                 self._start = self._end = 0
                 self._avail_sorted = True
+            self._compact()
         if weight > 0:
             avg_rtt = rtt_weighted / weight
             throughput = delivered / weight

@@ -25,6 +25,8 @@ from .families import (
     fig19_scenario,
     fig20_scenario,
     fig22_scenario,
+    fleet_scenario,
+    fleet_shard_seed,
     incast_scenario,
     robustness_scenario,
 )
@@ -62,6 +64,8 @@ __all__ = [
     "fig19_scenario",
     "fig20_scenario",
     "fig22_scenario",
+    "fleet_scenario",
+    "fleet_shard_seed",
     "get_family",
     "incast_scenario",
     "register_family",

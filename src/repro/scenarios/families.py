@@ -24,6 +24,8 @@ convention of :mod:`repro.scenarios.registry`.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..config import FlowConfig, LinkConfig, ScenarioConfig
@@ -356,6 +358,71 @@ def background_udp_scenario(cc: str, quick: bool = False, seed: int = 0,
                           seed=seed)
 
 
+#: Bottleneck parameter ladders the fleet family draws from, per shard.
+FLEET_BANDWIDTHS_MBPS = (50.0, 100.0, 200.0, 400.0)
+FLEET_RTTS_MS = (10.0, 20.0, 30.0, 50.0, 80.0)
+FLEET_BUFFER_BDPS = (0.5, 1.0, 2.0)
+
+#: Hard cap on flows per fleet shard (the SoA kernel stays cache-friendly
+#: well past this; the cap catches spec typos, not engine limits).
+FLEET_MAX_FLOWS = 10_000
+
+
+def fleet_shard_seed(seed: int, shard_index: int) -> int:
+    """Derived seed of one fleet shard, as a stable 64-bit integer.
+
+    Derived with a stable hash (not Python's salted ``hash``) so shard
+    parameters are identical across processes and interpreter runs, and
+    distinct shards never share a stream.  Quarantine messages quote
+    this value alongside the fleet seed.
+    """
+    digest = hashlib.blake2b(
+        f"fleet:{seed}:{shard_index}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _fleet_shard_rng(seed: int, shard_index: int) -> np.random.Generator:
+    """Seed-disciplined RNG for one fleet shard's parameters."""
+    return np.random.default_rng(fleet_shard_seed(seed, shard_index))
+
+
+def fleet_scenario(cc: str, quick: bool = False, seed: int = 0,
+                   n_flows: int = 25,
+                   shard_index: int = 0) -> ScenarioConfig:
+    """One shard of a fleet: an independent bottleneck with many flows.
+
+    The fleet runner (:mod:`repro.fleet`) composes hundreds of these into
+    one run — each shard an independent :class:`FluidNetwork` in its own
+    worker.  ``(seed, shard_index)`` deterministically picks the shard's
+    bottleneck from the ``FLEET_*`` ladders and spreads flow base RTTs
+    ±25% around it, so a fleet is heterogeneous across shards but every
+    shard is reproducible in isolation (the quarantine contract: a failed
+    shard is re-runnable from its name and seeds alone).
+    """
+    if n_flows < 1:
+        raise ConfigError(f"fleet shard needs >= 1 flow, got {n_flows}")
+    if n_flows > FLEET_MAX_FLOWS:
+        raise ConfigError(
+            f"fleet shard flow count {n_flows} exceeds cap {FLEET_MAX_FLOWS}")
+    if shard_index < 0:
+        raise ConfigError(
+            f"fleet shard_index must be >= 0, got {shard_index}")
+    duration = 4.0 if quick else 12.0
+    rng = _fleet_shard_rng(seed, shard_index)
+    bandwidth = float(rng.choice(FLEET_BANDWIDTHS_MBPS))
+    rtt_ms = float(rng.choice(FLEET_RTTS_MS))
+    buffer_bdp = float(rng.choice(FLEET_BUFFER_BDPS))
+    link = LinkConfig(bandwidth_mbps=bandwidth, rtt_ms=rtt_ms,
+                      buffer_bdp=buffer_bdp,
+                      name=f"fleet-{seed}-{shard_index}")
+    extra = rng.uniform(-0.25, 0.25, size=n_flows) * rtt_ms
+    flows = tuple(
+        FlowConfig(cc=cc, start_s=0.0, extra_rtt_ms=float(max(0.0, e)))
+        for e in extra)
+    return ScenarioConfig(link=link, flows=flows, duration_s=duration,
+                          seed=seed)
+
+
 # ---------------------------------------------------------------------------
 # Registry entries.  Builders keep their historical signatures; these
 # adapters map them onto the uniform (cc, quick, seed, **params) calling
@@ -454,6 +521,14 @@ register_family(
     description="one bottleneck, per-flow base RTTs spread 1x-4x "
                 "(RTT-unfairness stress)",
     params={"n_flows": 4, "spread": 4.0}, tags=("asymmetric",))
+register_family(
+    "fleet",
+    lambda cc, quick, seed, n_flows, shard_index: fleet_scenario(
+        cc, quick=quick, seed=seed, n_flows=n_flows,
+        shard_index=shard_index),
+    description="one fleet shard: a seed-varied bottleneck with many "
+                "flows (composed at scale by repro.fleet)",
+    params={"n_flows": 25, "shard_index": 0}, tags=("fleet", "scale"))
 register_family(
     "background-udp",
     lambda cc, quick, seed, n_flows, udp_fraction: background_udp_scenario(

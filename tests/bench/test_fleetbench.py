@@ -1,0 +1,138 @@
+"""The fleet scaling benchmark, its artifact, and the CLI gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.fleetbench import (
+    BENCH_ID,
+    GATE_MIN_CORES,
+    GATE_MIN_FLOWS,
+    REQUIRED_SPEEDUP,
+    fleet_table_rows,
+    measure_point,
+    run_fleet_benchmark,
+    speedup_gate,
+)
+from repro.bench.reporting import loads_strict
+from repro.cli import build_parser, main
+
+
+class TestFleetBenchmark:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_fleet_benchmark(points=((2, 4),), small=True)
+
+    def test_payload_schema(self, payload):
+        assert payload["bench"] == BENCH_ID
+        assert payload["small"] is True
+        assert payload["cpu_count"] >= 1
+        (point,) = payload["points"]
+        assert point["total_flows"] == 8
+        for leg in ("serial", "sharded"):
+            assert point[leg]["flow_ticks_per_wall_s"] > 0
+            assert point[leg]["flows_per_wall_s"] > 0
+            assert 0.0 < point[leg]["jain"] <= 1.0
+            assert 0.0 < point[leg]["utilization"] <= 1.05
+            assert point[leg]["failures"] == 0
+        assert point["serial"]["workers"] == 1
+        assert point["sharded"]["workers"] >= 2
+
+    def test_aggregates_identical_across_legs(self, payload):
+        (point,) = payload["points"]
+        assert point["aggregates_identical"] is True
+        assert point["serial"]["jain"] == point["sharded"]["jain"]
+        assert point["serial"]["utilization"] == \
+            point["sharded"]["utilization"]
+
+    def test_embedded_equivalence_verdict(self, payload):
+        eq = payload["equivalence"]
+        assert eq["verdict"] == "identical"
+        assert eq["passed"] is True
+        assert eq["workers_compared"] == [1, 2]
+
+    def test_payload_is_strict_json(self, payload):
+        from repro.bench.reporting import encode_results
+
+        parsed = loads_strict(encode_results(payload))
+        assert parsed["bench"] == BENCH_ID
+
+    def test_table_rows(self, payload):
+        (row,) = fleet_table_rows(payload)
+        assert row[0] == "2x4"
+        assert row[1] == 8
+
+
+class TestSpeedupGate:
+    def _point(self, total_flows, speedup):
+        return {"total_flows": total_flows, "speedup": speedup}
+
+    def test_not_applicable_on_single_core(self):
+        gate = speedup_gate([self._point(2000, 5.0)], cpu_count=1)
+        assert gate["applicable"] is False
+        assert gate["met"] is None
+        assert gate["cpu_count"] == 1
+
+    def test_not_applicable_without_large_point(self):
+        gate = speedup_gate([self._point(100, 5.0)], cpu_count=4)
+        assert gate["applicable"] is False
+        assert gate["met"] is None
+
+    def test_met_on_multicore_with_speedup(self):
+        gate = speedup_gate(
+            [self._point(100, 0.5),
+             self._point(GATE_MIN_FLOWS, REQUIRED_SPEEDUP + 0.5)],
+            cpu_count=GATE_MIN_CORES)
+        assert gate["applicable"] is True
+        assert gate["met"] is True
+        assert gate["best_speedup"] == REQUIRED_SPEEDUP + 0.5
+
+    def test_not_met_when_too_slow(self):
+        gate = speedup_gate([self._point(GATE_MIN_FLOWS, 1.2)], cpu_count=8)
+        assert gate["applicable"] is True
+        assert gate["met"] is False
+
+
+class TestMeasurePoint:
+    def test_point_runs_both_legs(self):
+        point = measure_point(2, 3, cc="cubic", seed=5)
+        assert point["n_shards"] == 2
+        assert point["flows_per_shard"] == 3
+        assert point["aggregates_identical"] is True
+
+
+class TestFleetCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "fleet"])
+        assert args.cc == "cubic"
+        assert args.workers == 2
+        assert not args.small and not args.check_only
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "fleet", "--small", "--points", "2x3",
+             "--workers", "3", "--seed", "9"])
+        assert args.small and args.points == "2x3"
+        assert args.workers == 3 and args.seed == 9
+
+    def test_check_only_passes(self, capsys):
+        assert main(["bench", "fleet", "--check-only"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_bad_points_rejected(self, capsys):
+        assert main(["bench", "fleet", "--points", "nope"]) == 2
+        assert "--points" in capsys.readouterr().err
+
+    def test_small_writes_strict_artifact(self, tmp_path, capsys):
+        rc = main(["bench", "fleet", "--points", "2x3",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        artifact = tmp_path / f"{BENCH_ID}.json"
+        payload = loads_strict(artifact.read_text())
+        assert payload["bench"] == BENCH_ID
+        assert payload["equivalence"]["verdict"] == "identical"
+        out = capsys.readouterr().out
+        assert "Fleet scaling" in out
+        assert json.loads(artifact.read_text())["points"]

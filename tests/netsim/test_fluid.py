@@ -139,6 +139,74 @@ class TestMultiLink:
             net.add_flow(base_rtt_s=0.03, path=["nope"])
 
 
+class TestAddFlowsBatch:
+    def _spy_rebuilds(self, net):
+        calls = []
+        orig = net._rebuild_soa
+
+        def spy():
+            calls.append(1)
+            orig()
+
+        net._rebuild_soa = spy
+        return calls
+
+    def test_one_rebuild_per_batch(self):
+        net, _ = make_net()
+        calls = self._spy_rebuilds(net)
+        fids = net.add_flows([{"base_rtt_s": 0.03}] * 50)
+        assert len(fids) == 50
+        assert len(calls) == 1  # not one per flow
+
+    def test_empty_batch_no_rebuild(self):
+        net, _ = make_net()
+        calls = self._spy_rebuilds(net)
+        assert net.add_flows([]) == []
+        assert calls == []
+
+    def test_batch_equivalent_to_sequential(self):
+        specs = [{"base_rtt_s": 0.02 + 0.005 * i, "cwnd_pkts": 10.0 + i}
+                 for i in range(8)]
+        batch, _ = make_net()
+        seq, _ = make_net()
+        fids_b = batch.add_flows(specs)
+        fids_s = [seq.add_flow(**spec) for spec in specs]
+        assert fids_b == fids_s
+        run(batch, 2.0)
+        run(seq, 2.0)
+        for fb, fs in zip(fids_b, fids_s):
+            assert batch.flow_goodput_pps(fb) == seq.flow_goodput_pps(fs)
+            assert batch.flow_rtt_s(fb) == seq.flow_rtt_s(fs)
+            assert batch.flow_delivered_pkts(fb) == \
+                seq.flow_delivered_pkts(fs)
+
+    def test_bad_spec_leaves_network_unchanged(self):
+        net, _ = make_net()
+        before = net.flow_ids
+        with pytest.raises(SimulationError):
+            net.add_flows([{"base_rtt_s": 0.03},
+                           {"base_rtt_s": -1.0}])
+        with pytest.raises(SimulationError):
+            net.add_flows([{"base_rtt_s": 0.03},
+                           {"base_rtt_s": 0.03, "path": ["nope"]}])
+        with pytest.raises(SimulationError):
+            net.add_flows([{"base_rtt_s": 0.03, "bogus": 1}])
+        with pytest.raises(SimulationError):
+            net.add_flows([{}])
+        with pytest.raises(SimulationError):
+            net.add_flows([(0.03,)])
+        assert net.flow_ids == before
+
+    def test_delivered_totals_accessor(self):
+        net, _ = make_net()
+        (fid,) = net.add_flows([{"base_rtt_s": 0.03, "cwnd_pkts": 100.0}])
+        assert net.flow_delivered_pkts(fid) == 0.0
+        run(net, 1.0)
+        assert net.flow_delivered_pkts(fid) > 0.0
+        with pytest.raises(SimulationError):
+            net.flow_delivered_pkts(fid + 1)
+
+
 class TestTraceDriven:
     def test_capacity_step_changes_throughput(self):
         link = LinkConfig(bandwidth_mbps=100.0, rtt_ms=30.0, buffer_bdp=1.0)

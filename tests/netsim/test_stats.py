@@ -194,3 +194,63 @@ class TestRingBuffer:
         assert mon._avail_sorted
         mon.push(sample(time=0.2, avail_at=3.0))
         assert mon._avail_sorted
+
+    def test_capacity_bounded_under_repeated_collect_cycles(self):
+        from repro.netsim.stats import _INITIAL_CAPACITY
+
+        mon = FlowMonitor(base_rtt_s=0.03)
+        # A long run: many push-then-collect cycles of a steady 16
+        # samples per MTP.  Peak capacity must stay proportional to the
+        # per-cycle live size, never to the total sample history.
+        peak = 0
+        for cycle in range(200):
+            base = cycle * 16
+            for i in range(16):
+                t = (base + i) * 0.002
+                mon.push(sample(time=t, avail_at=t))
+            peak = max(peak, mon.capacity)
+            self.collect(mon, now=(base + 16) * 0.002)
+            peak = max(peak, mon.capacity)
+        assert peak <= _INITIAL_CAPACITY
+
+    def test_capacity_shrinks_after_burst(self):
+        from repro.netsim.stats import _INITIAL_CAPACITY
+
+        mon = FlowMonitor(base_rtt_s=0.03)
+        # A delay spike piles up far more undrained samples than steady
+        # state ever holds...
+        n = _INITIAL_CAPACITY * 16
+        for i in range(n):
+            mon.push(sample(time=i * 0.002, avail_at=i * 0.002))
+        assert mon.capacity >= n
+        stats = self.collect(mon, now=n * 0.002)
+        assert stats.sent_pkts == pytest.approx(10.0 * n)
+        # ...and once the burst drains, the buffer is released instead of
+        # holding the high-water mark for the rest of the run.
+        assert mon.capacity == _INITIAL_CAPACITY
+
+    def test_partial_drain_compacts_consumed_prefix(self):
+        mon = FlowMonitor(base_rtt_s=0.03)
+        for i in range(40):
+            mon.push(sample(time=i * 1.0, avail_at=i * 1.0))
+        self.collect(mon, now=29.5)
+        assert len(mon) == 10
+        # The consumed prefix was compacted away immediately: the live
+        # region sits at the front of the buffer.
+        assert mon._start == 0
+        assert mon._end == 10
+
+    def test_compaction_preserves_stats(self):
+        a = FlowMonitor(base_rtt_s=0.03)
+        b = FlowMonitor(base_rtt_s=0.03)
+        rtts = [0.03, 0.05, 0.02, 0.08, 0.04, 0.06]
+        for i, r in enumerate(rtts):
+            a.push(sample(time=i * 1.0, avail_at=i * 1.0, rtt=r))
+            b.push(sample(time=i * 1.0, avail_at=i * 1.0, rtt=r))
+        # a: two partial drains (compaction in between); b: one full one.
+        s1 = self.collect(a, now=2.5)
+        s2 = self.collect(a, now=100.0)
+        sb = self.collect(b, now=100.0)
+        assert a.srtt_s == b.srtt_s
+        assert s1.sent_pkts + s2.sent_pkts == sb.sent_pkts
+        assert s1.delivered_pkts + s2.delivered_pkts == sb.delivered_pkts
